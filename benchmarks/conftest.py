@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The full
+suite is sizeable, so the default configuration uses a representative slice
+of the 22 programs and caps the quadratic query enumeration per function;
+set ``REPRO_BENCH_FULL=1`` to run everything at full scale (matching the
+per-experiment index in DESIGN.md / EXPERIMENTS.md).
+"""
+
+import os
+
+import pytest
+
+#: Slice of the suite used by default (one program per suite plus extremes).
+DEFAULT_PROGRAMS = ["cfrac", "espresso", "allroots", "football", "bc", "anagram"]
+
+FULL_RUN = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_programs():
+    """Program names used by the precision/census benchmarks."""
+    return None if FULL_RUN else DEFAULT_PROGRAMS
+
+
+@pytest.fixture(scope="session")
+def max_pairs_per_function():
+    """Cap on enumerated pointer pairs per function (None = no cap)."""
+    return None if FULL_RUN else 3000
+
+
+@pytest.fixture(scope="session")
+def scalability_points():
+    """Number of generated programs for the Figure 15 sweep."""
+    return 50 if FULL_RUN else 12

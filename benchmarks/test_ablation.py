@@ -1,0 +1,40 @@
+"""Benchmark E8 — ablation of the design choices called out in DESIGN.md.
+
+Compares the full configuration against: global-test-only, local-test-only,
+no descending (narrowing) sequence, intraprocedural-only, and no e-SSA.
+"""
+
+import pytest
+
+from repro.evaluation import ABLATION_VARIANTS, format_ablation, run_ablation
+
+ABLATION_PROGRAMS = ["cfrac", "allroots", "anagram", "ft", "fixoutput", "ks"]
+
+
+@pytest.fixture(scope="module")
+def ablation_totals(max_pairs_per_function):
+    return run_ablation(program_names=ABLATION_PROGRAMS,
+                        max_pairs_per_function=max_pairs_per_function)
+
+
+def test_ablation_sweep(benchmark, max_pairs_per_function):
+    totals = benchmark.pedantic(
+        run_ablation,
+        kwargs={"program_names": ABLATION_PROGRAMS,
+                "max_pairs_per_function": max_pairs_per_function},
+        iterations=1, rounds=1)
+    print()
+    print(format_ablation(totals))
+    assert set(totals) == {variant.name for variant in ABLATION_VARIANTS}
+
+
+def test_ablation_both_tests_needed(ablation_totals):
+    """Global-only and local-only each answer fewer queries than the full analysis."""
+    full = ablation_totals["full"][1]
+    assert ablation_totals["global-only"][1] < full
+    assert ablation_totals["local-only"][1] < full
+
+
+def test_ablation_essa_matters(ablation_totals):
+    """Without σ nodes the ranges of loop pointers never tighten, costing precision."""
+    assert ablation_totals["no-essa"][1] <= ablation_totals["full"][1]

@@ -1,0 +1,50 @@
+"""Benchmark E5 — Figure 12: the fixed-point schedule on the Figure 1 program.
+
+Times the full GR analysis of the paper's wrap-up example with tracing
+enabled and checks the schedule (starting state → widening → two descending
+steps) plus the key abstract values of Figure 12.
+"""
+
+import pytest
+
+from repro.benchgen import compile_figure1
+from repro.core import GlobalAnalysisOptions, GlobalRangeAnalysis
+from repro.ir.instructions import PhiInst, StoreInst
+
+
+def _run_traced():
+    module = compile_figure1()
+    analysis = GlobalRangeAnalysis(module,
+                                   options=GlobalAnalysisOptions(track_trace=True))
+    return module, analysis
+
+
+def test_fig12_traced_fixed_point(benchmark):
+    module, analysis = benchmark.pedantic(_run_traced, iterations=1, rounds=3)
+    labels = [label for label, _ in analysis.trace()]
+    assert labels[0] == "starting state"
+    assert "after widening" in labels
+    assert labels[-1] == "descending step 2"
+
+
+def test_fig12_final_ranges_match_the_paper():
+    module, analysis = _run_traced()
+    prepare = module.get_function("prepare")
+    stores = [inst for inst in prepare.instructions() if isinstance(inst, StoreInst)]
+    header_state = analysis.value_of(stores[0].pointer)
+    location = header_state.support()[0]
+    interval = header_state.range_for(location)
+    # Figure 12 (after two descending steps): i2 = [0, N - 1].
+    assert interval.lower.constant_value() == 0
+    assert "N" in repr(interval.upper)
+
+
+def test_fig12_widening_is_applied_at_phi_functions():
+    module, analysis = _run_traced()
+    trace = dict(analysis.trace())
+    prepare = module.get_function("prepare")
+    pointer_phis = [inst for inst in prepare.instructions()
+                    if isinstance(inst, PhiInst) and inst.type.is_pointer()]
+    widened = trace["after widening"]
+    assert any(widened[phi].range_for(widened[phi].support()[0]).upper.is_infinite()
+               for phi in pointer_phis if not widened[phi].is_bottom)

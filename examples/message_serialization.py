@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The paper's Figure 1: disambiguating the header and payload loops.
+
+Run with::
+
+    python examples/message_serialization.py
+
+This reproduces the motivating example of the paper end to end: the
+``prepare`` routine writes a message identifier in its first loop and the
+payload in its second loop.  A compiler can only fuse, swap or parallelise
+the two loops if it can prove the stores never touch the same byte — which
+requires symbolic range information no stateless heuristic provides.
+
+The script prints the abstract state (GR) of each store pointer at the fixed
+point (compare with Figure 12 of the paper), the trace of the widening /
+narrowing schedule, and the verdict of every analysis on the critical query.
+"""
+
+from repro import BasicAliasAnalysis, RBAAAliasAnalysis, SCEVAliasAnalysis
+from repro.aliases import MemoryAccess
+from repro.benchgen import FIGURE1_SOURCE, compile_figure1
+from repro.core import GlobalAnalysisOptions, GlobalRangeAnalysis, RBAAOptions
+from repro.ir.instructions import StoreInst
+
+
+def main() -> None:
+    print("=== Source (paper, Figure 1) ===")
+    print(FIGURE1_SOURCE)
+
+    module = compile_figure1()
+    rbaa = RBAAAliasAnalysis(module)
+    basic = BasicAliasAnalysis(module)
+    scev = SCEVAliasAnalysis(module)
+
+    prepare = module.get_function("prepare")
+    stores = [inst for inst in prepare.instructions() if isinstance(inst, StoreInst)]
+    line6, line7, line10 = stores  # *i = 0; *(i+1) = 0xFF; *i = *m;
+
+    print("=== Abstract states at the fixed point (compare with Figure 12) ===")
+    for store, label in zip(stores, ("*i = 0        (line 6)",
+                                     "*(i+1) = 0xFF (line 7)",
+                                     "*i = *m       (line 10)")):
+        print(f"  GR[{label}] = {rbaa.global_state(store.pointer)}")
+
+    print()
+    print("=== The critical query: line 6 vs line 10 ===")
+    outcome = rbaa.query(MemoryAccess.of(line6.pointer), MemoryAccess.of(line10.pointer))
+    print(f"  rbaa : no-alias={outcome.no_alias} (criterion: {outcome.reason.value})")
+    print(f"  basic: {basic.alias_pointers(line6.pointer, line10.pointer)}")
+    print(f"  scev : {scev.alias_pointers(line6.pointer, line10.pointer)}")
+
+    print()
+    print("=== Same-iteration query: line 6 vs line 7 (local test) ===")
+    outcome = rbaa.query(MemoryAccess.of(line6.pointer), MemoryAccess.of(line7.pointer))
+    print(f"  rbaa : no-alias={outcome.no_alias} (criterion: {outcome.reason.value})")
+
+    print()
+    print("=== Fixed-point schedule (Figure 12) ===")
+    traced = GlobalRangeAnalysis(compile_figure1(),
+                                 options=GlobalAnalysisOptions(track_trace=True))
+    for label, snapshot in traced.trace():
+        tracked = sum(1 for state in snapshot.values()
+                      if not state.is_bottom and not state.is_top)
+        print(f"  {label:20s}: {tracked} pointers with non-trivial abstract state")
+
+
+if __name__ == "__main__":
+    main()

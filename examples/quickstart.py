@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a C snippet and ask alias queries.
+
+Run with::
+
+    python examples/quickstart.py
+
+The example compiles a small C function through the bundled mini-C frontend,
+runs the range-based alias analysis (RBAA) of the paper next to the
+``basicaa``-style baseline, and prints the answer every analysis gives for a
+few interesting pointer pairs together with the underlying abstract states.
+"""
+
+from repro import BasicAliasAnalysis, RBAAAliasAnalysis, SCEVAliasAnalysis, compile_source
+from repro.ir.instructions import StoreInst
+from repro.ir.printer import print_module
+
+SOURCE = r"""
+struct header { int id; int length; };
+
+void build_packet(char* buffer, int n, char* payload) {
+    struct header* h = (struct header*)buffer;
+    char* body = buffer + sizeof(struct header);
+    int i;
+
+    h->id = 1;
+    h->length = n;
+    for (i = 0; i < n; i++) {
+        body[i] = payload[i];
+    }
+}
+"""
+
+
+def main() -> None:
+    module = compile_source(SOURCE, "quickstart")
+    print("=== IR after the preparation pipeline (mem2reg + e-SSA) ===")
+    print(print_module(module))
+
+    rbaa = RBAAAliasAnalysis(module)
+    basic = BasicAliasAnalysis(module)
+    scev = SCEVAliasAnalysis(module)
+
+    function = module.get_function("build_packet")
+    stores = [inst for inst in function.instructions() if isinstance(inst, StoreInst)]
+    id_store, length_store, body_store = stores
+
+    pairs = [
+        ("h->id      vs h->length ", id_store.pointer, length_store.pointer),
+        ("h->id      vs body[i]   ", id_store.pointer, body_store.pointer),
+        ("h->length  vs body[i]   ", length_store.pointer, body_store.pointer),
+    ]
+
+    print("=== Alias queries ===")
+    print(f"{'pair':28s} {'rbaa':12s} {'basic':14s} {'scev':12s}")
+    for label, a, b in pairs:
+        print(f"{label:28s} {str(rbaa.alias_pointers(a, b)):12s} "
+              f"{str(basic.alias_pointers(a, b)):14s} "
+              f"{str(scev.alias_pointers(a, b)):12s}")
+
+    print()
+    print("=== Abstract states (GR) of the queried pointers ===")
+    for store, name in zip(stores, ("h->id", "h->length", "body[i]")):
+        print(f"  GR({name:10s}) = {rbaa.global_state(store.pointer)}")
+        print(f"  LR({name:10s}) = {rbaa.local_state(store.pointer)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Alias analyses: the shared interface, the baselines and their combination.
+
+The paper's own analysis lives in :mod:`repro.core.rbaa`; it implements the
+same :class:`~repro.aliases.base.AliasAnalysis` interface defined here so
+the evaluation harness can compare and chain all of them uniformly.
+"""
+
+from .andersen import AndersenAliasAnalysis
+from .base import AliasAnalysis
+from .basic import BasicAliasAnalysis
+from .combined import CombinedAliasAnalysis
+from .results import AliasResult, MemoryAccess
+from .scev_aa import SCEVAliasAnalysis
+from .steensgaard import SteensgaardAliasAnalysis
+
+__all__ = [
+    "AliasAnalysis",
+    "AliasResult",
+    "MemoryAccess",
+    "BasicAliasAnalysis",
+    "SCEVAliasAnalysis",
+    "AndersenAliasAnalysis",
+    "SteensgaardAliasAnalysis",
+    "CombinedAliasAnalysis",
+]

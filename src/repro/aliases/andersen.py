@@ -1,0 +1,208 @@
+"""Andersen-style inclusion-based points-to analysis.
+
+The paper positions its contribution as *complementary* to classic points-to
+analyses: "our representation of pointers can be used to enhance the
+precision of algorithms such as Steensgaard's or Andersen's" (Section 5).
+To support that comparison — and the ablation benchmarks — this module
+implements a field-insensitive, flow-insensitive, context-insensitive
+inclusion-based analysis:
+
+* every allocation site, global, pointer parameter and external pointer is
+  an abstract object;
+* constraints are generated per instruction (``p = &x``, ``p = q``,
+  ``p = *q``, ``*p = q``) and solved with a worklist until the points-to
+  sets reach a fixed point;
+* two pointers may alias iff their points-to sets intersect (or either set
+  contains the *unknown* object).
+
+Unlike the range-based analysis, offsets are ignored entirely: ``p`` and
+``p + 1`` always share their points-to set, which is exactly the imprecision
+the paper's approach removes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir.function import Function
+from ..ir.instructions import (
+    AllocaInst,
+    CallInst,
+    CastInst,
+    FreeInst,
+    Instruction,
+    LoadInst,
+    MallocInst,
+    PhiInst,
+    PtrAddInst,
+    ReturnInst,
+    SelectInst,
+    SigmaInst,
+    StoreInst,
+)
+from ..ir.module import Module
+from ..ir.values import Argument, GlobalVariable, NullPointer, Value
+from .base import AliasAnalysis
+from .results import AliasResult, MemoryAccess
+
+__all__ = ["AndersenAliasAnalysis"]
+
+#: The distinguished abstract object standing for everything the analysis
+#: cannot see (externally allocated memory, unknown call results…).
+_UNKNOWN_OBJECT = "<unknown>"
+
+
+class AndersenAliasAnalysis(AliasAnalysis):
+    """Inclusion-based (subset) points-to analysis."""
+
+    name = "andersen"
+
+    def __init__(self, module: Module):
+        super().__init__(module)
+        # points_to maps pointer values to sets of abstract objects, where an
+        # abstract object is an allocation Value or the _UNKNOWN_OBJECT tag.
+        self.points_to: Dict[Value, Set[object]] = {}
+        # copy edges p ⊇ q (assignments); loads/stores add edges lazily.
+        self._copy_edges: Dict[Value, Set[Value]] = {}
+        # object -> summary "memory node" points-to set (field-insensitive heap).
+        self._memory_of: Dict[object, Set[object]] = {}
+        self._loads: List[Tuple[LoadInst, Value]] = []
+        self._stores: List[Tuple[Value, Value]] = []
+        self._solve()
+
+    # -- constraint helpers -----------------------------------------------------
+    def _pts(self, value: Value) -> Set[object]:
+        return self.points_to.setdefault(value, set())
+
+    def _add_object(self, pointer: Value, obj: object) -> bool:
+        pts = self._pts(pointer)
+        if obj in pts:
+            return False
+        pts.add(obj)
+        return True
+
+    def _add_copy(self, destination: Value, source: Value) -> None:
+        self._copy_edges.setdefault(source, set()).add(destination)
+
+    # -- constraint generation ------------------------------------------------------
+    def _generate(self) -> None:
+        for variable in self.module.globals:
+            self._add_object(variable, variable)
+        for function in self.module.defined_functions():
+            for argument in function.args:
+                if argument.type.is_pointer():
+                    self._seed_argument(function, argument)
+            for inst in function.instructions():
+                self._generate_for(inst)
+
+    def _seed_argument(self, function: Function, argument: Argument) -> None:
+        internal_callers = False
+        for caller in self.module.defined_functions():
+            for inst in caller.instructions():
+                if isinstance(inst, CallInst) and inst.callee_name() == function.name \
+                        and argument.index < len(inst.args):
+                    self._add_copy(argument, inst.args[argument.index])
+                    internal_callers = True
+        if function.name == "main" or not internal_callers:
+            self._add_object(argument, _UNKNOWN_OBJECT)
+
+    def _generate_for(self, inst: Instruction) -> None:
+        if isinstance(inst, (MallocInst, AllocaInst)):
+            self._add_object(inst, inst)
+        elif isinstance(inst, PtrAddInst):
+            self._add_copy(inst, inst.base)
+        elif isinstance(inst, CastInst) and inst.type.is_pointer():
+            if inst.kind == "bitcast":
+                self._add_copy(inst, inst.value)
+            else:
+                self._add_object(inst, _UNKNOWN_OBJECT)
+        elif isinstance(inst, SigmaInst) and inst.type.is_pointer():
+            self._add_copy(inst, inst.source)
+        elif isinstance(inst, PhiInst) and inst.type.is_pointer():
+            for value, _ in inst.incoming():
+                self._add_copy(inst, value)
+        elif isinstance(inst, SelectInst) and inst.type.is_pointer():
+            self._add_copy(inst, inst.true_value)
+            self._add_copy(inst, inst.false_value)
+        elif isinstance(inst, FreeInst):
+            self._add_copy(inst, inst.pointer)
+        elif isinstance(inst, LoadInst) and inst.type.is_pointer():
+            self._loads.append((inst, inst.pointer))
+        elif isinstance(inst, StoreInst) and inst.value.type.is_pointer():
+            self._stores.append((inst.value, inst.pointer))
+        elif isinstance(inst, CallInst) and inst.type.is_pointer():
+            callee = self.module.get_function(inst.callee_name())
+            if callee is not None and not callee.is_declaration():
+                for block in callee.blocks:
+                    terminator = block.terminator
+                    if isinstance(terminator, ReturnInst) and terminator.value is not None \
+                            and terminator.value.type.is_pointer():
+                        self._add_copy(inst, terminator.value)
+            else:
+                self._add_object(inst, _UNKNOWN_OBJECT)
+
+    # -- solving ----------------------------------------------------------------------
+    def _solve(self) -> None:
+        self._generate()
+        changed = True
+        iterations = 0
+        # The constraint graph is small relative to the module; a simple
+        # round-robin fixed point is fast enough and easy to reason about.
+        while changed and iterations < 100:
+            iterations += 1
+            changed = False
+            # Copy edges: pts(dst) ⊇ pts(src).
+            for source, destinations in self._copy_edges.items():
+                source_pts = self._pts(source) if not isinstance(source, (GlobalVariable,)) \
+                    else self._pts(source)
+                if isinstance(source, NullPointer):
+                    continue
+                for destination in destinations:
+                    before = len(self._pts(destination))
+                    self._pts(destination).update(source_pts)
+                    if len(self._pts(destination)) != before:
+                        changed = True
+            # Stores: for every object q may point to, mem(object) ⊇ pts(value).
+            for value, pointer in self._stores:
+                value_pts = self._pts(value)
+                for obj in list(self._pts(pointer)):
+                    memory = self._memory_of.setdefault(obj, set())
+                    before = len(memory)
+                    memory.update(value_pts)
+                    if len(memory) != before:
+                        changed = True
+            # Loads: pts(load) ⊇ mem(object) for every pointee object.
+            for load, pointer in self._loads:
+                load_pts = self._pts(load)
+                before = len(load_pts)
+                for obj in list(self._pts(pointer)):
+                    load_pts.update(self._memory_of.get(obj, {_UNKNOWN_OBJECT}))
+                if not self._pts(pointer):
+                    load_pts.add(_UNKNOWN_OBJECT)
+                if len(load_pts) != before:
+                    changed = True
+
+    # -- queries -------------------------------------------------------------------------
+    def points_to_set(self, pointer: Value) -> Set[object]:
+        """The abstract objects ``pointer`` may reference."""
+        if isinstance(pointer, GlobalVariable):
+            return {pointer}
+        if isinstance(pointer, NullPointer):
+            return set()
+        pts = self.points_to.get(pointer)
+        if pts is None or not pts:
+            return {_UNKNOWN_OBJECT}
+        return pts
+
+    def alias(self, a: MemoryAccess, b: MemoryAccess) -> AliasResult:
+        if a.pointer is b.pointer:
+            return AliasResult.MUST_ALIAS
+        set_a = self.points_to_set(a.pointer)
+        set_b = self.points_to_set(b.pointer)
+        if not set_a or not set_b:
+            return AliasResult.NO_ALIAS
+        if _UNKNOWN_OBJECT in set_a or _UNKNOWN_OBJECT in set_b:
+            return AliasResult.MAY_ALIAS
+        if set_a & set_b:
+            return AliasResult.MAY_ALIAS
+        return AliasResult.NO_ALIAS

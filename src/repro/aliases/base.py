@@ -1,0 +1,47 @@
+"""The common interface every alias analysis in the repository implements.
+
+Both the baselines (``basic``, ``scev``, Andersen, Steensgaard) and the
+paper's range-based analysis expose the same two entry points so the
+evaluation harness can swap and chain them freely, mirroring how LLVM
+stacks alias-analysis passes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from ..ir.module import Module
+from ..ir.values import Value
+from .results import AliasResult, MemoryAccess
+
+__all__ = ["AliasAnalysis"]
+
+
+class AliasAnalysis(ABC):
+    """Base class of all alias analyses."""
+
+    #: Short machine-readable identifier used in reports (``basic``, ``scev``…).
+    name: str = "abstract"
+
+    def __init__(self, module: Module):
+        self.module = module
+
+    # -- main entry points ----------------------------------------------------
+    @abstractmethod
+    def alias(self, a: MemoryAccess, b: MemoryAccess) -> AliasResult:
+        """Answer one alias query between two memory accesses."""
+
+    def alias_pointers(self, a: Value, b: Value,
+                       size_a: Optional[int] = None,
+                       size_b: Optional[int] = None) -> AliasResult:
+        """Convenience wrapper taking raw pointer values."""
+        return self.alias(MemoryAccess.of(a, size_a), MemoryAccess.of(b, size_b))
+
+    def no_alias(self, a: Value, b: Value) -> bool:
+        """True when the analysis proves the two pointers never overlap."""
+        return self.alias_pointers(a, b) is AliasResult.NO_ALIAS
+
+    # -- identification ---------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} ({self.name}) on {self.module.name!r}>"

@@ -1,0 +1,52 @@
+"""Alias query results and query descriptors shared by all analyses."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ir.values import Value
+
+__all__ = ["AliasResult", "MemoryAccess"]
+
+
+class AliasResult(enum.Enum):
+    """Outcome of an alias query, ordered from strongest to weakest claim."""
+
+    NO_ALIAS = "no-alias"
+    MAY_ALIAS = "may-alias"
+    PARTIAL_ALIAS = "partial-alias"
+    MUST_ALIAS = "must-alias"
+
+    def is_no_alias(self) -> bool:
+        return self is AliasResult.NO_ALIAS
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """A pointer plus the byte size of the access it performs.
+
+    Alias queries compare two accesses; when the size is unknown (``None``)
+    analyses must treat the access as potentially unbounded.
+    """
+
+    pointer: Value
+    size: Optional[int] = 1
+
+    @classmethod
+    def of(cls, pointer: Value, size: Optional[int] = None) -> "MemoryAccess":
+        """Build an access, defaulting the size to the pointee size."""
+        if size is None:
+            pointee = getattr(pointer.type, "pointee", None)
+            size = max(1, pointee.size_in_bytes()) if pointee is not None else 1
+        return cls(pointer, size)
+
+    def bounded_size(self) -> int:
+        """Size usable in arithmetic: unknown sizes behave as one byte for
+        offset math (the *analysis* must already have handled unknown sizes
+        conservatively before relying on this)."""
+        return self.size if self.size is not None else 1

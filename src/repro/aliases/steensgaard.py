@@ -1,0 +1,230 @@
+"""Steensgaard-style unification-based points-to analysis.
+
+The almost-linear-time cousin of Andersen's analysis: instead of subset
+constraints, every assignment *unifies* the equivalence classes of the two
+sides (union-find).  The result is coarser — all pointers that ever flow
+together share one points-to class — but the analysis runs in a single pass
+over the program.  It is included as a classic baseline for the ablation
+benchmarks and as the substrate the paper suggests could be "augmented to
+map pointers to sets of locations plus ranges".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.instructions import (
+    AllocaInst,
+    CallInst,
+    CastInst,
+    FreeInst,
+    Instruction,
+    LoadInst,
+    MallocInst,
+    PhiInst,
+    PtrAddInst,
+    ReturnInst,
+    SelectInst,
+    SigmaInst,
+    StoreInst,
+)
+from ..ir.module import Module
+from ..ir.values import Argument, GlobalVariable, NullPointer, Value
+from .base import AliasAnalysis
+from .results import AliasResult, MemoryAccess
+
+__all__ = ["SteensgaardAliasAnalysis"]
+
+
+class _UnionFind:
+    """Union-find over arbitrary hashable keys with path compression."""
+
+    def __init__(self):
+        self._parent: Dict[object, object] = {}
+        self._rank: Dict[object, int] = {}
+
+    def find(self, item: object) -> object:
+        parent = self._parent.setdefault(item, item)
+        self._rank.setdefault(item, 0)
+        root = item
+        while self._parent[root] is not root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[item] is not root:
+            item, self._parent[item] = self._parent[item], root
+        return root
+
+    def union(self, a: object, b: object) -> object:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a is root_b:
+            return root_a
+        if self._rank[root_a] < self._rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        if self._rank[root_a] == self._rank[root_b]:
+            self._rank[root_a] += 1
+        return root_a
+
+
+class SteensgaardAliasAnalysis(AliasAnalysis):
+    """Unification-based points-to analysis."""
+
+    name = "steensgaard"
+
+    def __init__(self, module: Module):
+        super().__init__(module)
+        self._uf = _UnionFind()
+        #: representative class -> set of allocation objects in that class
+        self._objects_of_class: Dict[object, Set[Value]] = {}
+        #: representative class -> True when the class contains an unknown pointer
+        self._class_unknown: Dict[object, bool] = {}
+        #: class of pointers -> class of what their pointees' cells hold
+        self._pointee_class: Dict[object, object] = {}
+        self._build()
+
+    # -- class helpers --------------------------------------------------------
+    def _class_of(self, value: Value) -> object:
+        return self._uf.find(value)
+
+    def _mark_object(self, pointer: Value, obj: Value) -> None:
+        representative = self._class_of(pointer)
+        self._objects_of_class.setdefault(representative, set()).add(obj)
+
+    def _mark_unknown(self, pointer: Value) -> None:
+        representative = self._class_of(pointer)
+        self._class_unknown[representative] = True
+
+    def _merge(self, key_a: object, key_b: object) -> object:
+        """Merge the equivalence classes of two keys, carrying all metadata.
+
+        Every union in the analysis goes through this method so that object
+        sets, the unknown flag and pointee cells are always keyed by the
+        *current* representative (a raw union-find merge would strand them
+        under stale keys, which could make overlapping classes look disjoint
+        — an unsoundness).
+        """
+        class_a, class_b = self._uf.find(key_a), self._uf.find(key_b)
+        if class_a is class_b:
+            return class_a
+        objects = self._objects_of_class.pop(class_a, set()) | \
+            self._objects_of_class.pop(class_b, set())
+        unknown = self._class_unknown.pop(class_a, False) or \
+            self._class_unknown.pop(class_b, False)
+        pointee_a = self._pointee_class.pop(class_a, None)
+        pointee_b = self._pointee_class.pop(class_b, None)
+        merged = self._uf.union(class_a, class_b)
+        if objects:
+            self._objects_of_class.setdefault(merged, set()).update(objects)
+        if unknown:
+            self._class_unknown[merged] = True
+        # Unify the pointee cells as well (the hallmark of Steensgaard).
+        if pointee_a is not None and pointee_b is not None:
+            self._pointee_class[merged] = self._merge(pointee_a, pointee_b)
+        elif pointee_a is not None or pointee_b is not None:
+            self._pointee_class[merged] = self._uf.find(
+                pointee_a if pointee_a is not None else pointee_b)
+        return self._uf.find(merged)
+
+    def _unify(self, a: Value, b: Value) -> None:
+        self._merge(a, b)
+
+    def _pointee_cell(self, pointer: Value) -> object:
+        """The class holding whatever is stored *inside* the pointees of ``pointer``."""
+        representative = self._class_of(pointer)
+        cell = self._pointee_class.get(representative)
+        if cell is None:
+            cell = f"cell:{id(representative)}"
+            self._uf.find(cell)
+            self._pointee_class[representative] = cell
+        return self._uf.find(cell)
+
+    # -- construction -------------------------------------------------------------
+    def _build(self) -> None:
+        module = self.module
+        for variable in module.globals:
+            self._mark_object(variable, variable)
+        for function in module.defined_functions():
+            for argument in function.args:
+                if argument.type.is_pointer():
+                    self._mark_unknown(argument)
+            for inst in function.instructions():
+                self._visit(inst)
+        # Interprocedural unification of actuals with formals and returns.
+        for function in module.defined_functions():
+            for inst in function.instructions():
+                if not isinstance(inst, CallInst):
+                    continue
+                callee = module.get_function(inst.callee_name())
+                if callee is None or callee.is_declaration():
+                    continue
+                for formal, actual in zip(callee.args, inst.args):
+                    if formal.type.is_pointer() and actual.type.is_pointer():
+                        self._unify(formal, actual)
+                if inst.type.is_pointer():
+                    for block in callee.blocks:
+                        terminator = block.terminator
+                        if isinstance(terminator, ReturnInst) and terminator.value is not None \
+                                and terminator.value.type.is_pointer():
+                            self._unify(inst, terminator.value)
+
+    def _visit(self, inst: Instruction) -> None:
+        if isinstance(inst, (MallocInst, AllocaInst)):
+            self._mark_object(inst, inst)
+        elif isinstance(inst, PtrAddInst):
+            self._unify(inst, inst.base)
+        elif isinstance(inst, CastInst) and inst.type.is_pointer():
+            if inst.kind == "bitcast":
+                self._unify(inst, inst.value)
+            else:
+                self._mark_unknown(inst)
+        elif isinstance(inst, SigmaInst) and inst.type.is_pointer():
+            self._unify(inst, inst.source)
+        elif isinstance(inst, PhiInst) and inst.type.is_pointer():
+            for value, _ in inst.incoming():
+                if not isinstance(value, NullPointer):
+                    self._unify(inst, value)
+        elif isinstance(inst, SelectInst) and inst.type.is_pointer():
+            self._unify(inst, inst.true_value)
+            self._unify(inst, inst.false_value)
+        elif isinstance(inst, FreeInst):
+            self._unify(inst, inst.pointer)
+        elif isinstance(inst, LoadInst) and inst.type.is_pointer():
+            cell = self._pointee_cell(inst.pointer)
+            self._merge(cell, inst)
+        elif isinstance(inst, StoreInst) and inst.value.type.is_pointer():
+            cell = self._pointee_cell(inst.pointer)
+            self._merge(cell, inst.value)
+        elif isinstance(inst, CallInst) and inst.type.is_pointer():
+            callee = self.module.get_function(inst.callee_name())
+            if callee is None or callee.is_declaration():
+                self._mark_unknown(inst)
+
+    # -- queries ------------------------------------------------------------------------
+    def class_objects(self, pointer: Value) -> Set[Value]:
+        representative = self._class_of(pointer)
+        return set(self._objects_of_class.get(representative, set()))
+
+    def class_is_unknown(self, pointer: Value) -> bool:
+        representative = self._class_of(pointer)
+        return self._class_unknown.get(representative, False)
+
+    def alias(self, a: MemoryAccess, b: MemoryAccess) -> AliasResult:
+        if a.pointer is b.pointer:
+            return AliasResult.MUST_ALIAS
+        if isinstance(a.pointer, NullPointer) or isinstance(b.pointer, NullPointer):
+            return AliasResult.NO_ALIAS
+        class_a = self._class_of(a.pointer)
+        class_b = self._class_of(b.pointer)
+        if class_a is class_b:
+            return AliasResult.MAY_ALIAS
+        unknown_a = self._class_unknown.get(class_a, False)
+        unknown_b = self._class_unknown.get(class_b, False)
+        if unknown_a or unknown_b:
+            return AliasResult.MAY_ALIAS
+        objects_a = self._objects_of_class.get(class_a, set())
+        objects_b = self._objects_of_class.get(class_b, set())
+        if objects_a and objects_b and not (objects_a & objects_b):
+            return AliasResult.NO_ALIAS
+        if not objects_a and not objects_b:
+            return AliasResult.MAY_ALIAS
+        return AliasResult.MAY_ALIAS

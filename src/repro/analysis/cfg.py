@@ -1,0 +1,93 @@
+"""Control-flow-graph utilities: orderings, reachability, edge classification."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+
+__all__ = [
+    "reverse_post_order",
+    "post_order",
+    "reachable_blocks",
+    "predecessor_map",
+    "successor_map",
+    "back_edges",
+    "is_single_entry_region",
+]
+
+
+def post_order(function: Function) -> List[BasicBlock]:
+    """Blocks in post-order starting from the entry (unreachable blocks excluded)."""
+    entry = function.entry_block
+    if entry is None:
+        return []
+    visited: Set[BasicBlock] = set()
+    order: List[BasicBlock] = []
+
+    # Iterative DFS to avoid recursion limits on generated programs.
+    stack: List[Tuple[BasicBlock, int]] = [(entry, 0)]
+    visited.add(entry)
+    while stack:
+        block, child_index = stack[-1]
+        successors = block.successors()
+        if child_index < len(successors):
+            stack[-1] = (block, child_index + 1)
+            successor = successors[child_index]
+            if successor not in visited:
+                visited.add(successor)
+                stack.append((successor, 0))
+        else:
+            order.append(block)
+            stack.pop()
+    return order
+
+
+def reverse_post_order(function: Function) -> List[BasicBlock]:
+    """Blocks in reverse post-order: the canonical forward data-flow order."""
+    return list(reversed(post_order(function)))
+
+
+def reachable_blocks(function: Function) -> Set[BasicBlock]:
+    """The set of blocks reachable from the entry."""
+    return set(post_order(function))
+
+
+def predecessor_map(function: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    """Predecessor lists computed in one pass (cheaper than per-block scans)."""
+    preds: Dict[BasicBlock, List[BasicBlock]] = {block: [] for block in function.blocks}
+    for block in function.blocks:
+        for successor in block.successors():
+            preds.setdefault(successor, []).append(block)
+    return preds
+
+
+def successor_map(function: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    """Successor lists for every block."""
+    return {block: block.successors() for block in function.blocks}
+
+
+def back_edges(function: Function) -> List[Tuple[BasicBlock, BasicBlock]]:
+    """Edges ``(tail, head)`` where ``head`` dominates ``tail`` (loop back edges)."""
+    from .dominance import DominatorTree  # local import to avoid a cycle
+
+    dom_tree = DominatorTree.compute(function)
+    edges: List[Tuple[BasicBlock, BasicBlock]] = []
+    for block in reverse_post_order(function):
+        for successor in block.successors():
+            if dom_tree.dominates(successor, block):
+                edges.append((block, successor))
+    return edges
+
+
+def is_single_entry_region(blocks: Iterable[BasicBlock], header: BasicBlock) -> bool:
+    """True when control can only enter ``blocks`` through ``header``."""
+    block_set = set(blocks)
+    for block in block_set:
+        if block is header:
+            continue
+        for predecessor in block.predecessors():
+            if predecessor not in block_set:
+                return False
+    return True

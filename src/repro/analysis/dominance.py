@@ -1,0 +1,156 @@
+"""Dominator tree and dominance frontiers (Cooper–Harvey–Kennedy).
+
+The dominator tree drives three clients:
+
+* SSA construction (φ placement uses dominance frontiers);
+* the e-SSA transformation (σ placement and renaming walk the tree);
+* the local pointer analysis, which evaluates instructions "in the order
+  given by the program's dominance tree" (Section 3.6 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from .cfg import predecessor_map, reverse_post_order
+
+__all__ = ["DominatorTree", "dominance_frontiers"]
+
+
+class DominatorTree:
+    """Immediate-dominator tree for the reachable blocks of a function."""
+
+    def __init__(self, function: Function, idom: Dict[BasicBlock, Optional[BasicBlock]],
+                 rpo: List[BasicBlock]):
+        self.function = function
+        self._idom = idom
+        self._rpo = rpo
+        self._children: Dict[BasicBlock, List[BasicBlock]] = {block: [] for block in rpo}
+        for block, dominator in idom.items():
+            if dominator is not None and block is not dominator:
+                self._children[dominator].append(block)
+        # Depth is used for fast dominance queries and for ordering.
+        self._depth: Dict[BasicBlock, int] = {}
+        entry = function.entry_block
+        if entry is not None:
+            worklist = [(entry, 0)]
+            while worklist:
+                block, depth = worklist.pop()
+                self._depth[block] = depth
+                for child in self._children.get(block, []):
+                    worklist.append((child, depth + 1))
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def compute(cls, function: Function) -> "DominatorTree":
+        """Compute immediate dominators with the Cooper–Harvey–Kennedy algorithm."""
+        rpo = reverse_post_order(function)
+        if not rpo:
+            return cls(function, {}, [])
+        entry = rpo[0]
+        order_index = {block: index for index, block in enumerate(rpo)}
+        preds = predecessor_map(function)
+
+        idom: Dict[BasicBlock, Optional[BasicBlock]] = {block: None for block in rpo}
+        idom[entry] = entry
+
+        def intersect(a: BasicBlock, b: BasicBlock) -> BasicBlock:
+            while a is not b:
+                while order_index[a] > order_index[b]:
+                    a = idom[a]
+                while order_index[b] > order_index[a]:
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for block in rpo[1:]:
+                candidates = [p for p in preds.get(block, []) if idom.get(p) is not None]
+                if not candidates:
+                    continue
+                new_idom = candidates[0]
+                for other in candidates[1:]:
+                    new_idom = intersect(other, new_idom)
+                if idom[block] is not new_idom:
+                    idom[block] = new_idom
+                    changed = True
+        return cls(function, idom, rpo)
+
+    # -- queries -----------------------------------------------------------------
+    def idom(self, block: BasicBlock) -> Optional[BasicBlock]:
+        """Immediate dominator (the entry block is its own idom)."""
+        return self._idom.get(block)
+
+    def children(self, block: BasicBlock) -> List[BasicBlock]:
+        """Blocks immediately dominated by ``block``."""
+        return list(self._children.get(block, []))
+
+    def depth(self, block: BasicBlock) -> int:
+        return self._depth.get(block, -1)
+
+    def dominates(self, dominator: BasicBlock, block: BasicBlock) -> bool:
+        """True when ``dominator`` dominates ``block`` (reflexively)."""
+        if dominator is block:
+            return True
+        current = block
+        while current is not None and current is not self._idom.get(current):
+            current = self._idom.get(current)
+            if current is dominator:
+                return True
+        return dominator is self.function.entry_block and block in self._depth
+
+    def strictly_dominates(self, dominator: BasicBlock, block: BasicBlock) -> bool:
+        return dominator is not block and self.dominates(dominator, block)
+
+    def dominated_blocks(self, root: BasicBlock) -> List[BasicBlock]:
+        """All blocks dominated by ``root`` (including ``root``) in preorder."""
+        result: List[BasicBlock] = []
+        worklist = [root]
+        while worklist:
+            block = worklist.pop()
+            result.append(block)
+            worklist.extend(self._children.get(block, []))
+        return result
+
+    def preorder(self) -> Iterator[BasicBlock]:
+        """Depth-first preorder traversal of the dominator tree."""
+        entry = self.function.entry_block
+        if entry is None:
+            return
+        worklist = [entry]
+        while worklist:
+            block = worklist.pop()
+            yield block
+            # Reverse so that children are visited in their insertion order.
+            worklist.extend(reversed(self._children.get(block, [])))
+
+    def reachable(self) -> List[BasicBlock]:
+        return list(self._rpo)
+
+
+def dominance_frontiers(function: Function,
+                        dom_tree: Optional[DominatorTree] = None
+                        ) -> Dict[BasicBlock, Set[BasicBlock]]:
+    """Dominance frontier of every reachable block (Cytron's definition)."""
+    dom_tree = dom_tree or DominatorTree.compute(function)
+    preds = predecessor_map(function)
+    frontiers: Dict[BasicBlock, Set[BasicBlock]] = {
+        block: set() for block in dom_tree.reachable()
+    }
+    for block in dom_tree.reachable():
+        predecessors = preds.get(block, [])
+        if len(predecessors) < 2:
+            continue
+        for predecessor in predecessors:
+            if predecessor not in frontiers:
+                continue  # unreachable predecessor
+            runner = predecessor
+            while runner is not dom_tree.idom(block) and runner is not None:
+                frontiers[runner].add(block)
+                if runner is dom_tree.idom(runner):
+                    break
+                runner = dom_tree.idom(runner)
+    return frontiers

@@ -1,0 +1,96 @@
+"""Classic backward live-variable analysis on the SSA IR.
+
+Liveness is used by the region-renaming transform (Section 2 of the paper
+renames "every pointer p that is alive at the beginning of a single entry
+region") and by tests that check the sparse-analysis space argument of
+Section 3.8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Instruction, PhiInst
+from ..ir.values import Argument, Value
+from .cfg import post_order, predecessor_map
+
+__all__ = ["LivenessInfo"]
+
+
+def _is_trackable(value: Value) -> bool:
+    """Only SSA values (arguments and instruction results) have live ranges."""
+    return isinstance(value, (Argument, Instruction))
+
+
+class LivenessInfo:
+    """Per-block live-in / live-out sets of SSA values."""
+
+    def __init__(self, function: Function,
+                 live_in: Dict[BasicBlock, Set[Value]],
+                 live_out: Dict[BasicBlock, Set[Value]]):
+        self.function = function
+        self._live_in = live_in
+        self._live_out = live_out
+
+    @classmethod
+    def compute(cls, function: Function) -> "LivenessInfo":
+        """Iterate the backward data-flow equations to a fixed point.
+
+        φ-functions are handled edge-sensitively: a φ input is live out of
+        the corresponding predecessor only.
+        """
+        use_sets: Dict[BasicBlock, Set[Value]] = {}
+        def_sets: Dict[BasicBlock, Set[Value]] = {}
+        phi_uses_per_pred: Dict[BasicBlock, Set[Value]] = {block: set() for block in function.blocks}
+
+        for block in function.blocks:
+            uses: Set[Value] = set()
+            defs: Set[Value] = set()
+            for inst in block.instructions:
+                if isinstance(inst, PhiInst):
+                    defs.add(inst)
+                    for value, pred in inst.incoming():
+                        if _is_trackable(value):
+                            phi_uses_per_pred.setdefault(pred, set()).add(value)
+                    continue
+                for operand in inst.operands:
+                    if _is_trackable(operand) and operand not in defs:
+                        uses.add(operand)
+                defs.add(inst)
+            use_sets[block] = uses
+            def_sets[block] = defs
+
+        live_in: Dict[BasicBlock, Set[Value]] = {block: set() for block in function.blocks}
+        live_out: Dict[BasicBlock, Set[Value]] = {block: set() for block in function.blocks}
+
+        changed = True
+        order = post_order(function)
+        while changed:
+            changed = False
+            for block in order:
+                out: Set[Value] = set(phi_uses_per_pred.get(block, ()))
+                for successor in block.successors():
+                    out |= live_in[successor]
+                new_in = use_sets[block] | (out - def_sets[block])
+                if out != live_out[block] or new_in != live_in[block]:
+                    live_out[block] = out
+                    live_in[block] = new_in
+                    changed = True
+        return cls(function, live_in, live_out)
+
+    def live_in(self, block: BasicBlock) -> Set[Value]:
+        """Values live at the beginning of ``block``."""
+        return set(self._live_in.get(block, set()))
+
+    def live_out(self, block: BasicBlock) -> Set[Value]:
+        """Values live at the end of ``block``."""
+        return set(self._live_out.get(block, set()))
+
+    def is_live_into(self, value: Value, block: BasicBlock) -> bool:
+        return value in self._live_in.get(block, set())
+
+    def live_pointers_into(self, block: BasicBlock) -> List[Value]:
+        """Pointer-typed values live at the beginning of ``block``."""
+        return [value for value in self._live_in.get(block, set()) if value.is_pointer()]

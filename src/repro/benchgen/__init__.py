@@ -1,0 +1,35 @@
+"""Benchmark-program substrate: paper figures, idioms, generator, suites."""
+
+from .generator import GeneratedProgram, GeneratorConfig, generate_module, generate_source
+from .idioms import IDIOMS, Idiom, get_idiom, idiom_names
+from .paper_programs import (
+    FIGURE1_SOURCE,
+    FIGURE3_SOURCE,
+    FIGURE10_SOURCE,
+    compile_figure1,
+    compile_figure3,
+    compile_figure10,
+)
+from .suites import SUITE_PROGRAMS, SuiteProgram, build_program, build_suite, suite_names
+
+__all__ = [
+    "GeneratedProgram",
+    "GeneratorConfig",
+    "generate_module",
+    "generate_source",
+    "IDIOMS",
+    "Idiom",
+    "get_idiom",
+    "idiom_names",
+    "FIGURE1_SOURCE",
+    "FIGURE3_SOURCE",
+    "FIGURE10_SOURCE",
+    "compile_figure1",
+    "compile_figure3",
+    "compile_figure10",
+    "SUITE_PROGRAMS",
+    "SuiteProgram",
+    "build_program",
+    "build_suite",
+    "suite_names",
+]

@@ -1,0 +1,309 @@
+"""A library of C idioms used to synthesise benchmark programs.
+
+The paper evaluates on three C suites (Prolangs, PtrDist, MallocBench) that
+are not redistributable here, so the synthetic suites are assembled from the
+pointer idioms those programs are built of: byte-buffer serialisation,
+strided numeric loops, struct field manipulation, string routines,
+allocator-heavy code, linked structures and table-driven indexing.  Each
+idiom is a template producing one self-contained C function; the generator
+(:mod:`repro.benchgen.generator`) instantiates and composes them.
+
+Every idiom advertises which analyses are expected to disambiguate its
+accesses (``favours``), which is what shapes the relative precision of the
+columns in the Figure 13 reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+__all__ = ["Idiom", "IDIOMS", "idiom_names", "get_idiom"]
+
+
+@dataclass(frozen=True)
+class Idiom:
+    """One C-source template."""
+
+    name: str
+    #: Analyses expected to disambiguate the idiom's accesses
+    #: (subset of {"rbaa", "basic", "scev"}); purely documentary.
+    favours: Sequence[str]
+    #: Template: ``render(index)`` returns the C source of one function
+    #: named ``<name>_<index>``.
+    render: Callable[[int], str]
+    #: A call statement exercising the function from ``main`` given the
+    #: index and the names of the buffers available in ``main``.
+    call: Callable[[int], str]
+
+
+def _serialize(index: int) -> str:
+    return f"""
+void serialize_{index}(char* buf, int n, char* payload) {{
+  char* cursor;
+  char* end;
+  for (cursor = buf, end = buf + n; cursor < end; cursor += 2) {{
+    *cursor = {index % 127};
+    *(cursor + 1) = 0;
+  }}
+  {{
+    char* limit = end + strlen(payload);
+    while (cursor < limit) {{
+      *cursor = *payload;
+      cursor++;
+      payload++;
+    }}
+  }}
+}}
+"""
+
+
+def _strided(index: int) -> str:
+    stride = 2 + (index % 3)
+    return f"""
+void strided_{index}(float* v, float x, float y, int n) {{
+  int i = 0;
+  while (i < n) {{
+    v[i] += x;
+    v[i + 1] += y;
+    i += {stride};
+  }}
+}}
+"""
+
+
+def _struct_fields(index: int) -> str:
+    return f"""
+struct record_{index} {{ int key; int count; int flags; char tag[{8 + index % 8}]; }};
+
+void update_record_{index}(struct record_{index}* r, char* name, int n) {{
+  int i;
+  r->key = n;
+  r->count = r->count + 1;
+  r->flags = 0;
+  for (i = 0; i < n; i++) {{
+    r->tag[i] = name[i];
+  }}
+}}
+"""
+
+
+def _split_halves(index: int) -> str:
+    return f"""
+void split_halves_{index}(int* data, int n) {{
+  int* lo = data;
+  int* hi = data + n;
+  int i;
+  for (i = 0; i < n; i++) {{
+    lo[i] = i;
+    hi[i] = -i;
+  }}
+}}
+"""
+
+
+def _string_scan(index: int) -> str:
+    return f"""
+int string_scan_{index}(char* text, char* out) {{
+  int count = 0;
+  char* src = text;
+  char* dst = out;
+  while (*src) {{
+    if (*src == {32 + index % 32}) {{
+      count++;
+    }}
+    *dst = *src;
+    src++;
+    dst++;
+  }}
+  *dst = 0;
+  return count;
+}}
+"""
+
+
+def _allocator(index: int) -> str:
+    chunk = 16 + (index % 5) * 8
+    return f"""
+char* pool_alloc_{index}(int users) {{
+  char* pool = (char*)malloc(users * {chunk});
+  char* header = (char*)malloc(users * 4);
+  int i;
+  for (i = 0; i < users; i++) {{
+    char* slot = pool + i * {chunk};
+    *slot = 1;
+    header[i] = 0;
+  }}
+  return pool;
+}}
+"""
+
+
+def _linked_list(index: int) -> str:
+    return f"""
+struct node_{index} {{ int value; struct node_{index}* next; }};
+
+int list_sum_{index}(int n) {{
+  struct node_{index}* head = NULL;
+  struct node_{index}* cur;
+  int i;
+  int total = 0;
+  for (i = 0; i < n; i++) {{
+    struct node_{index}* fresh = (struct node_{index}*)malloc(sizeof(struct node_{index}));
+    fresh->value = i;
+    fresh->next = (struct node_{index}*)head;
+    head = fresh;
+  }}
+  for (cur = head; cur != NULL; cur = (struct node_{index}*)cur->next) {{
+    total += cur->value;
+  }}
+  return total;
+}}
+"""
+
+
+def _matrix(index: int) -> str:
+    width = 8 + index % 8
+    return f"""
+void matrix_fill_{index}(double* m, int rows) {{
+  int r;
+  int c;
+  for (r = 0; r < rows; r++) {{
+    double* row = m + r * {width};
+    for (c = 0; c < {width}; c++) {{
+      row[c] = r * c;
+    }}
+  }}
+}}
+"""
+
+
+def _table_lookup(index: int) -> str:
+    size = 32 + (index % 4) * 16
+    return f"""
+int table_{index}[{size}];
+
+int table_lookup_{index}(int* keys, int n) {{
+  int i;
+  int hits = 0;
+  for (i = 0; i < n; i++) {{
+    int slot = keys[i] % {size};
+    if (table_{index}[slot] == keys[i]) {{
+      hits++;
+    }} else {{
+      table_{index}[slot] = keys[i];
+    }}
+  }}
+  return hits;
+}}
+"""
+
+
+def _double_buffer(index: int) -> str:
+    return f"""
+void double_buffer_{index}(int n) {{
+  char* front = (char*)malloc(n);
+  char* back = (char*)malloc(n);
+  int i;
+  for (i = 0; i < n; i++) {{
+    back[i] = front[i];
+  }}
+  for (i = 0; i < n; i++) {{
+    front[i] = back[i] + 1;
+  }}
+  free(back);
+}}
+"""
+
+
+def _local_scratch(index: int) -> str:
+    size = 32 + (index % 4) * 16
+    return f"""
+int local_scratch_{index}(char* input, int n) {{
+  char scratch[{size}];
+  int i;
+  int checksum = 0;
+  for (i = 0; i < n; i++) {{
+    scratch[i % {size}] = input[i];
+  }}
+  for (i = 0; i < {size}; i++) {{
+    checksum += scratch[i];
+  }}
+  return checksum;
+}}
+"""
+
+
+def _conditional_buffers(index: int) -> str:
+    return f"""
+void conditional_buffers_{index}(int n, int which) {{
+  char* small = (char*)malloc(n);
+  char* large = (char*)malloc(n * 2);
+  char* chosen;
+  int i;
+  if (which) {{
+    chosen = small;
+  }} else {{
+    chosen = large;
+  }}
+  for (i = 0; i < n; i++) {{
+    chosen[i] = small[i];
+  }}
+  free(large);
+}}
+"""
+
+
+def _array_of_structs(index: int) -> str:
+    return f"""
+struct point_{index} {{ int x; int y; }};
+
+void move_points_{index}(struct point_{index}* pts, int n, int dx, int dy) {{
+  int i;
+  for (i = 0; i < n; i++) {{
+    pts[i].x += dx;
+    pts[i].y += dy;
+  }}
+}}
+"""
+
+
+IDIOMS: List[Idiom] = [
+    Idiom("serialize", ("rbaa",), _serialize,
+          lambda i: f"serialize_{i}(bytes, n, text);"),
+    Idiom("strided", ("rbaa", "scev"), _strided,
+          lambda i: f"strided_{i}(floats, 1.0, 2.0, n);"),
+    Idiom("struct_fields", ("rbaa", "basic"), _struct_fields,
+          lambda i: f"{{ struct record_{i} rec; update_record_{i}(&rec, text, 4); }}"),
+    Idiom("split_halves", ("rbaa",), _split_halves,
+          lambda i: f"split_halves_{i}(ints, n / 2);"),
+    Idiom("string_scan", (), _string_scan,
+          lambda i: f"string_scan_{i}(text, bytes);"),
+    Idiom("allocator", ("rbaa", "basic"), _allocator,
+          lambda i: f"pool_alloc_{i}(n);"),
+    Idiom("linked_list", ("basic",), _linked_list,
+          lambda i: f"list_sum_{i}(n);"),
+    Idiom("matrix", ("rbaa", "scev"), _matrix,
+          lambda i: f"matrix_fill_{i}(doubles, n / 8);"),
+    Idiom("table_lookup", ("basic",), _table_lookup,
+          lambda i: f"table_lookup_{i}(ints, n);"),
+    Idiom("double_buffer", ("rbaa", "basic"), _double_buffer,
+          lambda i: f"double_buffer_{i}(n);"),
+    Idiom("array_of_structs", ("rbaa", "basic"), _array_of_structs,
+          lambda i: f"move_points_{i}((struct point_{i}*)bytes, n / 8, 1, 2);"),
+    Idiom("local_scratch", ("basic",), _local_scratch,
+          lambda i: f"local_scratch_{i}(text, n);"),
+    Idiom("conditional_buffers", ("basic",), _conditional_buffers,
+          lambda i: f"conditional_buffers_{i}(n, argc);"),
+]
+
+
+def idiom_names() -> List[str]:
+    return [idiom.name for idiom in IDIOMS]
+
+
+def get_idiom(name: str) -> Idiom:
+    for idiom in IDIOMS:
+        if idiom.name == name:
+            return idiom
+    raise KeyError(f"unknown idiom {name!r}")

@@ -1,0 +1,44 @@
+"""The paper's contribution: symbolic range analysis of pointers.
+
+* :mod:`repro.core.locations` — abstract memory locations (``Loc``);
+* :mod:`repro.core.domain` — the ``MemLocs`` lattice of pointer states;
+* :mod:`repro.core.global_analysis` — the GR abstract interpreter (Fig. 9);
+* :mod:`repro.core.local_analysis` — the LR single-pass analysis (Fig. 11);
+* :mod:`repro.core.queries` — the global and local disambiguation tests;
+* :mod:`repro.core.rbaa` — the complete alias analysis behind the common
+  :class:`~repro.aliases.base.AliasAnalysis` interface.
+"""
+
+from .domain import BOTTOM, TOP, PointerAbstractValue
+from .global_analysis import GlobalAnalysisOptions, GlobalRangeAnalysis
+from .local_analysis import LocalAbstractValue, LocalRangeAnalysis
+from .locations import LocationKind, LocationTable, MemoryLocation
+from .queries import (
+    DisambiguationReason,
+    QueryOutcome,
+    extend_for_access,
+    global_test,
+    local_test,
+)
+from .rbaa import RBAAAliasAnalysis, RBAAOptions, RBAAStatistics
+
+__all__ = [
+    "BOTTOM",
+    "TOP",
+    "PointerAbstractValue",
+    "GlobalAnalysisOptions",
+    "GlobalRangeAnalysis",
+    "LocalAbstractValue",
+    "LocalRangeAnalysis",
+    "LocationKind",
+    "LocationTable",
+    "MemoryLocation",
+    "DisambiguationReason",
+    "QueryOutcome",
+    "extend_for_access",
+    "global_test",
+    "local_test",
+    "RBAAAliasAnalysis",
+    "RBAAOptions",
+    "RBAAStatistics",
+]

@@ -1,0 +1,316 @@
+"""The global symbolic range analysis of pointers (``GR``, Section 3.4).
+
+For every pointer-typed SSA value the analysis computes an element of the
+``MemLocs`` lattice: which allocation sites the pointer may reference and,
+for each site, a symbolic interval of byte offsets.  The abstract transfer
+functions follow Figure 9 of the paper; the fixed point is computed with one
+ascending phase (widening at join points after the first complete pass)
+followed by a descending sequence of length two — the schedule traced in
+Figure 12.
+
+Interprocedurality is context-insensitive: pointer formal parameters are
+treated as φ-functions over the actual arguments of the visible call sites
+(Section 3.1).  Parameters of functions that may be called from outside the
+module get a *parameter pseudo-location*, and results of external calls get
+an *unknown pseudo-location*; the query engine treats those object kinds
+conservatively.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.callgraph import CallGraph
+from ..analysis.cfg import reverse_post_order
+from ..ir.function import Function
+from ..ir.instructions import (
+    AllocaInst,
+    CallInst,
+    CastInst,
+    FreeInst,
+    Instruction,
+    LoadInst,
+    MallocInst,
+    PhiInst,
+    PtrAddInst,
+    ReturnInst,
+    SelectInst,
+    SigmaInst,
+)
+from ..ir.module import Module
+from ..ir.values import Argument, Constant, GlobalVariable, NullPointer, UndefValue, Value
+from ..rangeanalysis.symbolic_ra import SymbolicRangeAnalysis
+from ..symbolic import SymbolicInterval
+from .domain import BOTTOM, TOP, PointerAbstractValue
+from .locations import LocationTable
+
+__all__ = ["GlobalAnalysisOptions", "GlobalRangeAnalysis"]
+
+#: External routines whose pointer result is their first argument.
+_RETURNS_FIRST_ARGUMENT = frozenset({
+    "strcpy", "strncpy", "strcat", "strncat", "memcpy", "memmove", "memset",
+})
+
+
+@dataclass
+class GlobalAnalysisOptions:
+    """Configuration of the global pointer analysis."""
+
+    #: Bind pointer formal parameters to the actual arguments of internal
+    #: call sites (the paper's interprocedural, context-insensitive mode).
+    interprocedural: bool = True
+    #: Give pointer parameters of internally-called functions *only* the
+    #: join of their actuals.  When False, every pointer parameter also keeps
+    #: its own pseudo-location (maximally conservative).
+    closed_world: bool = True
+    #: Maximum number of ascending passes (widening makes few necessary).
+    max_ascending_passes: int = 6
+    #: Length of the descending (narrowing) sequence.
+    descending_passes: int = 2
+    #: Record per-phase snapshots of the abstract state (Figure 12 traces).
+    track_trace: bool = False
+
+
+@dataclass
+class AnalysisStatistics:
+    """Bookkeeping reported by the evaluation harness."""
+
+    functions: int = 0
+    pointer_values: int = 0
+    ascending_passes: int = 0
+    elapsed_seconds: float = 0.0
+
+
+class GlobalRangeAnalysis:
+    """Whole-module GR analysis."""
+
+    def __init__(self, module: Module,
+                 ranges: Optional[SymbolicRangeAnalysis] = None,
+                 locations: Optional[LocationTable] = None,
+                 options: Optional[GlobalAnalysisOptions] = None):
+        self.module = module
+        self.options = options or GlobalAnalysisOptions()
+        self.ranges = ranges if ranges is not None else SymbolicRangeAnalysis(module)
+        self.locations = locations if locations is not None else LocationTable(module)
+        self.callgraph = CallGraph.compute(module)
+        self.statistics = AnalysisStatistics()
+        self._gr: Dict[Value, PointerAbstractValue] = {}
+        self._trace: List[Tuple[str, Dict[Value, PointerAbstractValue]]] = []
+        self._run()
+
+    # -- public API --------------------------------------------------------------
+    @classmethod
+    def run(cls, module: Module, **kwargs) -> "GlobalRangeAnalysis":
+        return cls(module, **kwargs)
+
+    def value_of(self, value: Value) -> PointerAbstractValue:
+        """``GR(value)``: the abstract address set of a pointer value."""
+        return self._abstract_of(value)
+
+    def trace(self) -> List[Tuple[str, Dict[Value, PointerAbstractValue]]]:
+        """Per-phase snapshots (only populated with ``track_trace=True``)."""
+        return list(self._trace)
+
+    def pointer_values(self) -> List[Value]:
+        """Every pointer value the analysis assigned an abstract state to."""
+        return list(self._gr.keys())
+
+    # -- operand evaluation ---------------------------------------------------------
+    def _abstract_of(self, value: Value) -> PointerAbstractValue:
+        cached = self._gr.get(value)
+        if cached is not None:
+            return cached
+        if isinstance(value, GlobalVariable):
+            location = self.locations.location_for_site(value)
+            result = PointerAbstractValue.at_location(location) if location else TOP
+            self._gr[value] = result
+            return result
+        if isinstance(value, (NullPointer, UndefValue)):
+            return BOTTOM
+        if isinstance(value, Constant):
+            return BOTTOM
+        if isinstance(value, Function):
+            return BOTTOM
+        # Instructions / arguments not yet visited in this pass.
+        return BOTTOM
+
+    def _scalar_range(self, value: Value) -> SymbolicInterval:
+        return self.ranges.range_of(value)
+
+    # -- seeding -------------------------------------------------------------------
+    def _is_externally_visible(self, function: Function) -> bool:
+        if function.name == "main":
+            return True
+        if self.callgraph.is_address_taken(function):
+            return True
+        return not self.callgraph.sites_calling(function)
+
+    def _argument_state(self, function: Function, argument: Argument) -> PointerAbstractValue:
+        state = BOTTOM
+        needs_pseudo = (not self.options.interprocedural
+                        or not self.options.closed_world
+                        or self._is_externally_visible(function))
+        if needs_pseudo:
+            location = self.locations.ensure_parameter_location(argument)
+            state = state.join(PointerAbstractValue.at_location(location))
+        if self.options.interprocedural:
+            for site in self.callgraph.sites_calling(function):
+                actuals = site.instruction.args
+                if argument.index < len(actuals):
+                    state = state.join(self._abstract_of(actuals[argument.index]))
+        return state
+
+    # -- fixed point -----------------------------------------------------------------
+    def _run(self) -> None:
+        start = time.perf_counter()
+        functions = self.module.defined_functions()
+        self.statistics.functions = len(functions)
+        block_orders = {function: reverse_post_order(function) for function in functions}
+
+        def one_pass(pass_index: int, *, widen: bool, narrow: bool) -> bool:
+            changed = False
+            for function in functions:
+                for argument in function.args:
+                    if not argument.type.is_pointer():
+                        continue
+                    old = self._gr.get(argument, BOTTOM)
+                    new = self._argument_state(function, argument)
+                    new = self._combine(old, new, widen=widen, narrow=narrow)
+                    if new != old:
+                        self._gr[argument] = new
+                        changed = True
+                for block in block_orders[function]:
+                    for inst in block.instructions:
+                        if not inst.type.is_pointer():
+                            continue
+                        old = self._gr.get(inst, BOTTOM)
+                        new = self._evaluate(inst)
+                        if isinstance(inst, (PhiInst, CallInst)):
+                            new = self._combine(old, new, widen=widen, narrow=narrow)
+                        if new != old:
+                            self._gr[inst] = new
+                            changed = True
+            return changed
+
+        # Ascending phase: plain pass first, then widening passes.
+        for pass_index in range(self.options.max_ascending_passes):
+            widen = pass_index > 0
+            changed = one_pass(pass_index, widen=widen, narrow=False)
+            self.statistics.ascending_passes += 1
+            if self.options.track_trace and pass_index == 0:
+                self._snapshot("starting state")
+            if not changed:
+                break
+        if self.options.track_trace:
+            self._snapshot("after widening")
+        # Descending sequence.
+        for descent in range(self.options.descending_passes):
+            one_pass(descent, widen=False, narrow=True)
+            if self.options.track_trace:
+                self._snapshot(f"descending step {descent + 1}")
+
+        self.statistics.pointer_values = len(self._gr)
+        self.statistics.elapsed_seconds = time.perf_counter() - start
+
+    def _combine(self, old: PointerAbstractValue, new: PointerAbstractValue, *,
+                 widen: bool, narrow: bool) -> PointerAbstractValue:
+        if narrow:
+            return old.narrow(new) if not old.is_bottom else new
+        if widen and not old.is_bottom:
+            return old.widen(new)
+        return new
+
+    def _snapshot(self, label: str) -> None:
+        self._trace.append((label, dict(self._gr)))
+
+    # -- transfer functions --------------------------------------------------------------
+    def _evaluate(self, inst: Instruction) -> PointerAbstractValue:
+        if isinstance(inst, (MallocInst, AllocaInst)):
+            location = self.locations.location_for_site(inst)
+            return PointerAbstractValue.at_location(location) if location else TOP
+        if isinstance(inst, FreeInst):
+            return BOTTOM
+        if isinstance(inst, PtrAddInst):
+            return self._evaluate_ptradd(inst)
+        if isinstance(inst, PhiInst):
+            state = BOTTOM
+            for value, _ in inst.incoming():
+                state = state.join(self._abstract_of(value))
+            return state
+        if isinstance(inst, SigmaInst):
+            return self._evaluate_sigma(inst)
+        if isinstance(inst, LoadInst):
+            # Figure 9: q = *p gets the top of the lattice — memory contents
+            # are deliberately not tracked.
+            return TOP
+        if isinstance(inst, CastInst):
+            if inst.kind == "bitcast":
+                return self._abstract_of(inst.value)
+            if inst.kind == "inttoptr":
+                location = self.locations.ensure_unknown_location(
+                    inst, f"{inst.function.name}.inttoptr.{inst.name or 'cast'}")
+                return PointerAbstractValue.at_location(location)
+            return TOP
+        if isinstance(inst, SelectInst):
+            return self._abstract_of(inst.true_value).join(self._abstract_of(inst.false_value))
+        if isinstance(inst, CallInst):
+            return self._evaluate_call(inst)
+        return TOP
+
+    def _evaluate_ptradd(self, inst: PtrAddInst) -> PointerAbstractValue:
+        base = self._abstract_of(inst.base)
+        if base.is_bottom or base.is_top:
+            return base
+        if inst.index is None:
+            delta = SymbolicInterval.point(inst.offset)
+        else:
+            delta = self._scalar_range(inst.index).scale(inst.scale)
+            if inst.offset:
+                delta = delta.shift(inst.offset)
+        return base.shift(delta)
+
+    def _evaluate_sigma(self, inst: SigmaInst) -> PointerAbstractValue:
+        state = self._abstract_of(inst.source)
+        if state.is_bottom:
+            return state
+        # Bounds that are pointers constrain slot-wise (Figure 9); integer
+        # bounds on a pointer σ cannot arise from the e-SSA construction.
+        if inst.upper is not None and inst.upper.type.is_pointer():
+            bound = self._abstract_of(inst.upper)
+            if not bound.is_bottom:
+                state = state.meet_ranges(bound, use_upper=True, adjust=inst.upper_adjust)
+        if inst.lower is not None and inst.lower.type.is_pointer():
+            bound = self._abstract_of(inst.lower)
+            if not bound.is_bottom:
+                state = state.meet_ranges(bound, use_upper=False, adjust=inst.lower_adjust)
+        if state.is_bottom:
+            # The meet removed every slot (infeasible path approximation);
+            # fall back to the unconstrained source, which is always sound.
+            return self._abstract_of(inst.source)
+        return state
+
+    def _evaluate_call(self, inst: CallInst) -> PointerAbstractValue:
+        callee_name = inst.callee_name()
+        if callee_name in _RETURNS_FIRST_ARGUMENT and inst.args:
+            return self._abstract_of(inst.args[0])
+        callee = None
+        if isinstance(inst.callee, Function):
+            callee = inst.callee
+        else:
+            callee = self.module.get_function(callee_name)
+        if callee is not None and not callee.is_declaration():
+            if self.options.interprocedural:
+                state = BOTTOM
+                for block in callee.blocks:
+                    terminator = block.terminator
+                    if isinstance(terminator, ReturnInst) and terminator.value is not None \
+                            and terminator.value.type.is_pointer():
+                        state = state.join(self._abstract_of(terminator.value))
+                return state
+            return TOP
+        # External call returning a pointer: a fresh unknown object.
+        location = self.locations.ensure_unknown_location(
+            inst, f"{inst.function.name}.{callee_name}.{inst.name or 'ret'}")
+        return PointerAbstractValue.at_location(location)

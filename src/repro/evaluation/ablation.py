@@ -1,0 +1,124 @@
+"""Ablation study over the design choices DESIGN.md calls out.
+
+The paper motivates several design decisions without measuring them in
+isolation; this experiment quantifies each one on the synthetic suite:
+
+* **global-only vs. local-only vs. both** — how much each test contributes
+  (Section 2 argues they are complementary);
+* **no descending sequence** — the value of the narrowing steps after
+  widening (Section 3.4);
+* **intraprocedural only** — the value of binding actuals to formals
+  (Section 3.1);
+* **no e-SSA** — the value of live-range splitting at conditionals
+  (Section 3.8's sparsity argument; without σ nodes the ranges of loop
+  pointers never tighten).
+
+Run directly with ``python -m repro.evaluation.ablation``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..benchgen import build_suite
+from ..core import GlobalAnalysisOptions, RBAAAliasAnalysis, RBAAOptions
+from ..frontend import compile_source
+from ..ir.module import Module
+from ..transforms import PipelineOptions
+from .harness import run_queries
+from .reporting import format_table
+
+__all__ = ["AblationVariant", "ABLATION_VARIANTS", "run_ablation", "format_ablation"]
+
+
+def _default_rbaa(module: Module) -> RBAAAliasAnalysis:
+    return RBAAAliasAnalysis(module)
+
+
+def _global_only(module: Module) -> RBAAAliasAnalysis:
+    return RBAAAliasAnalysis(module, RBAAOptions(enable_local_test=False))
+
+
+def _local_only(module: Module) -> RBAAAliasAnalysis:
+    return RBAAAliasAnalysis(module, RBAAOptions(enable_global_test=False))
+
+
+def _no_descending(module: Module) -> RBAAAliasAnalysis:
+    return RBAAAliasAnalysis(
+        module, RBAAOptions(global_options=GlobalAnalysisOptions(descending_passes=0)))
+
+
+def _intraprocedural(module: Module) -> RBAAAliasAnalysis:
+    return RBAAAliasAnalysis(
+        module, RBAAOptions(global_options=GlobalAnalysisOptions(interprocedural=False)))
+
+
+@dataclass(frozen=True)
+class AblationVariant:
+    """One configuration compared by the ablation study."""
+
+    name: str
+    description: str
+    factory: Callable[[Module], RBAAAliasAnalysis]
+    #: When set, the suite programs are recompiled with these pipeline
+    #: options before the analysis runs (used for the "no e-SSA" variant).
+    pipeline: Optional[PipelineOptions] = None
+
+
+ABLATION_VARIANTS: List[AblationVariant] = [
+    AblationVariant("full", "global + local tests, widening + narrowing", _default_rbaa),
+    AblationVariant("global-only", "disable the local test", _global_only),
+    AblationVariant("local-only", "disable the global test", _local_only),
+    AblationVariant("no-narrowing", "skip the descending sequence", _no_descending),
+    AblationVariant("intraproc", "no actual-to-formal binding", _intraprocedural),
+    AblationVariant("no-essa", "skip σ insertion (no live-range splitting)", _default_rbaa,
+                    PipelineOptions(build_essa=False)),
+]
+
+
+def run_ablation(program_names: Optional[Sequence[str]] = None,
+                 max_programs: Optional[int] = 6,
+                 max_pairs_per_function: Optional[int] = 2000
+                 ) -> Dict[str, Tuple[int, int]]:
+    """Run every variant over (a slice of) the suite.
+
+    Returns ``{variant name: (queries, no-alias answers)}``.
+    """
+    suite = build_suite(program_names, max_programs)
+    totals: Dict[str, Tuple[int, int]] = {}
+    for variant in ABLATION_VARIANTS:
+        queries = 0
+        no_alias = 0
+        for name, program in suite.items():
+            module = program.module
+            if variant.pipeline is not None:
+                module = compile_source(program.source, name,
+                                        pipeline_options=variant.pipeline)
+            result = run_queries(name, module, [("rbaa", variant.factory)],
+                                 max_pairs_per_function)
+            queries += result.queries
+            no_alias += result.no_alias.get("rbaa", 0)
+        totals[variant.name] = (queries, no_alias)
+    return totals
+
+
+def format_ablation(totals: Dict[str, Tuple[int, int]]) -> str:
+    rows = []
+    for variant in ABLATION_VARIANTS:
+        if variant.name not in totals:
+            continue
+        queries, no_alias = totals[variant.name]
+        percentage = 100.0 * no_alias / queries if queries else 0.0
+        rows.append([variant.name, variant.description, queries, no_alias,
+                     f"{percentage:.2f}"])
+    return format_table(["Variant", "Description", "#Queries", "noalias", "%"],
+                        rows, title="Ablation — contribution of each design choice")
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(format_ablation(run_ablation()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

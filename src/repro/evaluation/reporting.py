@@ -1,0 +1,42 @@
+"""Plain-text and CSV rendering of the evaluation results."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "table_to_csv"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned monospace table (the shape of the paper's figures)."""
+    string_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[index]) if index else cell.ljust(widths[index])
+                         for index, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in string_rows)
+    return "\n".join(lines)
+
+
+def table_to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render the same table as CSV text (for EXPERIMENTS.md appendices)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    return buffer.getvalue()

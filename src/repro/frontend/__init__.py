@@ -1,0 +1,28 @@
+"""Mini-C frontend: lexer, parser, semantic analysis and lowering to IR.
+
+The frontend exists so the reproduction can run the paper's motivating C
+programs (Figures 1, 3 and 10) and realistic benchmark idioms end-to-end,
+playing the role clang plays in the original LLVM-based implementation.
+"""
+
+from .cparser import ParseError, Parser, parse
+from .driver import compile_source
+from .lexer import LexerError, Token, TokenKind, tokenize
+from .lowering import LoweringError, lower_translation_unit
+from .sema import SemanticError, SemanticInfo, analyze
+
+__all__ = [
+    "ParseError",
+    "Parser",
+    "parse",
+    "compile_source",
+    "LexerError",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "LoweringError",
+    "lower_translation_unit",
+    "SemanticError",
+    "SemanticInfo",
+    "analyze",
+]

@@ -1,0 +1,304 @@
+"""Abstract syntax tree of the mini-C frontend.
+
+Nodes are plain dataclasses; type information is attached later by the
+semantic analysis (:mod:`repro.frontend.sema`) and consumed during lowering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+__all__ = [
+    # type syntax
+    "TypeSpec", "NamedTypeSpec", "PointerTypeSpec", "ArrayTypeSpec", "StructTypeSpec",
+    # expressions
+    "Expr", "IntLiteral", "FloatLiteral", "CharLiteral", "StringLiteral", "NullLiteral",
+    "Identifier", "UnaryOp", "BinaryOp", "Assignment", "Conditional", "Call",
+    "ArrayIndex", "Member", "Cast", "SizeOf",
+    # statements
+    "Stmt", "DeclStmt", "ExprStmt", "CompoundStmt", "IfStmt", "WhileStmt", "DoWhileStmt",
+    "ForStmt", "ReturnStmt", "BreakStmt", "ContinueStmt", "EmptyStmt",
+    # declarations
+    "ParamDecl", "VarDecl", "FieldDecl", "StructDecl", "FunctionDecl", "TranslationUnit",
+]
+
+
+# ---------------------------------------------------------------------------
+# Type syntax
+# ---------------------------------------------------------------------------
+
+class TypeSpec:
+    """Base class for syntactic type specifications."""
+
+
+@dataclass
+class NamedTypeSpec(TypeSpec):
+    """A builtin scalar type name: ``int``, ``char``, ``float``, ``double``, ``void``."""
+
+    name: str
+
+
+@dataclass
+class StructTypeSpec(TypeSpec):
+    """A reference to a struct type by name: ``struct point``."""
+
+    name: str
+
+
+@dataclass
+class PointerTypeSpec(TypeSpec):
+    """A pointer to another type specification."""
+
+    pointee: TypeSpec
+
+
+@dataclass
+class ArrayTypeSpec(TypeSpec):
+    """An array with an optionally known constant size."""
+
+    element: TypeSpec
+    size: Optional["Expr"]
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class Expr:
+    """Base class of expressions; ``line`` supports diagnostics."""
+
+    line: int = 0
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+    line: int = 0
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float
+    line: int = 0
+
+
+@dataclass
+class CharLiteral(Expr):
+    value: int
+    line: int = 0
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str
+    line: int = 0
+
+
+@dataclass
+class NullLiteral(Expr):
+    line: int = 0
+
+
+@dataclass
+class Identifier(Expr):
+    name: str
+    line: int = 0
+
+
+@dataclass
+class UnaryOp(Expr):
+    """``op operand`` where op ∈ {-, !, ~, *, &, ++, --, p++, p--}.
+
+    Pre/post increment are encoded with ``op`` of ``++``/``--`` and
+    ``is_postfix``.
+    """
+
+    op: str
+    operand: Expr
+    is_postfix: bool = False
+    line: int = 0
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+    line: int = 0
+
+
+@dataclass
+class Assignment(Expr):
+    """``target op= value`` with ``op`` empty for plain assignment."""
+
+    target: Expr
+    value: Expr
+    op: str = ""
+    line: int = 0
+
+
+@dataclass
+class Conditional(Expr):
+    condition: Expr
+    true_value: Expr
+    false_value: Expr
+    line: int = 0
+
+
+@dataclass
+class Call(Expr):
+    callee: str
+    args: List[Expr] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class ArrayIndex(Expr):
+    base: Expr
+    index: Expr
+    line: int = 0
+
+
+@dataclass
+class Member(Expr):
+    """``base.field`` (``is_arrow=False``) or ``base->field`` (``is_arrow=True``)."""
+
+    base: Expr
+    field_name: str
+    is_arrow: bool
+    line: int = 0
+
+
+@dataclass
+class Cast(Expr):
+    target_type: TypeSpec
+    operand: Expr
+    line: int = 0
+
+
+@dataclass
+class SizeOf(Expr):
+    target_type: Optional[TypeSpec]
+    operand: Optional[Expr] = None
+    line: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+class Stmt:
+    """Base class of statements."""
+
+
+@dataclass
+class VarDecl:
+    """One declarator of a declaration statement (or a global variable)."""
+
+    name: str
+    type_spec: TypeSpec
+    initializer: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class DeclStmt(Stmt):
+    declarations: List[VarDecl]
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expression: Expr
+
+
+@dataclass
+class CompoundStmt(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class IfStmt(Stmt):
+    condition: Expr
+    then_branch: Stmt
+    else_branch: Optional[Stmt] = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    condition: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhileStmt(Stmt):
+    body: Stmt
+    condition: Expr
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt]
+    condition: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class EmptyStmt(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Top-level declarations
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ParamDecl:
+    name: str
+    type_spec: TypeSpec
+
+
+@dataclass
+class FieldDecl:
+    name: str
+    type_spec: TypeSpec
+
+
+@dataclass
+class StructDecl:
+    name: str
+    fields: List[FieldDecl]
+
+
+@dataclass
+class FunctionDecl:
+    name: str
+    return_type: TypeSpec
+    params: List[ParamDecl]
+    body: Optional[CompoundStmt]  # ``None`` for prototypes
+    is_vararg: bool = False
+
+
+@dataclass
+class TranslationUnit:
+    """A whole source file."""
+
+    structs: List[StructDecl] = field(default_factory=list)
+    globals: List[VarDecl] = field(default_factory=list)
+    functions: List[FunctionDecl] = field(default_factory=list)

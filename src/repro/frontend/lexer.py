@@ -1,0 +1,198 @@
+"""Tokenizer for the mini-C frontend.
+
+The frontend accepts the C subset the paper's benchmarks exercise: scalar
+and pointer types, arrays, structs, pointer arithmetic, loops and calls to a
+handful of library routines.  The lexer is a straightforward hand-written
+scanner producing a flat token list consumed by the recursive-descent parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["Token", "TokenKind", "LexerError", "tokenize", "KEYWORDS"]
+
+
+class TokenKind:
+    """Token categories (plain strings keep the parser readable)."""
+
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    FLOAT = "float"
+    CHAR = "char"
+    STRING = "string"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({
+    "int", "char", "float", "double", "void", "long", "short", "unsigned", "signed",
+    "struct", "typedef", "sizeof",
+    "if", "else", "while", "for", "do", "return", "break", "continue",
+    "const", "static", "extern", "NULL",
+})
+
+# Multi-character punctuators, longest first so maximal munch works.
+_PUNCTUATORS = [
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+]
+
+
+class LexerError(Exception):
+    """Raised on malformed input, with line/column context."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+    value: Optional[object] = None
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind == TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind == TokenKind.KEYWORD and self.text == text
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", "'": "'", '"': '"'}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convert ``source`` into a token list terminated by an EOF token."""
+    tokens: List[Token] = []
+    position = 0
+    line = 1
+    column = 1
+    length = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal position, line, column
+        for _ in range(count):
+            if position < length and source[position] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            position += 1
+
+    while position < length:
+        char = source[position]
+        # Whitespace.
+        if char in " \t\r\n":
+            advance(1)
+            continue
+        # Comments and preprocessor lines (skipped: headers are implicit).
+        if source.startswith("//", position) or char == "#":
+            while position < length and source[position] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", position):
+            end = source.find("*/", position + 2)
+            if end < 0:
+                raise LexerError("unterminated block comment", line, column)
+            advance(end + 2 - position)
+            continue
+        start_line, start_column = line, column
+        # Numbers.
+        if char.isdigit():
+            end = position
+            is_float = False
+            if source.startswith("0x", position) or source.startswith("0X", position):
+                end = position + 2
+                while end < length and source[end] in "0123456789abcdefABCDEF":
+                    end += 1
+                text = source[position:end]
+                tokens.append(Token(TokenKind.INT, text, start_line, start_column, int(text, 16)))
+                advance(end - position)
+                continue
+            while end < length and (source[end].isdigit() or source[end] == "."):
+                if source[end] == ".":
+                    is_float = True
+                end += 1
+            # Suffixes (L, U, f) are accepted and ignored.
+            while end < length and source[end] in "uUlLfF":
+                if source[end] in "fF":
+                    is_float = True
+                end += 1
+            text = source[position:end]
+            numeric = text.rstrip("uUlLfF")
+            if is_float:
+                tokens.append(Token(TokenKind.FLOAT, text, start_line, start_column, float(numeric)))
+            else:
+                tokens.append(Token(TokenKind.INT, text, start_line, start_column, int(numeric, 10)))
+            advance(end - position)
+            continue
+        # Identifiers / keywords.
+        if char.isalpha() or char == "_":
+            end = position
+            while end < length and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            text = source[position:end]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, start_line, start_column))
+            advance(end - position)
+            continue
+        # Character literals.
+        if char == "'":
+            end = position + 1
+            if end < length and source[end] == "\\":
+                escape = source[end + 1] if end + 1 < length else ""
+                value = ord(_ESCAPES.get(escape, escape or "?"))
+                end += 2
+            else:
+                value = ord(source[end]) if end < length else 0
+                end += 1
+            if end >= length or source[end] != "'":
+                raise LexerError("unterminated character literal", start_line, start_column)
+            end += 1
+            tokens.append(Token(TokenKind.CHAR, source[position:end], start_line, start_column, value))
+            advance(end - position)
+            continue
+        # String literals.
+        if char == '"':
+            end = position + 1
+            chars: List[str] = []
+            while end < length and source[end] != '"':
+                if source[end] == "\\" and end + 1 < length:
+                    chars.append(_ESCAPES.get(source[end + 1], source[end + 1]))
+                    end += 2
+                else:
+                    chars.append(source[end])
+                    end += 1
+            if end >= length:
+                raise LexerError("unterminated string literal", start_line, start_column)
+            end += 1
+            tokens.append(Token(TokenKind.STRING, source[position:end], start_line, start_column,
+                                "".join(chars)))
+            advance(end - position)
+            continue
+        # Punctuators.
+        for punct in _PUNCTUATORS:
+            if source.startswith(punct, position):
+                tokens.append(Token(TokenKind.PUNCT, punct, start_line, start_column))
+                advance(len(punct))
+                break
+        else:
+            raise LexerError(f"unexpected character {char!r}", line, column)
+
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

@@ -1,0 +1,116 @@
+"""A small SSA intermediate representation.
+
+This is the substrate the paper's analyses run on: it plays the role LLVM IR
+plays in the original implementation.  See :mod:`repro.ir.instructions` for
+the mapping between the paper's core language (Figure 6) and the instruction
+set.
+"""
+
+from .basicblock import BasicBlock
+from .builder import IRBuilder
+from .function import Function
+from .instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    FreeInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    MallocInst,
+    PhiInst,
+    PtrAddInst,
+    ReturnInst,
+    SelectInst,
+    SigmaInst,
+    StoreInst,
+    UnreachableInst,
+)
+from .module import Module
+from .printer import print_function, print_instruction, print_module
+from .types import (
+    ArrayType,
+    BOOL,
+    DOUBLE,
+    FLOAT,
+    FunctionType,
+    INT32,
+    INT64,
+    INT8,
+    IntType,
+    LabelType,
+    PointerType,
+    StructType,
+    Type,
+    VOID,
+    VoidType,
+    pointer_to,
+)
+from .values import (
+    Argument,
+    Constant,
+    ConstantFloat,
+    ConstantInt,
+    GlobalVariable,
+    NullPointer,
+    UndefValue,
+    Value,
+)
+from .verifier import IRVerificationFailure, VerificationError, verify_function, verify_module
+
+__all__ = [
+    "BasicBlock",
+    "IRBuilder",
+    "Function",
+    "Module",
+    "AllocaInst",
+    "BinaryInst",
+    "BranchInst",
+    "CallInst",
+    "CastInst",
+    "FreeInst",
+    "ICmpInst",
+    "Instruction",
+    "LoadInst",
+    "MallocInst",
+    "PhiInst",
+    "PtrAddInst",
+    "ReturnInst",
+    "SelectInst",
+    "SigmaInst",
+    "StoreInst",
+    "UnreachableInst",
+    "print_function",
+    "print_instruction",
+    "print_module",
+    "ArrayType",
+    "BOOL",
+    "DOUBLE",
+    "FLOAT",
+    "FunctionType",
+    "INT32",
+    "INT64",
+    "INT8",
+    "IntType",
+    "LabelType",
+    "PointerType",
+    "StructType",
+    "Type",
+    "VOID",
+    "VoidType",
+    "pointer_to",
+    "Argument",
+    "Constant",
+    "ConstantFloat",
+    "ConstantInt",
+    "GlobalVariable",
+    "NullPointer",
+    "UndefValue",
+    "Value",
+    "IRVerificationFailure",
+    "VerificationError",
+    "verify_function",
+    "verify_module",
+]

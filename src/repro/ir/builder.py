@@ -1,0 +1,177 @@
+"""IRBuilder: convenience API for constructing IR.
+
+The frontend lowering, the synthetic benchmark generator and many tests
+build programs through this class.  The builder keeps an insertion point
+(a basic block) and hands every created instruction a unique name.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    FreeInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    MallocInst,
+    PhiInst,
+    PtrAddInst,
+    ReturnInst,
+    SelectInst,
+    SigmaInst,
+    StoreInst,
+    UnreachableInst,
+)
+from .module import Module
+from .types import INT32, INT8, PointerType, Type, VOID
+from .values import ConstantInt, NullPointer, UndefValue, Value
+
+__all__ = ["IRBuilder"]
+
+
+class IRBuilder:
+    """Builds instructions at an insertion point inside a function."""
+
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self._block = block
+
+    # -- positioning -----------------------------------------------------------
+    @property
+    def block(self) -> Optional[BasicBlock]:
+        return self._block
+
+    @property
+    def function(self) -> Optional[Function]:
+        return self._block.parent if self._block is not None else None
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self._block = block
+
+    def _insert(self, instruction: Instruction, name_prefix: str) -> Instruction:
+        if self._block is None:
+            raise RuntimeError("IRBuilder has no insertion point")
+        if instruction.type != VOID:
+            if instruction.name:
+                # Caller-provided names are made unique within the function so
+                # repeated lowering of the same source name cannot collide.
+                instruction.name = self._block.parent.uniquify_name(instruction.name)
+            else:
+                instruction.name = self._block.parent.next_value_name(name_prefix)
+        self._block.append(instruction)
+        return instruction
+
+    # -- constants -----------------------------------------------------------------
+    @staticmethod
+    def int_const(value: int, type_: Type = INT32) -> ConstantInt:
+        return ConstantInt(value, type_)
+
+    @staticmethod
+    def null(pointer_type: PointerType) -> NullPointer:
+        return NullPointer(pointer_type)
+
+    @staticmethod
+    def undef(type_: Type) -> UndefValue:
+        return UndefValue(type_)
+
+    # -- arithmetic ------------------------------------------------------------------
+    def binary(self, opcode: str, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self._insert(BinaryInst(opcode, lhs, rhs, name), name or "t")
+
+    def add(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binary("add", lhs, rhs, name)
+
+    def sub(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binary("sub", lhs, rhs, name)
+
+    def mul(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binary("mul", lhs, rhs, name)
+
+    def sdiv(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binary("sdiv", lhs, rhs, name)
+
+    def srem(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binary("srem", lhs, rhs, name)
+
+    def icmp(self, predicate: str, lhs: Value, rhs: Value, name: str = "") -> ICmpInst:
+        return self._insert(ICmpInst(predicate, lhs, rhs, name), name or "cmp")
+
+    def select(self, condition: Value, true_value: Value, false_value: Value,
+               name: str = "") -> SelectInst:
+        return self._insert(SelectInst(condition, true_value, false_value, name), name or "sel")
+
+    def cast(self, kind: str, value: Value, target_type: Type, name: str = "") -> CastInst:
+        return self._insert(CastInst(kind, value, target_type, name), name or "cast")
+
+    # -- memory ------------------------------------------------------------------------
+    def alloca(self, allocated_type: Type, count: Optional[Value] = None,
+               name: str = "") -> AllocaInst:
+        return self._insert(AllocaInst(allocated_type, count, name), name or "a")
+
+    def malloc(self, size: Value, pointee: Type = INT8, name: str = "") -> MallocInst:
+        return self._insert(MallocInst(size, pointee, name), name or "m")
+
+    def free(self, pointer: Value, name: str = "") -> FreeInst:
+        return self._insert(FreeInst(pointer, name), name or "f")
+
+    def ptradd(self, base: Value, index: Optional[Value] = None, *, scale: int = 1,
+               offset: int = 0, result_type: Optional[Type] = None,
+               name: str = "") -> PtrAddInst:
+        return self._insert(PtrAddInst(base, index, scale=scale, offset=offset,
+                                       result_type=result_type, name=name),
+                            name or "p")
+
+    def load(self, pointer: Value, result_type: Optional[Type] = None,
+             name: str = "") -> LoadInst:
+        return self._insert(LoadInst(pointer, result_type, name), name or "ld")
+
+    def store(self, value: Value, pointer: Value) -> StoreInst:
+        return self._insert(StoreInst(value, pointer), "st")
+
+    # -- SSA constructs -----------------------------------------------------------------
+    def phi(self, type_: Type, name: str = "") -> PhiInst:
+        phi = PhiInst(type_, name or self._block.parent.next_value_name("phi"))
+        self._block.insert_phi(phi)
+        phi.parent = self._block  # insert_phi sets parent; keep explicit for clarity
+        return phi
+
+    def sigma(self, source: Value, *, lower: Optional[Value] = None,
+              upper: Optional[Value] = None, lower_adjust: int = 0,
+              upper_adjust: int = 0, name: str = "") -> SigmaInst:
+        sigma = SigmaInst(source, lower=lower, upper=upper, lower_adjust=lower_adjust,
+                          upper_adjust=upper_adjust, origin_block=self._block,
+                          name=name or self._block.parent.next_value_name("sig"))
+        self._block.insert_sigma(sigma)
+        return sigma
+
+    # -- calls / control flow --------------------------------------------------------------
+    def call(self, callee: Union[Function, str], args: Sequence[Value],
+             return_type: Type = INT32, name: str = "") -> CallInst:
+        if isinstance(callee, Function):
+            return_type = callee.return_type
+        call = CallInst(callee, args, return_type, name)
+        prefix = name or "call"
+        return self._insert(call, prefix)
+
+    def branch(self, target: BasicBlock) -> BranchInst:
+        return self._insert(BranchInst(target), "br")
+
+    def cond_branch(self, condition: Value, true_target: BasicBlock,
+                    false_target: BasicBlock) -> BranchInst:
+        return self._insert(
+            BranchInst(condition=condition, true_target=true_target, false_target=false_target),
+            "br",
+        )
+
+    def ret(self, value: Optional[Value] = None) -> ReturnInst:
+        return self._insert(ReturnInst(value), "ret")
+
+    def unreachable(self) -> UnreachableInst:
+        return self._insert(UnreachableInst(), "unreachable")

@@ -1,0 +1,77 @@
+"""Modules: the whole-program unit the analyses run on."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from .function import Function
+from .instructions import Instruction
+from .types import FunctionType, Type
+from .values import Constant, GlobalVariable
+
+__all__ = ["Module"]
+
+
+class Module:
+    """A translation unit: named functions, global variables and struct types."""
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: List[Function] = []
+        self.globals: List[GlobalVariable] = []
+        self.struct_types: Dict[str, Type] = {}
+
+    # -- functions ----------------------------------------------------------
+    def add_function(self, function: Function) -> Function:
+        if self.get_function(function.name) is not None:
+            raise ValueError(f"duplicate function @{function.name}")
+        function.parent = self
+        self.functions.append(function)
+        return function
+
+    def create_function(self, name: str, function_type: FunctionType,
+                        arg_names: Optional[Sequence[str]] = None) -> Function:
+        return self.add_function(Function(name, function_type, arg_names, parent=self))
+
+    def get_function(self, name: str) -> Optional[Function]:
+        for function in self.functions:
+            if function.name == name:
+                return function
+        return None
+
+    def defined_functions(self) -> List[Function]:
+        """Functions that have a body (declarations are external)."""
+        return [function for function in self.functions if not function.is_declaration()]
+
+    # -- globals --------------------------------------------------------------
+    def add_global(self, variable: GlobalVariable) -> GlobalVariable:
+        if self.get_global(variable.name) is not None:
+            raise ValueError(f"duplicate global @{variable.name}")
+        self.globals.append(variable)
+        return variable
+
+    def create_global(self, name: str, value_type: Type,
+                      initializer: Optional[Constant] = None,
+                      is_constant_data: bool = False) -> GlobalVariable:
+        return self.add_global(GlobalVariable(name, value_type, initializer, is_constant_data))
+
+    def get_global(self, name: str) -> Optional[GlobalVariable]:
+        for variable in self.globals:
+            if variable.name == name:
+                return variable
+        return None
+
+    # -- aggregates -------------------------------------------------------------
+    def instructions(self) -> Iterator[Instruction]:
+        for function in self.defined_functions():
+            yield from function.instructions()
+
+    def instruction_count(self) -> int:
+        return sum(function.instruction_count() for function in self.defined_functions())
+
+    def pointer_count(self) -> int:
+        return sum(len(function.pointer_values()) for function in self.defined_functions())
+
+    def __repr__(self) -> str:
+        return (f"<Module {self.name!r}: {len(self.functions)} functions, "
+                f"{len(self.globals)} globals>")

@@ -1,0 +1,132 @@
+"""Textual rendering of IR modules, functions and instructions.
+
+The format is stable and line-oriented so tests can assert on substrings and
+humans can inspect what the frontend/generator produced.  It deliberately
+resembles LLVM assembly without trying to be compatible with it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    FreeInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    MallocInst,
+    PhiInst,
+    PtrAddInst,
+    ReturnInst,
+    SelectInst,
+    SigmaInst,
+    StoreInst,
+    UnreachableInst,
+)
+from .module import Module
+from .types import VOID
+from .values import GlobalVariable
+
+__all__ = ["print_module", "print_function", "print_instruction"]
+
+
+def _value_ref(value) -> str:
+    return value.short_name()
+
+
+def print_instruction(inst: Instruction) -> str:
+    """Render one instruction as a single line (without indentation)."""
+    if isinstance(inst, BinaryInst):
+        return (f"{_value_ref(inst)} = {inst.opcode} {inst.type!r} "
+                f"{_value_ref(inst.lhs)}, {_value_ref(inst.rhs)}")
+    if isinstance(inst, ICmpInst):
+        return (f"{_value_ref(inst)} = icmp {inst.predicate} "
+                f"{_value_ref(inst.lhs)}, {_value_ref(inst.rhs)}")
+    if isinstance(inst, CastInst):
+        return f"{_value_ref(inst)} = {inst.kind} {_value_ref(inst.value)} to {inst.type!r}"
+    if isinstance(inst, AllocaInst):
+        return (f"{_value_ref(inst)} = alloca {inst.allocated_type!r}, "
+                f"count {_value_ref(inst.count)}")
+    if isinstance(inst, MallocInst):
+        return f"{_value_ref(inst)} = malloc {_value_ref(inst.size)}"
+    if isinstance(inst, FreeInst):
+        return f"{_value_ref(inst)} = free {_value_ref(inst.pointer)}"
+    if isinstance(inst, PtrAddInst):
+        parts = [_value_ref(inst.base)]
+        if inst.index is not None:
+            parts.append(f"{_value_ref(inst.index)} * {inst.scale}")
+        parts.append(str(inst.offset))
+        return f"{_value_ref(inst)} = ptradd " + " + ".join(parts)
+    if isinstance(inst, LoadInst):
+        return f"{_value_ref(inst)} = load {inst.type!r}, {_value_ref(inst.pointer)}"
+    if isinstance(inst, StoreInst):
+        return f"store {_value_ref(inst.value)}, {_value_ref(inst.pointer)}"
+    if isinstance(inst, PhiInst):
+        pairs = ", ".join(f"[ {_value_ref(v)}, {b.label()} ]" for v, b in inst.incoming())
+        return f"{_value_ref(inst)} = phi {inst.type!r} {pairs}"
+    if isinstance(inst, SigmaInst):
+        lower = "-inf" if inst.lower is None else _value_ref(inst.lower)
+        if inst.lower is not None and inst.lower_adjust:
+            lower += f" {inst.lower_adjust:+d}"
+        upper = "+inf" if inst.upper is None else _value_ref(inst.upper)
+        if inst.upper is not None and inst.upper_adjust:
+            upper += f" {inst.upper_adjust:+d}"
+        return f"{_value_ref(inst)} = sigma {_value_ref(inst.source)}, [{lower}, {upper}]"
+    if isinstance(inst, CallInst):
+        args = ", ".join(_value_ref(a) for a in inst.args)
+        prefix = f"{_value_ref(inst)} = " if inst.type != VOID else ""
+        return f"{prefix}call {inst.type!r} @{inst.callee_name()}({args})"
+    if isinstance(inst, SelectInst):
+        return (f"{_value_ref(inst)} = select {_value_ref(inst.condition)}, "
+                f"{_value_ref(inst.true_value)}, {_value_ref(inst.false_value)}")
+    if isinstance(inst, BranchInst):
+        if inst.is_conditional():
+            return (f"br {_value_ref(inst.condition)}, {inst.true_target.label()}, "
+                    f"{inst.false_target.label()}")
+        return f"br {inst.true_target.label()}"
+    if isinstance(inst, ReturnInst):
+        return "ret void" if inst.value is None else f"ret {_value_ref(inst.value)}"
+    if isinstance(inst, UnreachableInst):
+        return "unreachable"
+    return repr(inst)
+
+
+def _print_block(block: BasicBlock) -> List[str]:
+    lines = [f"{block.name}:"]
+    for inst in block.instructions:
+        lines.append(f"  {print_instruction(inst)}")
+    return lines
+
+
+def print_function(function: Function) -> str:
+    """Render a function definition (or declaration)."""
+    params = ", ".join(f"{arg.type!r} %{arg.name}" for arg in function.args)
+    header = f"define {function.return_type!r} @{function.name}({params})"
+    if function.is_declaration():
+        return f"declare {function.return_type!r} @{function.name}({params})"
+    lines = [header + " {"]
+    for block in function.blocks:
+        lines.extend(_print_block(block))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    """Render a whole module."""
+    parts: List[str] = [f"; module {module.name}"]
+    for struct_name, struct_type in module.struct_types.items():
+        parts.append(f"{struct_type!r} = type {{ ... }}")
+    for variable in module.globals:
+        assert isinstance(variable, GlobalVariable)
+        parts.append(f"@{variable.name} = global {variable.value_type!r}")
+    for function in module.functions:
+        parts.append("")
+        parts.append(print_function(function))
+    return "\n".join(parts) + "\n"

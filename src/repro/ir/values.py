@@ -1,0 +1,203 @@
+"""Values of the intermediate representation.
+
+Everything an instruction can reference is a :class:`Value`: constants,
+function arguments, global variables, basic blocks (as branch targets),
+functions (as callees) and instruction results.  Values maintain use lists,
+which the transforms rely on (``replace_all_uses_with`` is what makes SSA and
+e-SSA renaming cheap).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, TYPE_CHECKING, Tuple
+
+from .types import BOOL, INT32, PointerType, Type, VOID
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .instructions import Instruction
+
+__all__ = [
+    "Value",
+    "Use",
+    "Constant",
+    "ConstantInt",
+    "ConstantFloat",
+    "NullPointer",
+    "UndefValue",
+    "Argument",
+    "GlobalVariable",
+]
+
+
+class Use:
+    """A single (user instruction, operand index) edge in the use-def graph."""
+
+    __slots__ = ("user", "index")
+
+    def __init__(self, user: "Instruction", index: int):
+        self.user = user
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"Use({self.user.name or self.user.opcode}, {self.index})"
+
+
+class Value:
+    """Base class of everything that can appear as an instruction operand."""
+
+    __slots__ = ("type", "name", "uses")
+
+    def __init__(self, type_: Type, name: str = ""):
+        self.type = type_
+        self.name = name
+        self.uses: List[Use] = []
+
+    # -- use-list maintenance ------------------------------------------------
+    def add_use(self, user: "Instruction", index: int) -> None:
+        self.uses.append(Use(user, index))
+
+    def remove_use(self, user: "Instruction", index: int) -> None:
+        for position, use in enumerate(self.uses):
+            if use.user is user and use.index == index:
+                del self.uses[position]
+                return
+
+    def users(self) -> List["Instruction"]:
+        """Distinct instructions that reference this value."""
+        seen: List["Instruction"] = []
+        for use in self.uses:
+            if use.user not in seen:
+                seen.append(use.user)
+        return seen
+
+    def replace_all_uses_with(self, replacement: "Value") -> None:
+        """Rewrite every operand that references ``self`` to ``replacement``."""
+        if replacement is self:
+            return
+        for use in list(self.uses):
+            use.user.set_operand(use.index, replacement)
+
+    # -- classification -------------------------------------------------------
+    def is_constant(self) -> bool:
+        return isinstance(self, Constant)
+
+    def is_pointer(self) -> bool:
+        return self.type.is_pointer()
+
+    def short_name(self) -> str:
+        """Printable name used by the textual IR."""
+        return f"%{self.name}" if self.name else "%<unnamed>"
+
+    def __repr__(self) -> str:
+        return self.short_name()
+
+
+class Constant(Value):
+    """Base class for compile-time constants (which have no defining instruction)."""
+
+    __slots__ = ()
+
+
+class ConstantInt(Constant):
+    """An integer literal of a given width."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, type_: Type = INT32):
+        super().__init__(type_, "")
+        self.value = int(value)
+
+    def short_name(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"{self.value}"
+
+
+class ConstantFloat(Constant):
+    """A floating-point literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, type_: Type):
+        super().__init__(type_, "")
+        self.value = float(value)
+
+    def short_name(self) -> str:
+        return repr(self.value)
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+class NullPointer(Constant):
+    """The null pointer constant of a given pointer type."""
+
+    __slots__ = ()
+
+    def __init__(self, type_: PointerType):
+        super().__init__(type_, "")
+
+    def short_name(self) -> str:
+        return "null"
+
+    def __repr__(self) -> str:
+        return "null"
+
+
+class UndefValue(Constant):
+    """An undefined value (used for unreachable φ inputs and the like)."""
+
+    __slots__ = ()
+
+    def __init__(self, type_: Type):
+        super().__init__(type_, "")
+
+    def short_name(self) -> str:
+        return "undef"
+
+    def __repr__(self) -> str:
+        return "undef"
+
+
+class Argument(Value):
+    """A formal parameter of a function.
+
+    Function parameters whose concrete value is unknown are exactly the
+    members of the *symbolic kernel*: the range analysis will bind parameter
+    ``N`` to the symbolic interval ``[N, N]``.
+    """
+
+    __slots__ = ("parent", "index")
+
+    def __init__(self, type_: Type, name: str, parent=None, index: int = 0):
+        super().__init__(type_, name)
+        self.parent = parent
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"%{self.name}"
+
+
+class GlobalVariable(Value):
+    """A module-level variable.  Its address is an allocation site.
+
+    ``value_type`` is the type of the stored object; the value itself has
+    pointer type (referencing a global yields its address), mirroring LLVM.
+    """
+
+    __slots__ = ("value_type", "initializer", "is_constant_data")
+
+    def __init__(self, name: str, value_type: Type,
+                 initializer: Optional[Constant] = None,
+                 is_constant_data: bool = False):
+        super().__init__(PointerType(value_type), name)
+        self.value_type = value_type
+        self.initializer = initializer
+        self.is_constant_data = is_constant_data
+
+    def short_name(self) -> str:
+        return f"@{self.name}"
+
+    def __repr__(self) -> str:
+        return f"@{self.name}"

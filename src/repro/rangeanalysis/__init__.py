@@ -1,0 +1,11 @@
+"""Scalar analyses feeding the pointer disambiguation: symbolic ranges and SCEV."""
+
+from .scev import AddRecurrence, ScalarEvolution
+from .symbolic_ra import RangeAnalysisOptions, SymbolicRangeAnalysis
+
+__all__ = [
+    "AddRecurrence",
+    "ScalarEvolution",
+    "RangeAnalysisOptions",
+    "SymbolicRangeAnalysis",
+]

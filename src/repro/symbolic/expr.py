@@ -1,0 +1,600 @@
+"""Symbolic expressions used by the range analyses.
+
+The paper defines symbolic expressions by the grammar (Section 3.3)::
+
+    E ::= n | s | min(E, E) | max(E, E) | E - E
+        | E + E | E / E | E mod E | E * E
+
+where ``n`` is an integer and ``s`` a *symbol*: a program name that cannot be
+expressed as a function of other names (function parameters, results of
+unknown calls, globals).  The set of symbols of a program forms its
+*symbolic kernel*.
+
+This module implements an immutable, hashable expression algebra with
+aggressive canonicalisation of the linear fragment: every expression is
+normalised into ``constant + sum(coefficient * atom)`` where atoms are
+symbols or opaque non-linear nodes (``min``, ``max``, division, modulo and
+products of non-constant expressions).  Canonicalisation is what makes the
+partial-order queries of :mod:`repro.symbolic.order` decidable in the cases
+the analyses care about, e.g. ``N + 1 > N`` while ``N`` and ``M`` stay
+incomparable.
+
+Infinities are first-class values (:data:`POS_INF` and :data:`NEG_INF`) with
+saturating arithmetic, because interval bounds live in
+``S = SE ∪ {-inf, +inf}``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "SymExpr",
+    "Constant",
+    "Symbol",
+    "Infinity",
+    "MinExpr",
+    "MaxExpr",
+    "DivExpr",
+    "ModExpr",
+    "ProductExpr",
+    "SumExpr",
+    "POS_INF",
+    "NEG_INF",
+    "ZERO",
+    "ONE",
+    "sym",
+    "const",
+    "sym_add",
+    "sym_sub",
+    "sym_neg",
+    "sym_mul",
+    "sym_div",
+    "sym_mod",
+    "sym_min",
+    "sym_max",
+    "as_expr",
+    "ExprLike",
+]
+
+
+class SymExpr:
+    """Base class of all symbolic expressions.
+
+    Instances are immutable and hashable; arithmetic operators build new
+    (canonicalised) expressions.  Subclasses implement the small protocol
+    consisting of :meth:`symbols`, :meth:`substitute`, :meth:`is_infinite`
+    and :meth:`sort_key`.
+    """
+
+    __slots__ = ()
+
+    # -- protocol ---------------------------------------------------------
+    def symbols(self) -> FrozenSet[str]:
+        """Return the set of symbol names occurring in this expression."""
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[str, "ExprLike"]) -> "SymExpr":
+        """Return a copy with symbols replaced according to ``mapping``."""
+        raise NotImplementedError
+
+    def is_infinite(self) -> bool:
+        """True for ``+inf``/``-inf`` (never true for finite expressions)."""
+        return False
+
+    def is_constant(self) -> bool:
+        """True when the expression is a plain integer constant."""
+        return False
+
+    def constant_value(self) -> Optional[int]:
+        """The integer value when :meth:`is_constant`, else ``None``."""
+        return None
+
+    def sort_key(self) -> Tuple:
+        """A total ordering key used only for canonical printing/hashing."""
+        raise NotImplementedError
+
+    def complexity(self) -> int:
+        """Number of nodes; used to bound simplification work."""
+        return 1
+
+    # -- operator sugar ---------------------------------------------------
+    def __add__(self, other: "ExprLike") -> "SymExpr":
+        return sym_add(self, other)
+
+    def __radd__(self, other: "ExprLike") -> "SymExpr":
+        return sym_add(other, self)
+
+    def __sub__(self, other: "ExprLike") -> "SymExpr":
+        return sym_sub(self, other)
+
+    def __rsub__(self, other: "ExprLike") -> "SymExpr":
+        return sym_sub(other, self)
+
+    def __mul__(self, other: "ExprLike") -> "SymExpr":
+        return sym_mul(self, other)
+
+    def __rmul__(self, other: "ExprLike") -> "SymExpr":
+        return sym_mul(other, self)
+
+    def __neg__(self) -> "SymExpr":
+        return sym_neg(self)
+
+    def __floordiv__(self, other: "ExprLike") -> "SymExpr":
+        return sym_div(self, other)
+
+    def __mod__(self, other: "ExprLike") -> "SymExpr":
+        return sym_mod(self, other)
+
+
+ExprLike = Union[SymExpr, int]
+
+
+class Constant(SymExpr):
+    """An integer literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        object.__setattr__(self, "value", int(value))
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Constant is immutable")
+
+    def symbols(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def substitute(self, mapping: Mapping[str, ExprLike]) -> SymExpr:
+        return self
+
+    def is_constant(self) -> bool:
+        return True
+
+    def constant_value(self) -> Optional[int]:
+        return self.value
+
+    def sort_key(self) -> Tuple:
+        return (0, self.value)
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Constant) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("Constant", self.value))
+
+
+class Symbol(SymExpr):
+    """A member of the symbolic kernel: a name treated as an opaque value."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("symbol name must be non-empty")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, name, value):  # pragma: no cover
+        raise AttributeError("Symbol is immutable")
+
+    def symbols(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def substitute(self, mapping: Mapping[str, ExprLike]) -> SymExpr:
+        if self.name in mapping:
+            return as_expr(mapping[self.name])
+        return self
+
+    def sort_key(self) -> Tuple:
+        return (1, self.name)
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Symbol) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("Symbol", self.name))
+
+
+class Infinity(SymExpr):
+    """``+inf`` or ``-inf``; only valid at the ends of symbolic intervals."""
+
+    __slots__ = ("sign",)
+
+    def __init__(self, sign: int):
+        if sign not in (1, -1):
+            raise ValueError("sign must be +1 or -1")
+        object.__setattr__(self, "sign", sign)
+
+    def __setattr__(self, name, value):  # pragma: no cover
+        raise AttributeError("Infinity is immutable")
+
+    def symbols(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def substitute(self, mapping: Mapping[str, ExprLike]) -> SymExpr:
+        return self
+
+    def is_infinite(self) -> bool:
+        return True
+
+    def sort_key(self) -> Tuple:
+        return (9, self.sign)
+
+    def __repr__(self) -> str:
+        return "+inf" if self.sign > 0 else "-inf"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Infinity) and self.sign == other.sign
+
+    def __hash__(self) -> int:
+        return hash(("Infinity", self.sign))
+
+    def __neg__(self) -> "SymExpr":
+        return NEG_INF if self.sign > 0 else POS_INF
+
+
+POS_INF = Infinity(1)
+NEG_INF = Infinity(-1)
+ZERO = Constant(0)
+ONE = Constant(1)
+
+
+def _freeze_terms(terms: Mapping[SymExpr, int]) -> Tuple[Tuple[SymExpr, int], ...]:
+    items = [(t, c) for t, c in terms.items() if c != 0]
+    items.sort(key=lambda tc: tc[0].sort_key())
+    return tuple(items)
+
+
+class SumExpr(SymExpr):
+    """Canonical linear combination ``offset + sum(coeff * atom)``.
+
+    Atoms are symbols or opaque non-linear expressions.  ``SumExpr`` is never
+    constructed with zero or one trivial term — the builder functions collapse
+    those cases to :class:`Constant` / the atom itself.
+    """
+
+    __slots__ = ("offset", "terms")
+
+    def __init__(self, offset: int, terms: Tuple[Tuple[SymExpr, int], ...]):
+        object.__setattr__(self, "offset", int(offset))
+        object.__setattr__(self, "terms", terms)
+
+    def __setattr__(self, name, value):  # pragma: no cover
+        raise AttributeError("SumExpr is immutable")
+
+    def symbols(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for atom, _ in self.terms:
+            out = out | atom.symbols()
+        return out
+
+    def substitute(self, mapping: Mapping[str, ExprLike]) -> SymExpr:
+        result: SymExpr = Constant(self.offset)
+        for atom, coeff in self.terms:
+            result = sym_add(result, sym_mul(atom.substitute(mapping), coeff))
+        return result
+
+    def sort_key(self) -> Tuple:
+        return (5, self.offset, tuple((a.sort_key(), c) for a, c in self.terms))
+
+    def complexity(self) -> int:
+        return 1 + sum(a.complexity() for a, _ in self.terms)
+
+    def __repr__(self) -> str:
+        parts = []
+        for atom, coeff in self.terms:
+            if coeff == 1:
+                parts.append(f"{atom!r}")
+            elif coeff == -1:
+                parts.append(f"-{atom!r}")
+            else:
+                parts.append(f"{coeff}*{atom!r}")
+        if self.offset or not parts:
+            parts.append(str(self.offset))
+        text = " + ".join(parts)
+        return text.replace("+ -", "- ")
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, SumExpr)
+            and self.offset == other.offset
+            and self.terms == other.terms
+        )
+
+    def __hash__(self) -> int:
+        return hash(("SumExpr", self.offset, self.terms))
+
+
+class _BinaryAtom(SymExpr):
+    """Common machinery for opaque binary nodes (min, max, div, mod, mul)."""
+
+    __slots__ = ("lhs", "rhs")
+    _tag = "?"
+    _rank = 6
+
+    def __init__(self, lhs: SymExpr, rhs: SymExpr):
+        object.__setattr__(self, "lhs", lhs)
+        object.__setattr__(self, "rhs", rhs)
+
+    def __setattr__(self, name, value):  # pragma: no cover
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def symbols(self) -> FrozenSet[str]:
+        return self.lhs.symbols() | self.rhs.symbols()
+
+    def sort_key(self) -> Tuple:
+        return (self._rank, self._tag, self.lhs.sort_key(), self.rhs.sort_key())
+
+    def complexity(self) -> int:
+        return 1 + self.lhs.complexity() + self.rhs.complexity()
+
+    def __repr__(self) -> str:
+        return f"{self._tag}({self.lhs!r}, {self.rhs!r})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            type(self) is type(other)
+            and self.lhs == other.lhs
+            and self.rhs == other.rhs
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.lhs, self.rhs))
+
+
+class MinExpr(_BinaryAtom):
+    """``min(lhs, rhs)``; commutative — operands stored in canonical order."""
+
+    __slots__ = ()
+    _tag = "min"
+
+    def substitute(self, mapping: Mapping[str, ExprLike]) -> SymExpr:
+        return sym_min(self.lhs.substitute(mapping), self.rhs.substitute(mapping))
+
+
+class MaxExpr(_BinaryAtom):
+    """``max(lhs, rhs)``; commutative — operands stored in canonical order."""
+
+    __slots__ = ()
+    _tag = "max"
+
+    def substitute(self, mapping: Mapping[str, ExprLike]) -> SymExpr:
+        return sym_max(self.lhs.substitute(mapping), self.rhs.substitute(mapping))
+
+
+class DivExpr(_BinaryAtom):
+    """Integer division ``lhs / rhs`` kept opaque unless both are constants."""
+
+    __slots__ = ()
+    _tag = "div"
+
+    def substitute(self, mapping: Mapping[str, ExprLike]) -> SymExpr:
+        return sym_div(self.lhs.substitute(mapping), self.rhs.substitute(mapping))
+
+
+class ModExpr(_BinaryAtom):
+    """``lhs mod rhs`` kept opaque unless both are constants."""
+
+    __slots__ = ()
+    _tag = "mod"
+
+    def substitute(self, mapping: Mapping[str, ExprLike]) -> SymExpr:
+        return sym_mod(self.lhs.substitute(mapping), self.rhs.substitute(mapping))
+
+
+class ProductExpr(_BinaryAtom):
+    """A product of two non-constant expressions (non-linear atom)."""
+
+    __slots__ = ()
+    _tag = "mul"
+
+    def substitute(self, mapping: Mapping[str, ExprLike]) -> SymExpr:
+        return sym_mul(self.lhs.substitute(mapping), self.rhs.substitute(mapping))
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+
+def as_expr(value: ExprLike) -> SymExpr:
+    """Coerce an ``int`` or :class:`SymExpr` into a :class:`SymExpr`."""
+    if isinstance(value, SymExpr):
+        return value
+    if isinstance(value, bool):  # guard against accidental booleans
+        return Constant(int(value))
+    if isinstance(value, int):
+        return Constant(value)
+    raise TypeError(f"cannot convert {value!r} to a symbolic expression")
+
+
+def sym(name: str) -> Symbol:
+    """Create a kernel symbol."""
+    return Symbol(name)
+
+
+def const(value: int) -> Constant:
+    """Create an integer constant."""
+    return Constant(value)
+
+
+def _decompose(expr: SymExpr) -> Tuple[int, Dict[SymExpr, int]]:
+    """Split a finite expression into ``(constant offset, {atom: coeff})``."""
+    if isinstance(expr, Constant):
+        return expr.value, {}
+    if isinstance(expr, SumExpr):
+        return expr.offset, dict(expr.terms)
+    return 0, {expr: 1}
+
+
+def _recompose(offset: int, terms: Dict[SymExpr, int]) -> SymExpr:
+    terms = {a: c for a, c in terms.items() if c != 0}
+    if not terms:
+        return Constant(offset)
+    if offset == 0 and len(terms) == 1:
+        (atom, coeff), = terms.items()
+        if coeff == 1:
+            return atom
+    return SumExpr(offset, _freeze_terms(terms))
+
+
+def sym_add(a: ExprLike, b: ExprLike) -> SymExpr:
+    """Saturating symbolic addition with linear canonicalisation."""
+    a, b = as_expr(a), as_expr(b)
+    if a.is_infinite() and b.is_infinite():
+        if a == b:
+            return a
+        raise ArithmeticError("cannot add +inf and -inf")
+    if a.is_infinite():
+        return a
+    if b.is_infinite():
+        return b
+    off_a, terms_a = _decompose(a)
+    off_b, terms_b = _decompose(b)
+    terms = dict(terms_a)
+    for atom, coeff in terms_b.items():
+        terms[atom] = terms.get(atom, 0) + coeff
+    return _recompose(off_a + off_b, terms)
+
+
+def sym_neg(a: ExprLike) -> SymExpr:
+    """Negation; flips infinities."""
+    a = as_expr(a)
+    if a.is_infinite():
+        return NEG_INF if a is POS_INF or a == POS_INF else POS_INF
+    off, terms = _decompose(a)
+    return _recompose(-off, {atom: -coeff for atom, coeff in terms.items()})
+
+
+def sym_sub(a: ExprLike, b: ExprLike) -> SymExpr:
+    """Saturating symbolic subtraction."""
+    a, b = as_expr(a), as_expr(b)
+    if a.is_infinite() and b.is_infinite():
+        if a != b:
+            return a
+        raise ArithmeticError("cannot subtract equal infinities")
+    return sym_add(a, sym_neg(b))
+
+
+def sym_mul(a: ExprLike, b: ExprLike) -> SymExpr:
+    """Symbolic multiplication.
+
+    Multiplication by a constant distributes over the linear form; a product
+    of two non-constant expressions becomes an opaque :class:`ProductExpr`
+    atom.  Multiplying an infinity by a constant keeps the usual sign rules;
+    multiplying an infinity by a non-constant expression is rejected because
+    the sign of the result is unknowable.
+    """
+    a, b = as_expr(a), as_expr(b)
+    if a.is_infinite() or b.is_infinite():
+        inf, other = (a, b) if a.is_infinite() else (b, a)
+        if other.is_constant():
+            value = other.constant_value()
+            if value == 0:
+                return ZERO
+            assert isinstance(inf, Infinity)
+            return inf if value > 0 else -inf
+        if other.is_infinite():
+            assert isinstance(inf, Infinity) and isinstance(other, Infinity)
+            return POS_INF if inf.sign == other.sign else NEG_INF
+        raise ArithmeticError("cannot multiply infinity by a symbolic expression")
+    if a.is_constant():
+        a, b = b, a
+    if b.is_constant():
+        factor = b.constant_value()
+        assert factor is not None
+        if factor == 0:
+            return ZERO
+        off, terms = _decompose(a)
+        return _recompose(off * factor, {atom: coeff * factor for atom, coeff in terms.items()})
+    lhs, rhs = sorted((a, b), key=lambda e: e.sort_key())
+    return ProductExpr(lhs, rhs)
+
+
+def sym_div(a: ExprLike, b: ExprLike) -> SymExpr:
+    """Integer (floor) division; folded only when both sides are constants."""
+    a, b = as_expr(a), as_expr(b)
+    if b.is_constant() and b.constant_value() == 0:
+        raise ZeroDivisionError("symbolic division by constant zero")
+    if b.is_constant() and b.constant_value() == 1:
+        return a
+    if a.is_constant() and b.is_constant():
+        av, bv = a.constant_value(), b.constant_value()
+        assert av is not None and bv is not None
+        quotient = abs(av) // abs(bv)
+        if (av < 0) != (bv < 0):
+            quotient = -quotient
+        return Constant(quotient)  # C-style truncating division
+    if a.is_constant() and a.constant_value() == 0:
+        return ZERO
+    if a.is_infinite() or b.is_infinite():
+        raise ArithmeticError("cannot divide with infinite operands")
+    return DivExpr(a, b)
+
+
+def sym_mod(a: ExprLike, b: ExprLike) -> SymExpr:
+    """Modulo; folded only when both sides are constants."""
+    a, b = as_expr(a), as_expr(b)
+    if b.is_constant() and b.constant_value() == 0:
+        raise ZeroDivisionError("symbolic modulo by constant zero")
+    if a.is_constant() and b.is_constant():
+        av, bv = a.constant_value(), b.constant_value()
+        assert av is not None and bv is not None
+        remainder = abs(av) % abs(bv)
+        return Constant(-remainder if av < 0 else remainder)
+    if a.is_infinite() or b.is_infinite():
+        raise ArithmeticError("cannot take modulo with infinite operands")
+    return ModExpr(a, b)
+
+
+def _fold_minmax(a: SymExpr, b: SymExpr, want_min: bool) -> Optional[SymExpr]:
+    """Resolve ``min``/``max`` when the operands are comparable."""
+    from .order import compare, Ordering  # local import to avoid a cycle
+
+    ordering = compare(a, b)
+    if ordering is Ordering.EQUAL:
+        # Provably equal but possibly syntactically different (e.g.
+        # ``max(0, N)`` vs ``max(0, max(-1, N))``): pick a canonical
+        # representative so folding is order-independent.
+        return min(a, b, key=lambda e: (e.complexity(), e.sort_key()))
+    if ordering is Ordering.LESS or ordering is Ordering.LESS_EQUAL:
+        return a if want_min else b
+    if ordering is Ordering.GREATER or ordering is Ordering.GREATER_EQUAL:
+        return b if want_min else a
+    return None
+
+
+def sym_min(a: ExprLike, b: ExprLike) -> SymExpr:
+    """``min`` over ``S``; resolved eagerly when operands are comparable."""
+    a, b = as_expr(a), as_expr(b)
+    if a == NEG_INF or b == NEG_INF:
+        return NEG_INF
+    if a == POS_INF:
+        return b
+    if b == POS_INF:
+        return a
+    folded = _fold_minmax(a, b, want_min=True)
+    if folded is not None:
+        return folded
+    lhs, rhs = sorted((a, b), key=lambda e: e.sort_key())
+    return MinExpr(lhs, rhs)
+
+
+def sym_max(a: ExprLike, b: ExprLike) -> SymExpr:
+    """``max`` over ``S``; resolved eagerly when operands are comparable."""
+    a, b = as_expr(a), as_expr(b)
+    if a == POS_INF or b == POS_INF:
+        return POS_INF
+    if a == NEG_INF:
+        return b
+    if b == NEG_INF:
+        return a
+    folded = _fold_minmax(a, b, want_min=False)
+    if folded is not None:
+        return folded
+    lhs, rhs = sorted((a, b), key=lambda e: e.sort_key())
+    return MaxExpr(lhs, rhs)

@@ -1,0 +1,303 @@
+"""The ``SymbRanges`` lattice: symbolic intervals (Section 3.3 of the paper).
+
+A symbolic interval is a pair ``R = [l, u]`` of symbolic expressions (or
+infinities).  The semi-lattice is ``(S², ⊑, ⊔, ∅, [-inf, +inf])`` where::
+
+    [l0, u0] ⊑ [l1, u1]   iff  l1 <= l0 and u1 >= u0
+    [a1, a2] ⊔ [b1, b2]   =   [min(a1, b1), max(a2, b2)]
+    [a1, a2] ⊓ [b1, b2]   =   ∅ if a2 < b1 or b2 < a1, else [max(a1,b1), min(a2,b2)]
+
+and the widening of the paper::
+
+    [l, u] ∇ [l', u'] = [l,    u   ]  if l = l' and u = u'
+                        [l,    +inf]  if l = l' and u' > u
+                        [-inf, u   ]  if l' < l and u' = u
+                        [-inf, +inf]  otherwise
+
+Because the bounds are symbolic, equality and the comparisons above are only
+semi-decidable; everything here errs on the side of the *larger* (more
+conservative) result.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from .expr import (
+    ExprLike,
+    NEG_INF,
+    POS_INF,
+    SymExpr,
+    as_expr,
+    sym_add,
+    sym_max,
+    sym_min,
+    sym_mul,
+    sym_neg,
+    sym_sub,
+)
+from .order import Ordering, compare, definitely_le, definitely_lt
+
+__all__ = ["SymbolicInterval", "EMPTY_INTERVAL", "TOP_INTERVAL"]
+
+
+class SymbolicInterval:
+    """An element of ``SymbRanges``: ``∅`` or a pair ``[lower, upper]``."""
+
+    __slots__ = ("_lower", "_upper", "_empty")
+
+    def __init__(self, lower: Optional[ExprLike] = None, upper: Optional[ExprLike] = None,
+                 *, empty: bool = False):
+        if empty:
+            object.__setattr__(self, "_empty", True)
+            object.__setattr__(self, "_lower", None)
+            object.__setattr__(self, "_upper", None)
+            return
+        if lower is None or upper is None:
+            raise ValueError("a non-empty interval needs both bounds")
+        object.__setattr__(self, "_empty", False)
+        object.__setattr__(self, "_lower", as_expr(lower))
+        object.__setattr__(self, "_upper", as_expr(upper))
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("SymbolicInterval is immutable")
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "SymbolicInterval":
+        """The least element ``∅``."""
+        return EMPTY_INTERVAL
+
+    @classmethod
+    def top(cls) -> "SymbolicInterval":
+        """The greatest element ``[-inf, +inf]``."""
+        return TOP_INTERVAL
+
+    @classmethod
+    def point(cls, value: ExprLike) -> "SymbolicInterval":
+        """The singleton interval ``[value, value]``."""
+        return cls(value, value)
+
+    @classmethod
+    def from_bounds(cls, lower: ExprLike, upper: ExprLike) -> "SymbolicInterval":
+        """Build ``[lower, upper]`` (no emptiness check is attempted)."""
+        return cls(lower, upper)
+
+    # -- accessors ---------------------------------------------------------
+    @property
+    def lower(self) -> SymExpr:
+        """The lower bound ``R↓`` (raises on ``∅``)."""
+        if self._empty:
+            raise ValueError("the empty interval has no lower bound")
+        return self._lower
+
+    @property
+    def upper(self) -> SymExpr:
+        """The upper bound ``R↑`` (raises on ``∅``)."""
+        if self._empty:
+            raise ValueError("the empty interval has no upper bound")
+        return self._upper
+
+    @property
+    def is_empty(self) -> bool:
+        """True for the distinguished least element ``∅``."""
+        return self._empty
+
+    @property
+    def is_top(self) -> bool:
+        """True for ``[-inf, +inf]``."""
+        return not self._empty and self._lower == NEG_INF and self._upper == POS_INF
+
+    def is_constant(self) -> bool:
+        """True when both bounds are (finite) integer constants."""
+        return (not self._empty and self._lower.is_constant() and self._upper.is_constant())
+
+    def is_symbolic(self) -> bool:
+        """True when at least one finite bound mentions a kernel symbol."""
+        if self._empty:
+            return False
+        return bool(self._lower.symbols() or self._upper.symbols())
+
+    def symbols(self) -> frozenset:
+        """Union of kernel symbols appearing in the bounds."""
+        if self._empty:
+            return frozenset()
+        return self._lower.symbols() | self._upper.symbols()
+
+    # -- lattice operations ------------------------------------------------
+    def join(self, other: "SymbolicInterval") -> "SymbolicInterval":
+        """The ``⊔`` operator (least upper bound up to symbolic precision)."""
+        if self._empty:
+            return other
+        if other._empty:
+            return self
+        return SymbolicInterval(
+            sym_min(self._lower, other._lower), sym_max(self._upper, other._upper)
+        )
+
+    def meet(self, other: "SymbolicInterval") -> "SymbolicInterval":
+        """The ``⊓`` operator; ``∅`` when the intervals are provably disjoint."""
+        if self._empty or other._empty:
+            return EMPTY_INTERVAL
+        if self.is_top:
+            return other
+        if other.is_top:
+            return self
+        if self.definitely_disjoint(other):
+            return EMPTY_INTERVAL
+        return SymbolicInterval(
+            sym_max(self._lower, other._lower), sym_min(self._upper, other._upper)
+        )
+
+    def contains_interval(self, other: "SymbolicInterval") -> bool:
+        """``other ⊑ self``, i.e. the bounds of ``self`` enclose ``other``'s."""
+        if other._empty:
+            return True
+        if self._empty:
+            return False
+        return definitely_le(self._lower, other._lower) and definitely_le(
+            other._upper, self._upper
+        )
+
+    def widen(self, other: "SymbolicInterval") -> "SymbolicInterval":
+        """The ``∇`` operator of the paper (applied as ``old ∇ new``)."""
+        if self._empty:
+            return other
+        if other._empty:
+            return self
+        lower_stable = compare(self._lower, other._lower) is Ordering.EQUAL or definitely_le(
+            self._lower, other._lower
+        )
+        upper_stable = compare(self._upper, other._upper) is Ordering.EQUAL or definitely_le(
+            other._upper, self._upper
+        )
+        lower = self._lower if lower_stable else NEG_INF
+        upper = self._upper if upper_stable else POS_INF
+        return SymbolicInterval(lower, upper)
+
+    def narrow(self, other: "SymbolicInterval") -> "SymbolicInterval":
+        """Descending-sequence refinement: replace infinite bounds of ``self``
+        by the corresponding bounds of ``other``."""
+        if self._empty or other._empty:
+            return other
+        lower = other._lower if self._lower == NEG_INF else self._lower
+        upper = other._upper if self._upper == POS_INF else self._upper
+        return SymbolicInterval(lower, upper)
+
+    # -- arithmetic ---------------------------------------------------------
+    def shift(self, delta: ExprLike) -> "SymbolicInterval":
+        """Add the single expression ``delta`` to both bounds."""
+        if self._empty:
+            return self
+        delta = as_expr(delta)
+        return SymbolicInterval(sym_add(self._lower, delta), sym_add(self._upper, delta))
+
+    def add(self, other: "SymbolicInterval") -> "SymbolicInterval":
+        """Interval addition ``[a+c, b+d]``."""
+        if self._empty or other._empty:
+            return EMPTY_INTERVAL
+        return SymbolicInterval(
+            sym_add(self._lower, other._lower), sym_add(self._upper, other._upper)
+        )
+
+    def sub(self, other: "SymbolicInterval") -> "SymbolicInterval":
+        """Interval subtraction ``[a-d, b-c]``."""
+        if self._empty or other._empty:
+            return EMPTY_INTERVAL
+        return SymbolicInterval(
+            sym_sub(self._lower, other._upper), sym_sub(self._upper, other._lower)
+        )
+
+    def negate(self) -> "SymbolicInterval":
+        """``[-u, -l]``."""
+        if self._empty:
+            return self
+        return SymbolicInterval(sym_neg(self._upper), sym_neg(self._lower))
+
+    def scale(self, factor: int) -> "SymbolicInterval":
+        """Multiply both bounds by an integer constant."""
+        if self._empty:
+            return self
+        if factor == 0:
+            return SymbolicInterval(0, 0)
+        if factor > 0:
+            return SymbolicInterval(sym_mul(self._lower, factor), sym_mul(self._upper, factor))
+        return SymbolicInterval(sym_mul(self._upper, factor), sym_mul(self._lower, factor))
+
+    def mul(self, other: "SymbolicInterval") -> "SymbolicInterval":
+        """Interval multiplication.
+
+        Precise only when one operand is a constant point or a constant
+        interval with bounds of one sign; otherwise returns top, which is
+        always sound.
+        """
+        if self._empty or other._empty:
+            return EMPTY_INTERVAL
+        for first, second in ((self, other), (other, self)):
+            if second.is_constant() and second._lower == second._upper:
+                factor = second._lower.constant_value()
+                assert factor is not None
+                return first.scale(factor)
+        return TOP_INTERVAL
+
+    def clamp_upper(self, bound: ExprLike) -> "SymbolicInterval":
+        """Meet with ``[-inf, bound]`` (the ``∩ [-inf, E]`` of e-SSA)."""
+        return self.meet(SymbolicInterval(NEG_INF, bound))
+
+    def clamp_lower(self, bound: ExprLike) -> "SymbolicInterval":
+        """Meet with ``[bound, +inf]`` (the ``∩ [E, +inf]`` of e-SSA)."""
+        return self.meet(SymbolicInterval(bound, POS_INF))
+
+    # -- predicates ---------------------------------------------------------
+    def definitely_disjoint(self, other: "SymbolicInterval") -> bool:
+        """True only when the two intervals can be proven not to overlap."""
+        if self._empty or other._empty:
+            return True
+        return definitely_lt(self._upper, other._lower) or definitely_lt(
+            other._upper, self._lower
+        )
+
+    def contains_value(self, value: ExprLike) -> bool:
+        """True only when ``lower <= value <= upper`` is provable."""
+        if self._empty:
+            return False
+        value = as_expr(value)
+        return definitely_le(self._lower, value) and definitely_le(value, self._upper)
+
+    def substitute(self, mapping: Mapping[str, ExprLike]) -> "SymbolicInterval":
+        """Substitute kernel symbols in both bounds."""
+        if self._empty:
+            return self
+        return SymbolicInterval(
+            self._lower.substitute(mapping), self._upper.substitute(mapping)
+        )
+
+    # -- dunder -------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SymbolicInterval):
+            return NotImplemented
+        if self._empty or other._empty:
+            return self._empty and other._empty
+        return self._lower == other._lower and self._upper == other._upper
+
+    def __hash__(self) -> int:
+        if self._empty:
+            return hash("SymbolicInterval.EMPTY")
+        return hash(("SymbolicInterval", self._lower, self._upper))
+
+    def __repr__(self) -> str:
+        if self._empty:
+            return "∅"
+        return f"[{self._lower!r}, {self._upper!r}]"
+
+    @staticmethod
+    def join_all(intervals: Iterable["SymbolicInterval"]) -> "SymbolicInterval":
+        """Fold :meth:`join` over an iterable (``∅`` for the empty iterable)."""
+        result = EMPTY_INTERVAL
+        for interval in intervals:
+            result = result.join(interval)
+        return result
+
+
+EMPTY_INTERVAL = SymbolicInterval(empty=True)
+TOP_INTERVAL = SymbolicInterval(NEG_INF, POS_INF)

@@ -1,0 +1,113 @@
+"""Utilities for evaluating and bounding symbolic expressions.
+
+Besides construction-time canonicalisation (:mod:`repro.symbolic.expr`), the
+analyses need two services:
+
+* **concrete evaluation** — replacing every kernel symbol by an integer and
+  computing the resulting value.  This is how the test-suite checks that the
+  abstract ranges really enclose the concrete offsets (the Galois-connection
+  property), and how the benchmark harness concretises symbolic reports.
+* **complexity limiting** — Section 3.8 of the paper argues the analysis
+  stays ``O(|V|)`` because abstract values never develop long chains of
+  ``min``/``max``.  :func:`limit_expr` and :func:`limit_interval` enforce a
+  node budget by conservatively flattening over-sized bounds to infinity.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Union
+
+from .expr import (
+    Constant,
+    DivExpr,
+    ExprLike,
+    Infinity,
+    MaxExpr,
+    MinExpr,
+    ModExpr,
+    NEG_INF,
+    POS_INF,
+    ProductExpr,
+    SumExpr,
+    Symbol,
+    SymExpr,
+    as_expr,
+)
+from .interval import SymbolicInterval
+
+__all__ = ["evaluate", "limit_expr", "limit_interval", "DEFAULT_EXPR_BUDGET"]
+
+#: Maximum number of expression nodes a bound may have before it is widened.
+DEFAULT_EXPR_BUDGET = 24
+
+Number = Union[int, float]
+
+
+def evaluate(expr: ExprLike, env: Mapping[str, int]) -> Number:
+    """Evaluate ``expr`` with the concrete symbol assignment ``env``.
+
+    Infinities evaluate to ``math.inf`` / ``-math.inf``.  Division and modulo
+    follow C semantics (truncation towards zero), matching
+    :func:`repro.symbolic.expr.sym_div`.
+
+    Raises:
+        KeyError: if a symbol in ``expr`` is missing from ``env``.
+        ZeroDivisionError: on division/modulo by zero.
+    """
+    expr = as_expr(expr)
+    if isinstance(expr, Constant):
+        return expr.value
+    if isinstance(expr, Infinity):
+        return math.inf if expr.sign > 0 else -math.inf
+    if isinstance(expr, Symbol):
+        return env[expr.name]
+    if isinstance(expr, SumExpr):
+        total: Number = expr.offset
+        for atom, coeff in expr.terms:
+            total += coeff * evaluate(atom, env)
+        return total
+    if isinstance(expr, MinExpr):
+        return min(evaluate(expr.lhs, env), evaluate(expr.rhs, env))
+    if isinstance(expr, MaxExpr):
+        return max(evaluate(expr.lhs, env), evaluate(expr.rhs, env))
+    if isinstance(expr, ProductExpr):
+        return evaluate(expr.lhs, env) * evaluate(expr.rhs, env)
+    if isinstance(expr, DivExpr):
+        lhs, rhs = evaluate(expr.lhs, env), evaluate(expr.rhs, env)
+        if rhs == 0:
+            raise ZeroDivisionError("evaluated symbolic division by zero")
+        quotient = abs(lhs) // abs(rhs)
+        return -quotient if (lhs < 0) != (rhs < 0) else quotient
+    if isinstance(expr, ModExpr):
+        lhs, rhs = evaluate(expr.lhs, env), evaluate(expr.rhs, env)
+        if rhs == 0:
+            raise ZeroDivisionError("evaluated symbolic modulo by zero")
+        remainder = abs(lhs) % abs(rhs)
+        return -remainder if lhs < 0 else remainder
+    raise TypeError(f"cannot evaluate {expr!r}")
+
+
+def limit_expr(expr: SymExpr, *, budget: int = DEFAULT_EXPR_BUDGET,
+               toward_upper: bool) -> SymExpr:
+    """Replace ``expr`` by an infinity when it exceeds the node ``budget``.
+
+    ``toward_upper`` selects the direction of over-approximation: upper
+    bounds grow to ``+inf`` and lower bounds shrink to ``-inf``, so the
+    enclosing interval only ever gets larger (sound).
+    """
+    if expr.complexity() <= budget:
+        return expr
+    return POS_INF if toward_upper else NEG_INF
+
+
+def limit_interval(interval: SymbolicInterval,
+                   *, budget: int = DEFAULT_EXPR_BUDGET) -> SymbolicInterval:
+    """Apply :func:`limit_expr` to both bounds of ``interval``."""
+    if interval.is_empty:
+        return interval
+    lower = limit_expr(interval.lower, budget=budget, toward_upper=False)
+    upper = limit_expr(interval.upper, budget=budget, toward_upper=True)
+    if lower is interval.lower and upper is interval.upper:
+        return interval
+    return SymbolicInterval(lower, upper)

@@ -1,0 +1,88 @@
+"""Pointer renaming inside single-entry regions (Section 2, Figure 4).
+
+The local disambiguation test works on addresses that "spring from the same
+base pointer": ``p[i]`` and ``p[i + 1]`` inside a loop body are different
+constant offsets of the *same* runtime address ``p + i``.  The paper makes
+this structure explicit by renaming the varying base to a fresh pointer
+(``newp = p + i``) so that the two accesses become ``newp[0]`` and
+``newp[1]``.
+
+This transform performs that renaming at the IR level: every
+:class:`~repro.ir.instructions.PtrAddInst` with a non-constant index is
+rewritten into a *canonical base* (``base + index*scale``, offset 0) shared
+by all pointer computations in the function that use the same
+``(base, index, scale)`` triple, followed by a constant-offset ``ptradd``.
+The canonical bases are recorded so the local analysis can treat them as
+fresh locations (``LR(newp) = loc_new + [0, 0]``).
+
+The :class:`~repro.core.local_analysis.LocalRangeAnalysis` applies the same
+keying internally even when the transform has not been run, so running this
+pass is optional; it exists to materialise the paper's Figure 4 shape in the
+IR and to support the ablation experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..ir.function import Function
+from ..ir.instructions import Instruction, PtrAddInst
+from ..ir.module import Module
+from ..ir.values import ConstantInt, Value
+
+__all__ = ["rename_region_pointers_in_function", "rename_region_pointers", "canonical_bases"]
+
+
+def _is_varying_index(inst: PtrAddInst) -> bool:
+    return inst.index is not None and not isinstance(inst.index, ConstantInt)
+
+
+def rename_region_pointers_in_function(function: Function) -> int:
+    """Rewrite varying-index pointer arithmetic through shared canonical bases.
+
+    Returns the number of canonical base pointers created.
+    """
+    if function.is_declaration():
+        return 0
+    bases: Dict[Tuple[Value, Value, int], PtrAddInst] = {}
+    created = 0
+    for block in function.blocks:
+        for inst in list(block.instructions):
+            if not isinstance(inst, PtrAddInst) or not _is_varying_index(inst):
+                continue
+            key = (inst.base, inst.index, inst.scale)
+            canonical = bases.get(key)
+            if canonical is None:
+                if inst.offset == 0:
+                    # The instruction itself is already in canonical shape
+                    # (``base + index*scale``) and becomes the shared name.
+                    bases[key] = inst
+                    continue
+                canonical = PtrAddInst(inst.base, inst.index, scale=inst.scale, offset=0,
+                                       name=function.uniquify_name(f"{inst.name or 'p'}.base"))
+                position = block.instructions.index(inst)
+                block.insert(position, canonical)
+                bases[key] = canonical
+                created += 1
+            if canonical is inst:
+                continue
+            # Rewrite: inst becomes canonical + constant offset.
+            replacement = PtrAddInst(canonical, None, scale=1, offset=inst.offset,
+                                     name=function.uniquify_name(f"{inst.name or 'p'}.off"))
+            position = block.instructions.index(inst)
+            block.insert(position, replacement)
+            inst.replace_all_uses_with(replacement)
+            inst.erase_from_parent()
+    return created
+
+
+def rename_region_pointers(module: Module) -> int:
+    """Run the renaming over every function; returns total canonical bases created."""
+    return sum(rename_region_pointers_in_function(function)
+               for function in module.defined_functions())
+
+
+def canonical_bases(function: Function) -> List[PtrAddInst]:
+    """Canonical base pointers (``base + index*scale`` with zero constant offset)."""
+    return [inst for inst in function.instructions()
+            if isinstance(inst, PtrAddInst) and _is_varying_index(inst) and inst.offset == 0]

@@ -1,0 +1,133 @@
+"""End-to-end integration tests over the synthetic evaluation machinery.
+
+These tests exercise the same pipeline the benchmarks use — generate a
+program, compile it, run every analysis, answer every query — and check the
+*relations* the paper's evaluation depends on (precision ordering,
+complementarity, linearity bookkeeping) rather than exact numbers.
+"""
+
+import pytest
+
+from repro.aliases import (
+    AliasResult,
+    AndersenAliasAnalysis,
+    BasicAliasAnalysis,
+    SCEVAliasAnalysis,
+    SteensgaardAliasAnalysis,
+)
+from repro.benchgen import GeneratorConfig, build_program, generate_module
+from repro.core import RBAAAliasAnalysis
+from repro.evaluation import (
+    census_for_module,
+    enumerate_query_pairs,
+    pearson_correlation,
+    run_ablation,
+    run_precision_experiment,
+    run_queries,
+    run_scalability_experiment,
+    standard_factories,
+)
+from repro.ir import verify_module
+
+
+@pytest.fixture(scope="module")
+def medium_program():
+    return generate_module(GeneratorConfig(name="e2e", instances=14, seed=21))
+
+
+class TestGeneratedProgramAnalyses:
+    def test_all_analyses_answer_every_query_without_crashing(self, medium_program):
+        module = medium_program.module
+        verify_module(module)
+        analyses = [
+            RBAAAliasAnalysis(module),
+            BasicAliasAnalysis(module),
+            SCEVAliasAnalysis(module),
+            AndersenAliasAnalysis(module),
+            SteensgaardAliasAnalysis(module),
+        ]
+        pairs = list(enumerate_query_pairs(module, max_pairs_per_function=400))
+        assert pairs
+        for analysis in analyses:
+            for pair in pairs:
+                assert analysis.alias(pair.a, pair.b) in AliasResult
+
+    def test_alias_relation_is_symmetric(self, medium_program):
+        module = medium_program.module
+        rbaa = RBAAAliasAnalysis(module)
+        basic = BasicAliasAnalysis(module)
+        pairs = list(enumerate_query_pairs(module, max_pairs_per_function=150))
+        for analysis in (rbaa, basic):
+            for pair in pairs[:300]:
+                forward = analysis.alias(pair.a, pair.b)
+                backward = analysis.alias(pair.b, pair.a)
+                assert (forward is AliasResult.NO_ALIAS) == (backward is AliasResult.NO_ALIAS)
+
+    def test_precision_ordering_matches_the_paper(self, medium_program):
+        """rbaa disambiguates more than basic, which beats scev (Figure 13's shape)."""
+        module = medium_program.module
+        result = run_queries("e2e", module, standard_factories(),
+                             max_pairs_per_function=1500)
+        assert result.no_alias["rbaa"] > result.no_alias["basic"] > result.no_alias["scev"]
+        assert result.no_alias["r+b"] >= result.no_alias["rbaa"]
+
+    def test_rbaa_and_basic_are_complementary(self, medium_program):
+        """The combination answers queries neither analysis answers alone."""
+        module = medium_program.module
+        result = run_queries("e2e", module, standard_factories(),
+                             max_pairs_per_function=1500)
+        assert result.no_alias["r+b"] > result.no_alias["basic"]
+
+    def test_census_finds_symbolic_pointers(self, medium_program):
+        census = census_for_module("e2e", medium_program.module)
+        assert census.symbolic > 0
+        assert 0.0 < census.symbolic_percentage() < 100.0
+
+
+class TestSuitePrograms:
+    @pytest.mark.parametrize("name", ["allroots", "anagram", "fixoutput"])
+    def test_small_suite_programs_compile_and_analyse(self, name):
+        program = build_program(name)
+        verify_module(program.module)
+        rbaa = RBAAAliasAnalysis(program.module)
+        pairs = list(enumerate_query_pairs(program.module, max_pairs_per_function=200))
+        answered = sum(rbaa.alias(pair.a, pair.b) is AliasResult.NO_ALIAS for pair in pairs)
+        assert answered > 0
+
+
+class TestExperimentDrivers:
+    def test_precision_experiment_on_a_slice(self):
+        report = run_precision_experiment(program_names=["allroots", "anagram"],
+                                          max_pairs_per_function=800)
+        assert len(report.results) == 2
+        totals = report.totals()
+        assert totals.queries > 0
+        assert totals.no_alias["rbaa"] >= totals.no_alias["basic"]
+        assert 0.0 <= report.global_test_fraction() <= 1.0
+        assert report.improvement_over_basic() >= 1.0
+
+    def test_scalability_experiment_scales_linearly_enough(self):
+        report = run_scalability_experiment(program_count=8, smallest=2, largest=24)
+        assert len(report.points) == 8
+        sizes = [point.instructions for point in report.points]
+        assert sizes == sorted(sizes)
+        correlation = report.correlation_time_vs_instructions()
+        assert correlation > 0.5  # loose: timing noise on tiny programs
+        assert report.instructions_per_second() > 0
+
+    def test_ablation_full_configuration_dominates_its_own_pieces(self):
+        totals = run_ablation(program_names=["allroots", "anagram", "ft"],
+                              max_pairs_per_function=500)
+        queries_full, no_alias_full = totals["full"]
+        # Running both tests over the same abstract states can only answer
+        # more queries than running either one alone (the complementarity
+        # argument of Section 2).  Other variants (intraprocedural, no e-SSA)
+        # change the abstract states themselves, so they are reported but not
+        # ordered here.
+        assert totals["global-only"][0] == queries_full
+        assert totals["local-only"][0] == queries_full
+        assert 0 < totals["global-only"][1] <= no_alias_full
+        assert 0 < totals["local-only"][1] <= no_alias_full
+        assert totals["global-only"][1] + totals["local-only"][1] >= no_alias_full
+        for name in ("no-narrowing", "intraproc", "no-essa"):
+            assert totals[name][1] > 0

@@ -1,0 +1,296 @@
+"""Unit tests for the baseline alias analyses and their combination."""
+
+import pytest
+
+from repro.aliases import (
+    AliasResult,
+    AndersenAliasAnalysis,
+    BasicAliasAnalysis,
+    CombinedAliasAnalysis,
+    MemoryAccess,
+    SCEVAliasAnalysis,
+    SteensgaardAliasAnalysis,
+)
+from repro.core import RBAAAliasAnalysis
+from repro.frontend import compile_source
+from repro.ir.instructions import MallocInst, PtrAddInst, StoreInst
+from repro.ir.values import NullPointer
+
+
+def stores_of(module, function_name):
+    fn = module.get_function(function_name)
+    return [inst for inst in fn.instructions() if isinstance(inst, StoreInst)]
+
+
+class TestMemoryAccess:
+    def test_default_size_is_pointee_size(self):
+        module = compile_source("void f(int* p) { *p = 0; }")
+        p = module.get_function("f").args[0]
+        assert MemoryAccess.of(p).size == 4
+
+    def test_explicit_size_wins(self):
+        module = compile_source("void f(int* p) { *p = 0; }")
+        p = module.get_function("f").args[0]
+        assert MemoryAccess.of(p, 16).size == 16
+        assert MemoryAccess(p, None).bounded_size() == 1
+
+
+class TestBasicAliasAnalysis:
+    def test_distinct_mallocs_do_not_alias(self):
+        module = compile_source("""
+        void f(int n) {
+          char* a = (char*)malloc(n);
+          char* b = (char*)malloc(n);
+          a[0] = 0; b[0] = 1;
+        }
+        """)
+        basic = BasicAliasAnalysis(module)
+        first, second = stores_of(module, "f")
+        assert basic.alias_pointers(first.pointer, second.pointer) is AliasResult.NO_ALIAS
+
+    def test_struct_fields_do_not_alias(self):
+        module = compile_source("""
+        struct pair { int a; int b; };
+        void f(struct pair* p) { p->a = 0; p->b = 1; }
+        """)
+        basic = BasicAliasAnalysis(module)
+        first, second = stores_of(module, "f")
+        assert basic.alias_pointers(first.pointer, second.pointer) is AliasResult.NO_ALIAS
+
+    def test_constant_array_subscripts_do_not_alias(self):
+        module = compile_source("void f(int* a) { a[2] = 0; a[5] = 1; }")
+        basic = BasicAliasAnalysis(module)
+        first, second = stores_of(module, "f")
+        assert basic.alias_pointers(first.pointer, second.pointer) is AliasResult.NO_ALIAS
+
+    def test_overlapping_constant_offsets_partially_alias(self):
+        module = compile_source("void f(char* a) { *(int*)(a + 2) = 0; *(a + 4) = 1; }")
+        basic = BasicAliasAnalysis(module)
+        first, second = stores_of(module, "f")
+        assert basic.alias_pointers(first.pointer, second.pointer) is AliasResult.PARTIAL_ALIAS
+
+    def test_same_constant_offset_must_alias(self):
+        module = compile_source("void f(char* a) { *(a + 4) = 0; *(a + 4) = 1; }")
+        basic = BasicAliasAnalysis(module)
+        first, second = stores_of(module, "f")
+        assert basic.alias_pointers(first.pointer, second.pointer) is AliasResult.MUST_ALIAS
+
+    def test_symbolic_offsets_are_not_disambiguated(self):
+        # The motivating weakness: basicaa cannot separate p[i] from p[i+1].
+        module = compile_source("""
+        void f(float* p, int n) {
+          int i = 0;
+          while (i < n) { p[i] = 0.0; p[i + 1] = 1.0; i += 2; }
+        }
+        """)
+        basic = BasicAliasAnalysis(module)
+        first, second = stores_of(module, "f")
+        assert basic.alias_pointers(first.pointer, second.pointer) is AliasResult.MAY_ALIAS
+
+    def test_null_does_not_alias_identified_objects(self):
+        module = compile_source("void f(int n) { char* a = (char*)malloc(n); a[0] = 0; }")
+        basic = BasicAliasAnalysis(module)
+        store = stores_of(module, "f")[0]
+        null = NullPointer(store.pointer.type)
+        assert basic.alias_pointers(store.pointer, null) is AliasResult.NO_ALIAS
+
+    def test_non_escaping_alloca_does_not_alias_arguments(self):
+        module = compile_source("""
+        int f(char* input, int n) {
+          char scratch[16];
+          int i;
+          for (i = 0; i < n; i++) { scratch[i % 16] = input[i]; }
+          return scratch[0];
+        }
+        """)
+        basic = BasicAliasAnalysis(module)
+        scratch_store = stores_of(module, "f")[0]
+        argument = module.get_function("f").args[0]
+        assert basic.alias_pointers(scratch_store.pointer, argument) is AliasResult.NO_ALIAS
+
+    def test_escaping_alloca_keeps_may_alias(self):
+        module = compile_source("""
+        void sink(char* p);
+        char g;
+        void f(char* input) {
+          char scratch[16];
+          sink(scratch);
+          scratch[0] = *input;
+        }
+        """)
+        basic = BasicAliasAnalysis(module)
+        store = stores_of(module, "f")[-1]
+        argument = module.get_function("f").args[0]
+        assert basic.alias_pointers(store.pointer, argument) is AliasResult.MAY_ALIAS
+
+    def test_library_function_memory_knowledge(self):
+        assert BasicAliasAnalysis.callee_is_readonly("strlen")
+        assert BasicAliasAnalysis.callee_accesses_no_memory("abs")
+        assert not BasicAliasAnalysis.callee_is_readonly("memcpy")
+
+    def test_underlying_objects_through_phi(self):
+        module = compile_source("""
+        void f(int n, int c) {
+          char* a = (char*)malloc(n);
+          char* b = (char*)malloc(n);
+          char* chosen;
+          if (c) { chosen = a; } else { chosen = b; }
+          chosen[0] = 1;
+        }
+        """)
+        basic = BasicAliasAnalysis(module)
+        store = stores_of(module, "f")[0]
+        objects = basic.underlying_objects(store.pointer)
+        assert objects.all_identified
+        assert len(objects.objects) == 2
+
+
+class TestSCEVAliasAnalysis:
+    def test_lockstep_pointers_with_gap_do_not_alias(self):
+        module = compile_source("""
+        void f(float* p, int n) {
+          int i = 0;
+          while (i < n) { p[i] = 0.0; p[i + 1] = 1.0; i += 2; }
+        }
+        """)
+        scev = SCEVAliasAnalysis(module)
+        first, second = stores_of(module, "f")
+        assert scev.alias_pointers(first.pointer, second.pointer) is AliasResult.NO_ALIAS
+
+    def test_same_evolution_must_alias(self):
+        module = compile_source("""
+        void f(int* p, int n) {
+          int i;
+          for (i = 0; i < n; i++) { p[i] = 0; p[i] = 1; }
+        }
+        """)
+        scev = SCEVAliasAnalysis(module)
+        first, second = stores_of(module, "f")
+        assert scev.alias_pointers(first.pointer, second.pointer) is AliasResult.MUST_ALIAS
+
+    def test_pointers_outside_loops_are_unknown(self):
+        module = compile_source("void f(char* p) { *(p + 1) = 0; *(p + 5) = 1; }")
+        scev = SCEVAliasAnalysis(module)
+        first, second = stores_of(module, "f")
+        assert scev.alias_pointers(first.pointer, second.pointer) is AliasResult.MAY_ALIAS
+
+    def test_overlapping_strides_partially_alias(self):
+        module = compile_source("""
+        void f(char* p, int n) {
+          int i = 0;
+          while (i < n) { *(int*)(p + i) = 0; *(p + i + 2) = 1; i += 8; }
+        }
+        """)
+        scev = SCEVAliasAnalysis(module)
+        first, second = stores_of(module, "f")
+        assert scev.alias_pointers(first.pointer, second.pointer) is AliasResult.PARTIAL_ALIAS
+
+
+class TestPointsToAnalyses:
+    SOURCE = """
+    void f(int n, int c) {
+      char* a = (char*)malloc(n);
+      char* b = (char*)malloc(n);
+      char* alias_of_a = a + 1;
+      a[0] = 0;
+      b[0] = 1;
+      *alias_of_a = 2;
+    }
+    """
+
+    def test_andersen_separates_distinct_allocations(self):
+        module = compile_source(self.SOURCE)
+        andersen = AndersenAliasAnalysis(module)
+        first, second, third = stores_of(module, "f")
+        assert andersen.alias_pointers(first.pointer, second.pointer) is AliasResult.NO_ALIAS
+        assert andersen.alias_pointers(first.pointer, third.pointer) is AliasResult.MAY_ALIAS
+
+    def test_andersen_points_to_sets(self):
+        module = compile_source(self.SOURCE)
+        andersen = AndersenAliasAnalysis(module)
+        mallocs = [i for i in module.get_function("f").instructions()
+                   if isinstance(i, MallocInst)]
+        first_set = andersen.points_to_set(mallocs[0])
+        assert mallocs[0] in first_set and mallocs[1] not in first_set
+
+    def test_andersen_handles_pointers_stored_in_memory(self):
+        module = compile_source("""
+        void f(int n) {
+          char** slot = (char**)malloc(8);
+          char* obj = (char*)malloc(n);
+          *slot = obj;
+          char* loaded = *slot;
+          loaded[0] = 1;
+        }
+        """)
+        andersen = AndersenAliasAnalysis(module)
+        store = stores_of(module, "f")[-1]
+        mallocs = [i for i in module.get_function("f").instructions()
+                   if isinstance(i, MallocInst)]
+        loaded_set = andersen.points_to_set(store.pointer)
+        assert mallocs[1] in loaded_set
+
+    def test_steensgaard_separates_unconnected_allocations(self):
+        module = compile_source(self.SOURCE)
+        steensgaard = SteensgaardAliasAnalysis(module)
+        first, second, third = stores_of(module, "f")
+        assert steensgaard.alias_pointers(first.pointer, second.pointer) is AliasResult.NO_ALIAS
+        assert steensgaard.alias_pointers(first.pointer, third.pointer) is AliasResult.MAY_ALIAS
+
+    def test_steensgaard_unifies_flowed_together_pointers(self):
+        module = compile_source("""
+        void f(int n, int c) {
+          char* a = (char*)malloc(n);
+          char* b = (char*)malloc(n);
+          char* chosen;
+          if (c) { chosen = a; } else { chosen = b; }
+          chosen[0] = 1;
+          a[0] = 2;
+          b[0] = 3;
+        }
+        """)
+        steensgaard = SteensgaardAliasAnalysis(module)
+        chosen_store, a_store, b_store = stores_of(module, "f")
+        # Unification merges a and b into one class through `chosen`.
+        assert steensgaard.alias_pointers(a_store.pointer, b_store.pointer) \
+            is AliasResult.MAY_ALIAS
+        # Andersen keeps them apart: inclusion-based is strictly more precise here.
+        andersen = AndersenAliasAnalysis(module)
+        assert andersen.alias_pointers(a_store.pointer, b_store.pointer) \
+            is AliasResult.NO_ALIAS
+
+
+class TestCombinedAnalysis:
+    def test_combination_is_at_least_as_precise_as_each_member(self):
+        source = """
+        int f(char* input, float* p, int n) {
+          char scratch[16];
+          int i = 0;
+          while (i < n) {
+            p[i] = 0.0;
+            p[i + 1] = 1.0;
+            scratch[i % 16] = input[i];
+            i += 2;
+          }
+          return scratch[0];
+        }
+        """
+        module = compile_source(source)
+        rbaa = RBAAAliasAnalysis(module)
+        basic = BasicAliasAnalysis(module)
+        combined = CombinedAliasAnalysis(module, [rbaa, basic], name="r+b")
+        fn = module.get_function("f")
+        pointers = fn.pointer_values()
+        pairs = [(pointers[i], pointers[j])
+                 for i in range(len(pointers)) for j in range(i + 1, len(pointers))]
+        combined_count = sum(combined.no_alias(a, b) for a, b in pairs)
+        basic_count = sum(basic.no_alias(a, b) for a, b in pairs)
+        rbaa_count = sum(rbaa.no_alias(a, b) for a, b in pairs)
+        assert combined_count >= max(basic_count, rbaa_count)
+        assert combined.name == "r+b"
+        assert sum(combined.credit.values()) == combined_count
+
+    def test_requires_at_least_one_analysis(self):
+        module = compile_source("void f() { }")
+        with pytest.raises(ValueError):
+            CombinedAliasAnalysis(module, [])

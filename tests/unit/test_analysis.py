@@ -1,0 +1,278 @@
+"""Unit tests for CFG analyses: orderings, dominance, loops, liveness, call graph."""
+
+import pytest
+
+from repro.analysis import (
+    CallGraph,
+    DominatorTree,
+    LivenessInfo,
+    LoopInfo,
+    back_edges,
+    dominance_frontiers,
+    is_single_entry_region,
+    post_order,
+    predecessor_map,
+    reverse_post_order,
+)
+from repro.frontend import compile_source
+from repro.ir import ConstantInt, FunctionType, INT32, IRBuilder, Module, VOID
+
+
+def build_diamond():
+    """entry -> (left | right) -> merge, with a loop around merge->header."""
+    module = Module("diamond")
+    fn = module.create_function("f", FunctionType(VOID, [INT32]), ["n"])
+    entry = fn.append_block("entry")
+    left = fn.append_block("left")
+    right = fn.append_block("right")
+    merge = fn.append_block("merge")
+    builder = IRBuilder(entry)
+    cond = builder.icmp("slt", fn.args[0], ConstantInt(0))
+    builder.cond_branch(cond, left, right)
+    IRBuilder(left).branch(merge)
+    IRBuilder(right).branch(merge)
+    IRBuilder(merge).ret()
+    return module, fn, (entry, left, right, merge)
+
+
+def build_loop():
+    module = Module("loop")
+    fn = module.create_function("f", FunctionType(VOID, [INT32]), ["n"])
+    entry = fn.append_block("entry")
+    header = fn.append_block("header")
+    body = fn.append_block("body")
+    exit_block = fn.append_block("exit")
+    builder = IRBuilder(entry)
+    builder.branch(header)
+    builder.position_at_end(header)
+    phi = builder.phi(INT32, "i")
+    phi.add_incoming(ConstantInt(0), entry)
+    cond = builder.icmp("slt", phi, fn.args[0])
+    builder.cond_branch(cond, body, exit_block)
+    builder.position_at_end(body)
+    next_value = builder.add(phi, ConstantInt(1))
+    phi.add_incoming(next_value, body)
+    builder.branch(header)
+    IRBuilder(exit_block).ret()
+    return module, fn, (entry, header, body, exit_block)
+
+
+class TestOrderings:
+    def test_reverse_post_order_starts_at_entry(self):
+        _, fn, (entry, left, right, merge) = build_diamond()
+        rpo = reverse_post_order(fn)
+        assert rpo[0] is entry
+        assert rpo[-1] is merge
+        assert set(rpo) == {entry, left, right, merge}
+
+    def test_post_order_is_reverse_of_rpo(self):
+        _, fn, _ = build_diamond()
+        assert list(reversed(post_order(fn))) == reverse_post_order(fn)
+
+    def test_unreachable_blocks_excluded(self):
+        module, fn, blocks = build_diamond()
+        dead = fn.append_block("dead")
+        IRBuilder(dead).ret()
+        assert dead not in reverse_post_order(fn)
+
+    def test_predecessor_map(self):
+        _, fn, (entry, left, right, merge) = build_diamond()
+        preds = predecessor_map(fn)
+        assert set(preds[merge]) == {left, right}
+        assert preds[entry] == []
+
+    def test_back_edges_in_loop(self):
+        _, fn, (entry, header, body, exit_block) = build_loop()
+        edges = back_edges(fn)
+        assert edges == [(body, header)]
+
+    def test_single_entry_region(self):
+        _, fn, (entry, header, body, exit_block) = build_loop()
+        assert is_single_entry_region({header, body}, header)
+        assert not is_single_entry_region({body, exit_block}, body)
+
+
+class TestDominance:
+    def test_entry_dominates_everything(self):
+        _, fn, (entry, left, right, merge) = build_diamond()
+        dom = DominatorTree.compute(fn)
+        for block in (entry, left, right, merge):
+            assert dom.dominates(entry, block)
+
+    def test_branches_do_not_dominate_merge(self):
+        _, fn, (entry, left, right, merge) = build_diamond()
+        dom = DominatorTree.compute(fn)
+        assert not dom.dominates(left, merge)
+        assert not dom.dominates(right, merge)
+        assert dom.idom(merge) is entry
+
+    def test_strict_dominance(self):
+        _, fn, (entry, left, right, merge) = build_diamond()
+        dom = DominatorTree.compute(fn)
+        assert dom.strictly_dominates(entry, merge)
+        assert not dom.strictly_dominates(merge, merge)
+
+    def test_children_and_depth(self):
+        _, fn, (entry, left, right, merge) = build_diamond()
+        dom = DominatorTree.compute(fn)
+        assert set(dom.children(entry)) == {left, right, merge}
+        assert dom.depth(entry) == 0
+        assert dom.depth(left) == 1
+
+    def test_preorder_visits_parents_before_children(self):
+        _, fn, (entry, header, body, exit_block) = build_loop()
+        dom = DominatorTree.compute(fn)
+        order = list(dom.preorder())
+        assert order.index(entry) < order.index(header) < order.index(body)
+
+    def test_dominance_frontiers_of_diamond(self):
+        _, fn, (entry, left, right, merge) = build_diamond()
+        frontiers = dominance_frontiers(fn)
+        assert frontiers[left] == {merge}
+        assert frontiers[right] == {merge}
+        assert frontiers[entry] == set()
+
+    def test_dominance_frontier_of_loop_header(self):
+        _, fn, (entry, header, body, exit_block) = build_loop()
+        frontiers = dominance_frontiers(fn)
+        assert header in frontiers[body]
+        assert header in frontiers[header]
+
+
+class TestLoops:
+    def test_loop_detection(self):
+        _, fn, (entry, header, body, exit_block) = build_loop()
+        loops = LoopInfo.compute(fn)
+        assert len(loops) == 1
+        loop = loops.loops[0]
+        assert loop.header is header
+        assert loop.blocks == {header, body}
+        assert loop.latches == [body]
+        assert loop.exit_blocks() == [exit_block]
+        assert loop.depth() == 1
+
+    def test_loop_for_block(self):
+        _, fn, (entry, header, body, exit_block) = build_loop()
+        loops = LoopInfo.compute(fn)
+        assert loops.loop_for_block(body) is loops.loops[0]
+        assert loops.loop_for_block(exit_block) is None
+        assert loops.loop_depth(body) == 1
+        assert loops.loop_depth(entry) == 0
+
+    def test_header_phis(self):
+        _, fn, (entry, header, body, exit_block) = build_loop()
+        loops = LoopInfo.compute(fn)
+        assert len(loops.loops[0].header_phis()) == 1
+
+    def test_nested_loops_from_source(self):
+        module = compile_source("""
+        void nested(int* a, int n) {
+          int i; int j;
+          for (i = 0; i < n; i++) {
+            for (j = 0; j < n; j++) {
+              a[i * n + j] = i + j;
+            }
+          }
+        }
+        """)
+        fn = module.get_function("nested")
+        loops = LoopInfo.compute(fn)
+        assert len(loops) == 2
+        depths = sorted(loop.depth() for loop in loops)
+        assert depths == [1, 2]
+        assert len(loops.top_level_loops()) == 1
+
+    def test_no_loops_in_diamond(self):
+        _, fn, _ = build_diamond()
+        assert len(LoopInfo.compute(fn)) == 0
+
+
+class TestLiveness:
+    def test_argument_live_through_loop(self):
+        _, fn, (entry, header, body, exit_block) = build_loop()
+        liveness = LivenessInfo.compute(fn)
+        n = fn.args[0]
+        assert liveness.is_live_into(n, header)
+        assert liveness.is_live_into(n, body)
+        assert not liveness.is_live_into(n, exit_block)
+
+    def test_phi_inputs_live_out_of_predecessors(self):
+        _, fn, (entry, header, body, exit_block) = build_loop()
+        liveness = LivenessInfo.compute(fn)
+        phi = header.phis()[0]
+        increment = phi.incoming_value_for(body)
+        assert increment in liveness.live_out(body)
+
+    def test_live_pointers_into_block(self):
+        module = compile_source("""
+        void touch(char* p, int n) {
+          int i;
+          for (i = 0; i < n; i++) { p[i] = 0; }
+        }
+        """)
+        fn = module.get_function("touch")
+        liveness = LivenessInfo.compute(fn)
+        loop_body = next(block for block in fn.blocks if block.name.startswith("for.body"))
+        live_pointers = liveness.live_pointers_into(loop_body)
+        assert any(value.name == "p" for value in live_pointers)
+
+
+class TestCallGraph:
+    SOURCE = """
+    int helper(int* p) { return p[0]; }
+    int middle(int* p) { return helper(p); }
+    int main(int argc, char** argv) {
+      int data[4];
+      return middle(data) + helper(data);
+    }
+    """
+
+    def test_edges(self):
+        module = compile_source(self.SOURCE)
+        graph = CallGraph.compute(module)
+        helper = module.get_function("helper")
+        middle = module.get_function("middle")
+        main = module.get_function("main")
+        assert helper in graph.callees(middle)
+        assert set(graph.callers(helper)) == {middle, main}
+        assert graph.callees(helper) == []
+
+    def test_call_sites_and_bindings(self):
+        module = compile_source(self.SOURCE)
+        graph = CallGraph.compute(module)
+        helper = module.get_function("helper")
+        sites = graph.sites_calling(helper)
+        assert len(sites) == 2
+        for site in sites:
+            bindings = site.argument_bindings()
+            assert len(bindings) == 1
+            formal, actual = bindings[0]
+            assert formal is helper.args[0]
+            assert actual.type.is_pointer()
+
+    def test_bottom_up_order_has_callees_first(self):
+        module = compile_source(self.SOURCE)
+        graph = CallGraph.compute(module)
+        order = graph.bottom_up_order()
+        names = [fn.name for fn in order]
+        assert names.index("helper") < names.index("middle") < names.index("main")
+
+    def test_external_calls_tracked(self):
+        module = compile_source("""
+        int main(int argc, char** argv) { return atoi(argv[0]); }
+        """)
+        graph = CallGraph.compute(module)
+        main = module.get_function("main")
+        assert len(graph.external_calls(main)) == 1
+
+    def test_recursion_forms_scc(self):
+        module = compile_source("""
+        int even(int n);
+        int odd(int n) { if (n == 0) { return 0; } return even(n - 1); }
+        int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }
+        int main(int argc, char** argv) { return even(atoi(argv[1])); }
+        """)
+        graph = CallGraph.compute(module)
+        components = graph.strongly_connected_components()
+        sizes = sorted(len(component) for component in components)
+        assert sizes == [1, 2]

@@ -1,0 +1,208 @@
+"""Unit tests for the symbolic expression algebra."""
+
+import pytest
+
+from repro.symbolic import (
+    Constant,
+    DivExpr,
+    MaxExpr,
+    MinExpr,
+    ModExpr,
+    NEG_INF,
+    POS_INF,
+    ProductExpr,
+    SumExpr,
+    Symbol,
+    as_expr,
+    const,
+    evaluate,
+    sym,
+    sym_add,
+    sym_div,
+    sym_max,
+    sym_min,
+    sym_mod,
+    sym_mul,
+    sym_neg,
+    sym_sub,
+)
+
+N = sym("N")
+M = sym("M")
+
+
+class TestConstruction:
+    def test_constant_value(self):
+        assert const(7).constant_value() == 7
+        assert const(-3).is_constant()
+
+    def test_symbol_requires_name(self):
+        with pytest.raises(ValueError):
+            Symbol("")
+
+    def test_as_expr_coerces_ints(self):
+        assert as_expr(5) == Constant(5)
+        assert as_expr(N) is N
+
+    def test_as_expr_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_expr("N")
+
+    def test_symbols_are_interned_by_value(self):
+        assert sym("x") == sym("x")
+        assert hash(sym("x")) == hash(sym("x"))
+        assert sym("x") != sym("y")
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            N.name = "other"
+        with pytest.raises(AttributeError):
+            const(1).value = 2
+
+
+class TestLinearCanonicalisation:
+    def test_add_constants_folds(self):
+        assert sym_add(2, 3) == const(5)
+
+    def test_add_symbol_and_constant(self):
+        expr = sym_add(N, 1)
+        assert isinstance(expr, SumExpr)
+        assert expr.offset == 1
+
+    def test_subtraction_cancels(self):
+        assert sym_sub(sym_add(N, 1), N) == const(1)
+
+    def test_add_is_commutative_canonical(self):
+        assert sym_add(N, M) == sym_add(M, N)
+
+    def test_coefficients_accumulate(self):
+        assert sym_add(N, N) == sym_mul(N, 2)
+
+    def test_negation_round_trips(self):
+        assert sym_neg(sym_neg(N)) == N
+
+    def test_zero_coefficient_disappears(self):
+        assert sym_sub(sym_mul(N, 3), sym_mul(N, 3)) == const(0)
+
+    def test_multiplication_by_constant_distributes(self):
+        expr = sym_mul(sym_add(N, 2), 3)
+        assert expr == sym_add(sym_mul(N, 3), 6)
+
+    def test_multiplication_by_zero(self):
+        assert sym_mul(N, 0) == const(0)
+
+    def test_nonlinear_product_is_opaque(self):
+        product = sym_mul(N, M)
+        assert isinstance(product, ProductExpr)
+        assert product == sym_mul(M, N)
+
+    def test_operator_sugar(self):
+        assert (N + 1) - 1 == N
+        assert -(N - N) == const(0)
+        assert 2 * N == N + N
+
+
+class TestDivisionAndModulo:
+    def test_constant_division_truncates_toward_zero(self):
+        assert sym_div(7, 2) == const(3)
+        assert sym_div(-7, 2) == const(-3)
+
+    def test_division_by_one_is_identity(self):
+        assert sym_div(N, 1) == N
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            sym_div(N, 0)
+
+    def test_symbolic_division_is_opaque(self):
+        assert isinstance(sym_div(N, 2), DivExpr)
+
+    def test_constant_modulo(self):
+        assert sym_mod(7, 3) == const(1)
+        assert sym_mod(-7, 3) == const(-1)
+
+    def test_symbolic_modulo_is_opaque(self):
+        assert isinstance(sym_mod(N, 4), ModExpr)
+
+    def test_modulo_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            sym_mod(N, 0)
+
+
+class TestInfinities:
+    def test_addition_saturates(self):
+        assert sym_add(POS_INF, N) == POS_INF
+        assert sym_add(N, NEG_INF) == NEG_INF
+
+    def test_opposite_infinities_raise(self):
+        with pytest.raises(ArithmeticError):
+            sym_add(POS_INF, NEG_INF)
+
+    def test_negation_flips_sign(self):
+        assert -POS_INF == NEG_INF
+        assert -NEG_INF == POS_INF
+
+    def test_multiplication_by_positive_constant(self):
+        assert sym_mul(POS_INF, 2) == POS_INF
+        assert sym_mul(POS_INF, -2) == NEG_INF
+        assert sym_mul(POS_INF, 0) == const(0)
+
+    def test_multiplication_by_symbol_rejected(self):
+        with pytest.raises(ArithmeticError):
+            sym_mul(POS_INF, N)
+
+    def test_min_max_absorb_infinities(self):
+        assert sym_min(NEG_INF, N) == NEG_INF
+        assert sym_min(POS_INF, N) == N
+        assert sym_max(POS_INF, N) == POS_INF
+        assert sym_max(NEG_INF, N) == N
+
+
+class TestMinMax:
+    def test_comparable_operands_fold(self):
+        assert sym_min(N, N + 1) == N
+        assert sym_max(N, N + 1) == N + 1
+        assert sym_min(3, 5) == const(3)
+
+    def test_incomparable_operands_stay(self):
+        assert isinstance(sym_min(N, M), MinExpr)
+        assert isinstance(sym_max(N, M), MaxExpr)
+
+    def test_commutative_canonical_form(self):
+        assert sym_min(N, M) == sym_min(M, N)
+        assert sym_max(N, M) == sym_max(M, N)
+
+    def test_equal_operands(self):
+        assert sym_min(N, N) == N
+        assert sym_max(N + 0, N) == N
+
+
+class TestSubstitutionAndEvaluation:
+    def test_substitute_symbol(self):
+        expr = N + M + 1
+        assert expr.substitute({"N": 4}) == M + 5
+
+    def test_substitute_into_min(self):
+        expr = sym_min(N, M)
+        assert expr.substitute({"N": 2, "M": 7}) == const(2)
+
+    def test_evaluate_linear(self):
+        assert evaluate(2 * N + 3, {"N": 5}) == 13
+
+    def test_evaluate_min_max(self):
+        assert evaluate(sym_min(N, M), {"N": 2, "M": 9}) == 2
+        assert evaluate(sym_max(N, M), {"N": 2, "M": 9}) == 9
+
+    def test_evaluate_division_matches_construction(self):
+        assert evaluate(sym_div(N, 2), {"N": -7}) == -3
+
+    def test_evaluate_missing_symbol_raises(self):
+        with pytest.raises(KeyError):
+            evaluate(N + 1, {})
+
+    def test_symbols_collects_all_names(self):
+        assert (sym_min(N, M) + 3).symbols() == {"N", "M"}
+
+    def test_complexity_counts_nodes(self):
+        assert const(1).complexity() == 1
+        assert sym_min(N, M).complexity() == 3
