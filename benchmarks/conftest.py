@@ -4,7 +4,8 @@ Every benchmark regenerates one table or figure of the paper.  The full
 suite is sizeable, so the default configuration uses a representative slice
 of the 22 programs and caps the quadratic query enumeration per function;
 set ``REPRO_BENCH_FULL=1`` to run everything at full scale (matching the
-per-experiment index in DESIGN.md / EXPERIMENTS.md).
+per-experiment index in DESIGN.md / EXPERIMENTS.md), or
+``REPRO_BENCH_QUICK=1`` for the minimal smoke configuration CI uses.
 """
 
 import os
@@ -13,23 +14,32 @@ import pytest
 
 #: Slice of the suite used by default (one program per suite plus extremes).
 DEFAULT_PROGRAMS = ["cfrac", "espresso", "allroots", "football", "bc", "anagram"]
+#: Minimal slice for the CI smoke job.
+QUICK_PROGRAMS = ["allroots", "anagram"]
 
 FULL_RUN = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+QUICK_RUN = os.environ.get("REPRO_BENCH_QUICK", "") == "1" and not FULL_RUN
 
 
 @pytest.fixture(scope="session")
 def bench_programs():
     """Program names used by the precision/census benchmarks."""
-    return None if FULL_RUN else DEFAULT_PROGRAMS
+    if FULL_RUN:
+        return None
+    return QUICK_PROGRAMS if QUICK_RUN else DEFAULT_PROGRAMS
 
 
 @pytest.fixture(scope="session")
 def max_pairs_per_function():
     """Cap on enumerated pointer pairs per function (None = no cap)."""
-    return None if FULL_RUN else 3000
+    if FULL_RUN:
+        return None
+    return 500 if QUICK_RUN else 3000
 
 
 @pytest.fixture(scope="session")
 def scalability_points():
     """Number of generated programs for the Figure 15 sweep."""
-    return 50 if FULL_RUN else 12
+    if FULL_RUN:
+        return 50
+    return 6 if QUICK_RUN else 12

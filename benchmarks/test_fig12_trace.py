@@ -5,7 +5,6 @@ enabled and checks the schedule (starting state → widening → two descending
 steps) plus the key abstract values of Figure 12.
 """
 
-import pytest
 
 from repro.benchgen import compile_figure1
 from repro.core import GlobalAnalysisOptions, GlobalRangeAnalysis

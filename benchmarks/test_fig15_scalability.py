@@ -40,6 +40,15 @@ def test_fig15_throughput_is_reported(scalability_report):
     assert scalability_report.instructions_per_second() > 1000
 
 
+def test_fig15_solver_steps_are_reported(scalability_report):
+    """Every point carries the sparse solver's fixpoint step count, and the
+    solver stays sparse: a bounded number of transfer applications per
+    instruction (a dense schedule would re-evaluate every value each pass)."""
+    assert all(point.solver_steps > 0 for point in scalability_report.points)
+    assert scalability_report.total_solver_steps() > 0
+    assert scalability_report.steps_per_instruction() < 10.0
+
+
 def test_fig15_single_program_analysis_time(benchmark):
     """Micro-benchmark: GR+LR fixed point on one mid-sized program."""
     from repro.benchgen import GeneratorConfig, generate_module

@@ -6,7 +6,6 @@ E7: ``p[i]`` and ``p[i+1]`` in Figure 3's loop are separated by the local
     test even though their global ranges overlap.
 """
 
-import pytest
 
 from repro.aliases import AliasResult, BasicAliasAnalysis, SCEVAliasAnalysis
 from repro.benchgen import compile_figure1, compile_figure3

@@ -11,6 +11,9 @@ evaluation depends on:
 * **the paper's contribution** — the global (GR) and local (LR) symbolic
   range analyses of pointers and the resulting alias queries
   (:mod:`repro.core`);
+* a shared analysis engine: the SCC-ordered sparse fixpoint solver every
+  analysis runs on, and the :class:`AnalysisManager` that caches analyses
+  per module behind typed keys (:mod:`repro.engine`);
 * baseline alias analyses (``basicaa``-style heuristics, SCEV-based,
   Andersen, Steensgaard) and their chaining (:mod:`repro.aliases`);
 * a synthetic benchmark substrate and the harness regenerating every table
@@ -46,6 +49,7 @@ from .core import (
     RBAAAliasAnalysis,
     RBAAOptions,
 )
+from .engine import AnalysisKey, AnalysisManager, SparseProblem, SparseSolver, keys
 from .frontend import compile_source
 from .rangeanalysis import ScalarEvolution, SymbolicRangeAnalysis
 from .symbolic import SymbolicInterval, sym
@@ -68,6 +72,11 @@ __all__ = [
     "PointerAbstractValue",
     "RBAAAliasAnalysis",
     "RBAAOptions",
+    "AnalysisKey",
+    "AnalysisManager",
+    "SparseProblem",
+    "SparseSolver",
+    "keys",
     "compile_source",
     "ScalarEvolution",
     "SymbolicRangeAnalysis",

@@ -10,8 +10,11 @@ inclusion-based analysis:
 * every allocation site, global, pointer parameter and external pointer is
   an abstract object;
 * constraints are generated per instruction (``p = &x``, ``p = q``,
-  ``p = *q``, ``*p = q``) and solved with a worklist until the points-to
-  sets reach a fixed point;
+  ``p = *q``, ``*p = q``) and solved on the shared sparse engine
+  (:mod:`repro.engine.solver`): points-to sets and per-object memory
+  summaries are solver nodes, copy edges are dependence edges, and the
+  load/store indirections register their dependence edges dynamically as
+  the points-to sets grow;
 * two pointers may alias iff their points-to sets intersect (or either set
   contains the *unknown* object).
 
@@ -22,8 +25,9 @@ the paper's approach removes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set
 
+from ..engine.solver import SparseProblem, SparseSolver
 from ..ir.function import Function
 from ..ir.instructions import (
     AllocaInst,
@@ -52,6 +56,114 @@ __all__ = ["AndersenAliasAnalysis"]
 _UNKNOWN_OBJECT = "<unknown>"
 
 
+class _PointsToProblem(SparseProblem):
+    """The inclusion constraint system as a sparse solver problem.
+
+    Two node namespaces: ``("v", value)`` is the points-to set of an SSA
+    pointer, ``("m", obj)`` the memory summary of one abstract object.  Copy
+    edges are static dependencies; the edges through memory (``p = *q`` and
+    ``*p = q``) appear as the pointer operands' sets grow, so the transfer
+    functions register them with :meth:`SparseSolver.add_dependency`.
+    """
+
+    name = "andersen"
+
+    def __init__(self, analysis: "AndersenAliasAnalysis"):
+        self._analysis = analysis
+        self._solver = None
+
+    def bind(self, solver: SparseSolver) -> None:
+        self._solver = solver
+
+    def nodes(self):
+        analysis = self._analysis
+        return ([("v", value) for value in analysis._pointer_nodes]
+                + [("m", obj) for obj in analysis._objects])
+
+    def dependencies(self, node):
+        kind, subject = node
+        analysis = self._analysis
+        if kind == "v":
+            deps = [("v", source) for source in analysis._sources.get(subject, ())]
+            pointer = analysis._load_pointer.get(subject)
+            if pointer is not None:
+                deps.append(("v", pointer))
+            return deps
+        # Memory summaries read through stores, whose targets only become
+        # known as points-to sets grow; those edges are registered
+        # dynamically (see _transfer_value), never declared densely.
+        return ()
+
+    def transfer(self, node):
+        kind, subject = node
+        if kind == "v":
+            return self._transfer_value(subject)
+        return self._transfer_memory(subject)
+
+    def _transfer_value(self, value: Value) -> Set[object]:
+        analysis = self._analysis
+        # Accumulate into the current state: points-to sets only ever grow
+        # (conditional contributions such as the unknown-object fallback must
+        # never be retracted, or cyclic constraint graphs oscillate).
+        result: Set[object] = set(analysis.points_to.get(value, ()))
+        result.update(analysis._base.get(value, ()))
+        for source in analysis._sources.get(value, ()):
+            if isinstance(source, NullPointer):
+                continue
+            result.update(analysis.points_to.get(source, ()))
+        pointer = analysis._load_pointer.get(value)
+        if pointer is not None:
+            pointer_pts = analysis.points_to.get(pointer, ())
+            if not pointer_pts:
+                result.add(_UNKNOWN_OBJECT)
+            for obj in pointer_pts:
+                self._solver.add_dependency(("v", value), ("m", obj))
+                memory = analysis._memory_of.get(obj)
+                result.update(memory if memory is not None else {_UNKNOWN_OBJECT})
+        # This pointer may be a store target: every object it can reach gains
+        # the store as a contributor, and the memory summary must re-run when
+        # either this pointer's or the stored value's set grows.  Registering
+        # here (before the solver writes the changed set and enqueues
+        # dependents) keeps the memory side of the graph as sparse as the
+        # points-to sets themselves.
+        stored_values = analysis._stores_by_pointer.get(value)
+        if stored_values:
+            for obj in result:
+                contributors = analysis._stores_targeting.setdefault(obj, set())
+                contributors.update(stored_values)
+                self._solver.add_dependency(("m", obj), ("v", value))
+                for stored in stored_values:
+                    self._solver.add_dependency(("m", obj), ("v", stored))
+        return result
+
+    def _transfer_memory(self, obj: object):
+        analysis = self._analysis
+        existing = analysis._memory_of.get(obj)
+        result = None if existing is None else set(existing)
+        contributors = analysis._stores_targeting.get(obj)
+        if contributors is not None:
+            if result is None:
+                result = set()
+            for stored in contributors:
+                result.update(analysis.points_to.get(stored, ()))
+        # ``None`` (no store can reach the object) is distinct from the empty
+        # set: loads treat untouched memory as the unknown object.
+        return result
+
+    def read(self, node):
+        kind, subject = node
+        if kind == "v":
+            return self._analysis.points_to.get(subject, set())
+        return self._analysis._memory_of.get(subject)
+
+    def write(self, node, value) -> None:
+        kind, subject = node
+        if kind == "v":
+            self._analysis.points_to[subject] = value
+        elif value is not None:
+            self._analysis._memory_of[subject] = value
+
+
 class AndersenAliasAnalysis(AliasAnalysis):
     """Inclusion-based (subset) points-to analysis."""
 
@@ -62,27 +174,45 @@ class AndersenAliasAnalysis(AliasAnalysis):
         # points_to maps pointer values to sets of abstract objects, where an
         # abstract object is an allocation Value or the _UNKNOWN_OBJECT tag.
         self.points_to: Dict[Value, Set[object]] = {}
-        # copy edges p ⊇ q (assignments); loads/stores add edges lazily.
-        self._copy_edges: Dict[Value, Set[Value]] = {}
+        # base ("address-of") facts: p ∋ obj constraints from allocations.
+        self._base: Dict[Value, Set[object]] = {}
+        # copy sources per destination: pts(dst) ⊇ pts(src).
+        self._sources: Dict[Value, List[Value]] = {}
         # object -> summary "memory node" points-to set (field-insensitive heap).
         self._memory_of: Dict[object, Set[object]] = {}
-        self._loads: List[Tuple[LoadInst, Value]] = []
-        self._stores: List[Tuple[Value, Value]] = []
+        self._load_pointer: Dict[LoadInst, Value] = {}
+        # store pointer -> values stored through it; object -> stored values
+        # of the stores known to reach it (built dynamically during solving).
+        self._stores_by_pointer: Dict[Value, Set[Value]] = {}
+        self._stores_targeting: Dict[object, Set[Value]] = {}
+        self._pointer_nodes: List[Value] = []
+        self._known_nodes: Set[Value] = set()
+        self._objects: List[object] = []
+        self._object_set: Set[object] = set()
+        self.solver_statistics = None
         self._solve()
 
     # -- constraint helpers -----------------------------------------------------
-    def _pts(self, value: Value) -> Set[object]:
-        return self.points_to.setdefault(value, set())
+    def _node(self, value: Value) -> None:
+        if value not in self._known_nodes:
+            self._known_nodes.add(value)
+            self._pointer_nodes.append(value)
 
-    def _add_object(self, pointer: Value, obj: object) -> bool:
-        pts = self._pts(pointer)
-        if obj in pts:
-            return False
-        pts.add(obj)
-        return True
+    def _object(self, obj: object) -> None:
+        if obj not in self._object_set:
+            self._object_set.add(obj)
+            self._objects.append(obj)
+
+    def _add_object(self, pointer: Value, obj: object) -> None:
+        self._node(pointer)
+        self._object(obj)
+        self._base.setdefault(pointer, set()).add(obj)
 
     def _add_copy(self, destination: Value, source: Value) -> None:
-        self._copy_edges.setdefault(source, set()).add(destination)
+        self._node(destination)
+        if not isinstance(source, NullPointer):
+            self._node(source)
+        self._sources.setdefault(destination, []).append(source)
 
     # -- constraint generation ------------------------------------------------------
     def _generate(self) -> None:
@@ -127,9 +257,13 @@ class AndersenAliasAnalysis(AliasAnalysis):
         elif isinstance(inst, FreeInst):
             self._add_copy(inst, inst.pointer)
         elif isinstance(inst, LoadInst) and inst.type.is_pointer():
-            self._loads.append((inst, inst.pointer))
+            self._node(inst)
+            self._node(inst.pointer)
+            self._load_pointer[inst] = inst.pointer
         elif isinstance(inst, StoreInst) and inst.value.type.is_pointer():
-            self._stores.append((inst.value, inst.pointer))
+            self._node(inst.value)
+            self._node(inst.pointer)
+            self._stores_by_pointer.setdefault(inst.pointer, set()).add(inst.value)
         elif isinstance(inst, CallInst) and inst.type.is_pointer():
             callee = self.module.get_function(inst.callee_name())
             if callee is not None and not callee.is_declaration():
@@ -144,43 +278,8 @@ class AndersenAliasAnalysis(AliasAnalysis):
     # -- solving ----------------------------------------------------------------------
     def _solve(self) -> None:
         self._generate()
-        changed = True
-        iterations = 0
-        # The constraint graph is small relative to the module; a simple
-        # round-robin fixed point is fast enough and easy to reason about.
-        while changed and iterations < 100:
-            iterations += 1
-            changed = False
-            # Copy edges: pts(dst) ⊇ pts(src).
-            for source, destinations in self._copy_edges.items():
-                source_pts = self._pts(source) if not isinstance(source, (GlobalVariable,)) \
-                    else self._pts(source)
-                if isinstance(source, NullPointer):
-                    continue
-                for destination in destinations:
-                    before = len(self._pts(destination))
-                    self._pts(destination).update(source_pts)
-                    if len(self._pts(destination)) != before:
-                        changed = True
-            # Stores: for every object q may point to, mem(object) ⊇ pts(value).
-            for value, pointer in self._stores:
-                value_pts = self._pts(value)
-                for obj in list(self._pts(pointer)):
-                    memory = self._memory_of.setdefault(obj, set())
-                    before = len(memory)
-                    memory.update(value_pts)
-                    if len(memory) != before:
-                        changed = True
-            # Loads: pts(load) ⊇ mem(object) for every pointee object.
-            for load, pointer in self._loads:
-                load_pts = self._pts(load)
-                before = len(load_pts)
-                for obj in list(self._pts(pointer)):
-                    load_pts.update(self._memory_of.get(obj, {_UNKNOWN_OBJECT}))
-                if not self._pts(pointer):
-                    load_pts.add(_UNKNOWN_OBJECT)
-                if len(load_pts) != before:
-                    changed = True
+        solver = SparseSolver(_PointsToProblem(self))
+        self.solver_statistics = solver.solve()
 
     # -- queries -------------------------------------------------------------------------
     def points_to_set(self, pointer: Value) -> Set[object]:

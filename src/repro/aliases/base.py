@@ -9,7 +9,7 @@ stacks alias-analysis passes.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import Iterable, List, Optional, Tuple
 
 from ..ir.module import Module
 from ..ir.values import Value
@@ -26,11 +26,45 @@ class AliasAnalysis(ABC):
 
     def __init__(self, module: Module):
         self.module = module
+        #: The memo of the most recent :meth:`query_many` batch (stats hook).
+        self.last_query_memo = None
 
     # -- main entry points ----------------------------------------------------
     @abstractmethod
     def alias(self, a: MemoryAccess, b: MemoryAccess) -> AliasResult:
         """Answer one alias query between two memory accesses."""
+
+    def query_many(self, pairs: Iterable[Tuple[MemoryAccess, MemoryAccess]]
+                   ) -> List[AliasResult]:
+        """Answer a batch of queries with per-pair memoization.
+
+        Alias queries are symmetric and analyses immutable once built, so a
+        repeated ``(pointer, size)`` pair replays the memoized answer instead
+        of re-running the tests.  Subclasses that keep per-query statistics
+        must override :meth:`on_memoized_query` so their counters see the
+        replayed queries too (the harness counts every query, cached or not).
+        """
+        from ..core.queries import QueryPairMemo, pair_key
+
+        memo = QueryPairMemo()
+        results: List[AliasResult] = []
+        for a, b in pairs:
+            key = pair_key(a, b)
+            cached = memo.lookup(key)
+            if cached is not None:
+                self.on_memoized_query(a, b, cached)
+                results.append(cached)
+                continue
+            result = self.alias(a, b)
+            memo.remember(key, result)
+            results.append(result)
+        memo.release()  # keep the hit/miss counters, drop the O(pairs) payloads
+        self.last_query_memo = memo
+        return results
+
+    def on_memoized_query(self, a: MemoryAccess, b: MemoryAccess,
+                          result: AliasResult) -> None:
+        """Hook called instead of :meth:`alias` for a memoized pair."""
 
     def alias_pointers(self, a: Value, b: Value,
                        size_a: Optional[int] = None,

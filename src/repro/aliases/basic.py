@@ -28,7 +28,6 @@ from ..ir.instructions import (
     AllocaInst,
     CallInst,
     CastInst,
-    Instruction,
     LoadInst,
     MallocInst,
     PhiInst,
@@ -38,7 +37,7 @@ from ..ir.instructions import (
     StoreInst,
 )
 from ..ir.module import Module
-from ..ir.values import Argument, GlobalVariable, NullPointer, Value
+from ..ir.values import GlobalVariable, NullPointer, Value
 from .base import AliasAnalysis
 from .results import AliasResult, MemoryAccess
 

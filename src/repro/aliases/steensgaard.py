@@ -3,16 +3,21 @@
 The almost-linear-time cousin of Andersen's analysis: instead of subset
 constraints, every assignment *unifies* the equivalence classes of the two
 sides (union-find).  The result is coarser — all pointers that ever flow
-together share one points-to class — but the analysis runs in a single pass
-over the program.  It is included as a classic baseline for the ablation
-benchmarks and as the substrate the paper suggests could be "augmented to
-map pointers to sets of locations plus ranges".
+together share one points-to class — but each constraint is applied exactly
+once.  The constraint schedule runs on the shared sparse engine
+(:mod:`repro.engine.solver`) as a degenerate problem with no dependence
+edges: one topological sweep applies every unification, and the engine's
+step counters make the baseline comparable with the iterative analyses in
+the scalability reports.  It is included as a classic baseline for the
+ablation benchmarks and as the substrate the paper suggests could be
+"augmented to map pointers to sets of locations plus ranges".
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set, Tuple
 
+from ..engine.solver import SparseProblem, SparseSolver
 from ..ir.instructions import (
     AllocaInst,
     CallInst,
@@ -29,7 +34,7 @@ from ..ir.instructions import (
     StoreInst,
 )
 from ..ir.module import Module
-from ..ir.values import Argument, GlobalVariable, NullPointer, Value
+from ..ir.values import NullPointer, Value
 from .base import AliasAnalysis
 from .results import AliasResult, MemoryAccess
 
@@ -44,7 +49,7 @@ class _UnionFind:
         self._rank: Dict[object, int] = {}
 
     def find(self, item: object) -> object:
-        parent = self._parent.setdefault(item, item)
+        self._parent.setdefault(item, item)
         self._rank.setdefault(item, 0)
         root = item
         while self._parent[root] is not root:
@@ -66,6 +71,37 @@ class _UnionFind:
         return root_a
 
 
+class _UnificationProblem(SparseProblem):
+    """Steensgaard's one-pass constraint schedule on the shared engine.
+
+    Unification has no dependence structure — every constraint is applied
+    exactly once and the union-find carries the transitivity — so the
+    problem declares no edges and the engine's initial sweep is the whole
+    solve.  Sharing the engine still buys uniform step accounting.
+    """
+
+    name = "steensgaard"
+
+    def __init__(self, analysis: "SteensgaardAliasAnalysis",
+                 constraints: List[Tuple[str, object]]):
+        self._analysis = analysis
+        self._constraints = constraints
+        self._applied: Set[Tuple[str, object]] = set()
+
+    def nodes(self) -> List[Tuple[str, object]]:
+        return self._constraints
+
+    def transfer(self, constraint: Tuple[str, object]) -> bool:
+        self._analysis._apply(constraint)
+        return True
+
+    def read(self, constraint: Tuple[str, object]) -> bool:
+        return constraint in self._applied
+
+    def write(self, constraint: Tuple[str, object], value: bool) -> None:
+        self._applied.add(constraint)
+
+
 class SteensgaardAliasAnalysis(AliasAnalysis):
     """Unification-based points-to analysis."""
 
@@ -80,6 +116,7 @@ class SteensgaardAliasAnalysis(AliasAnalysis):
         self._class_unknown: Dict[object, bool] = {}
         #: class of pointers -> class of what their pointees' cells hold
         self._pointee_class: Dict[object, object] = {}
+        self.solver_statistics = None
         self._build()
 
     # -- class helpers --------------------------------------------------------
@@ -141,31 +178,49 @@ class SteensgaardAliasAnalysis(AliasAnalysis):
     # -- construction -------------------------------------------------------------
     def _build(self) -> None:
         module = self.module
+        constraints: List[Tuple[str, object]] = []
         for variable in module.globals:
-            self._mark_object(variable, variable)
+            constraints.append(("global", variable))
         for function in module.defined_functions():
             for argument in function.args:
                 if argument.type.is_pointer():
-                    self._mark_unknown(argument)
+                    constraints.append(("argument", argument))
             for inst in function.instructions():
-                self._visit(inst)
-        # Interprocedural unification of actuals with formals and returns.
+                constraints.append(("inst", inst))
+        # Interprocedural unification of actuals with formals and returns runs
+        # after every intraprocedural constraint, as in the original one-pass
+        # formulation.
         for function in module.defined_functions():
             for inst in function.instructions():
-                if not isinstance(inst, CallInst):
-                    continue
-                callee = module.get_function(inst.callee_name())
-                if callee is None or callee.is_declaration():
-                    continue
-                for formal, actual in zip(callee.args, inst.args):
-                    if formal.type.is_pointer() and actual.type.is_pointer():
-                        self._unify(formal, actual)
-                if inst.type.is_pointer():
-                    for block in callee.blocks:
-                        terminator = block.terminator
-                        if isinstance(terminator, ReturnInst) and terminator.value is not None \
-                                and terminator.value.type.is_pointer():
-                            self._unify(inst, terminator.value)
+                if isinstance(inst, CallInst):
+                    constraints.append(("call", inst))
+        solver = SparseSolver(_UnificationProblem(self, constraints))
+        self.solver_statistics = solver.solve()
+
+    def _apply(self, constraint: Tuple[str, object]) -> None:
+        kind, subject = constraint
+        if kind == "global":
+            self._mark_object(subject, subject)
+        elif kind == "argument":
+            self._mark_unknown(subject)
+        elif kind == "inst":
+            self._visit(subject)
+        elif kind == "call":
+            self._apply_call_bindings(subject)
+
+    def _apply_call_bindings(self, inst: CallInst) -> None:
+        callee = self.module.get_function(inst.callee_name())
+        if callee is None or callee.is_declaration():
+            return
+        for formal, actual in zip(callee.args, inst.args):
+            if formal.type.is_pointer() and actual.type.is_pointer():
+                self._unify(formal, actual)
+        if inst.type.is_pointer():
+            for block in callee.blocks:
+                terminator = block.terminator
+                if isinstance(terminator, ReturnInst) and terminator.value is not None \
+                        and terminator.value.type.is_pointer():
+                    self._unify(inst, terminator.value)
 
     def _visit(self, inst: Instruction) -> None:
         if isinstance(inst, (MallocInst, AllocaInst)):

@@ -10,7 +10,7 @@ ordering (SCC condensation) so callees are analysed before callers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..ir.function import Function
 from ..ir.instructions import CallInst

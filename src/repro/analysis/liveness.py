@@ -14,7 +14,7 @@ from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import Instruction, PhiInst
 from ..ir.values import Argument, Value
-from .cfg import post_order, predecessor_map
+from .cfg import post_order
 
 __all__ = ["LivenessInfo"]
 
@@ -43,7 +43,8 @@ class LivenessInfo:
         """
         use_sets: Dict[BasicBlock, Set[Value]] = {}
         def_sets: Dict[BasicBlock, Set[Value]] = {}
-        phi_uses_per_pred: Dict[BasicBlock, Set[Value]] = {block: set() for block in function.blocks}
+        phi_uses_per_pred: Dict[BasicBlock, Set[Value]] = {
+            block: set() for block in function.blocks}
 
         for block in function.blocks:
             uses: Set[Value] = set()

@@ -10,8 +10,8 @@ results are reproducible run to run.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from ..frontend import compile_source
 from ..ir.module import Module

@@ -16,7 +16,7 @@ columns in the Figure 13 reproduction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, List, Sequence
 
 __all__ = ["Idiom", "IDIOMS", "idiom_names", "get_idiom"]
 

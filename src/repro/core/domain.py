@@ -14,7 +14,7 @@ external pointers start from.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, ItemsView, Mapping, Optional, Tuple
+from typing import Dict, ItemsView, Mapping, Optional, Tuple
 
 from ..symbolic import SymbolicInterval, TOP_INTERVAL
 from .locations import MemoryLocation

@@ -3,10 +3,11 @@
 For every pointer-typed SSA value the analysis computes an element of the
 ``MemLocs`` lattice: which allocation sites the pointer may reference and,
 for each site, a symbolic interval of byte offsets.  The abstract transfer
-functions follow Figure 9 of the paper; the fixed point is computed with one
-ascending phase (widening at join points after the first complete pass)
-followed by a descending sequence of length two — the schedule traced in
-Figure 12.
+functions follow Figure 9 of the paper; the fixed point is computed by the
+shared sparse solver (:mod:`repro.engine.solver`) over the def-use graph of
+pointer values: one ascending phase (widening at φ-functions, call results
+and formal parameters after their first evaluation) followed by a descending
+sequence of length two — the schedule traced in Figure 12.
 
 Interprocedurality is context-insensitive: pointer formal parameters are
 treated as φ-functions over the actual arguments of the visible call sites
@@ -19,11 +20,12 @@ conservatively.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.callgraph import CallGraph
 from ..analysis.cfg import reverse_post_order
+from ..engine.solver import SparseProblem, SparseSolver
 from ..ir.function import Function
 from ..ir.instructions import (
     AllocaInst,
@@ -75,12 +77,103 @@ class GlobalAnalysisOptions:
 
 @dataclass
 class AnalysisStatistics:
-    """Bookkeeping reported by the evaluation harness."""
+    """Bookkeeping reported by the evaluation harness.
+
+    ``ascending_passes`` preserves the historical meaning under the sparse
+    solver: the maximum number of times any single value was re-evaluated
+    during the ascending phase (a dense pass re-evaluated every value once).
+    ``fixpoint_steps`` is the solver's total transfer-function count — the
+    hardware-independent cost the scalability benchmark reports.
+    """
 
     functions: int = 0
     pointer_values: int = 0
     ascending_passes: int = 0
     elapsed_seconds: float = 0.0
+    fixpoint_steps: int = 0
+
+
+class _GlobalRangeProblem(SparseProblem):
+    """Adapter presenting the GR analysis to the sparse solver.
+
+    Nodes are every pointer-typed formal parameter and instruction; an edge
+    points from a value to each value its transfer function reads, including
+    the interprocedural actual→formal and return→call-site bindings.
+    """
+
+    name = "global-ranges"
+
+    def __init__(self, analysis: "GlobalRangeAnalysis", nodes: List[Value]):
+        self._analysis = analysis
+        self._nodes = nodes
+
+    def nodes(self) -> List[Value]:
+        return self._nodes
+
+    def dependencies(self, node: Value):
+        analysis = self._analysis
+        if isinstance(node, Argument):
+            if not analysis.options.interprocedural:
+                return ()
+            function = node.parent
+            deps = []
+            for site in analysis.callgraph.sites_calling(function):
+                actuals = site.instruction.args
+                if node.index < len(actuals):
+                    deps.append(actuals[node.index])
+            return deps
+        if isinstance(node, PhiInst):
+            return [value for value, _ in node.incoming()]
+        if isinstance(node, SigmaInst):
+            deps = [node.source]
+            if node.upper is not None and node.upper.type.is_pointer():
+                deps.append(node.upper)
+            if node.lower is not None and node.lower.type.is_pointer():
+                deps.append(node.lower)
+            return deps
+        if isinstance(node, CastInst) and node.kind == "bitcast":
+            return (node.value,)
+        if isinstance(node, SelectInst):
+            return (node.true_value, node.false_value)
+        if isinstance(node, PtrAddInst):
+            return (node.base,)
+        if isinstance(node, CallInst):
+            return analysis._call_dependencies(node)
+        return ()
+
+    def transfer(self, node: Value) -> PointerAbstractValue:
+        analysis = self._analysis
+        if isinstance(node, Argument):
+            return analysis._argument_state(node.parent, node)
+        return analysis._evaluate(node)
+
+    def read(self, node: Value) -> PointerAbstractValue:
+        return self._analysis._gr.get(node, BOTTOM)
+
+    def write(self, node: Value, value: PointerAbstractValue) -> None:
+        self._analysis._gr[node] = value
+
+    def is_refinement_point(self, node: Value) -> bool:
+        return isinstance(node, (Argument, PhiInst, CallInst))
+
+    def widen(self, node: Value, old: PointerAbstractValue,
+              new: PointerAbstractValue) -> PointerAbstractValue:
+        return old.widen(new) if not old.is_bottom else new
+
+    def narrow(self, node: Value, old: PointerAbstractValue,
+               new: PointerAbstractValue) -> PointerAbstractValue:
+        return old.narrow(new) if not old.is_bottom else new
+
+    def on_phase(self, phase: str) -> None:
+        analysis = self._analysis
+        if not analysis.options.track_trace:
+            return
+        if phase == "sweep":
+            analysis._snapshot("starting state")
+        elif phase == "ascending":
+            analysis._snapshot("after widening")
+        elif phase.startswith("descending:"):
+            analysis._snapshot(f"descending step {phase.split(':', 1)[1]}")
 
 
 class GlobalRangeAnalysis:
@@ -96,6 +189,7 @@ class GlobalRangeAnalysis:
         self.locations = locations if locations is not None else LocationTable(module)
         self.callgraph = CallGraph.compute(module)
         self.statistics = AnalysisStatistics()
+        self.solver_statistics = None
         self._gr: Dict[Value, PointerAbstractValue] = {}
         self._trace: List[Tuple[str, Dict[Value, PointerAbstractValue]]] = []
         self._run()
@@ -163,64 +257,52 @@ class GlobalRangeAnalysis:
         return state
 
     # -- fixed point -----------------------------------------------------------------
+    def _call_dependencies(self, inst: CallInst) -> List[Value]:
+        """Pointer values the transfer function of a call instruction reads."""
+        callee_name = inst.callee_name()
+        if callee_name in _RETURNS_FIRST_ARGUMENT and inst.args:
+            return [inst.args[0]]
+        if isinstance(inst.callee, Function):
+            callee = inst.callee
+        else:
+            callee = self.module.get_function(callee_name)
+        if callee is None or callee.is_declaration() or not self.options.interprocedural:
+            return []
+        deps: List[Value] = []
+        for block in callee.blocks:
+            terminator = block.terminator
+            if isinstance(terminator, ReturnInst) and terminator.value is not None \
+                    and terminator.value.type.is_pointer():
+                deps.append(terminator.value)
+        return deps
+
+    def _pointer_nodes(self) -> List[Value]:
+        """Every pointer formal parameter and instruction, in sweep priority
+        order (function order, arguments first, then instructions in RPO)."""
+        nodes: List[Value] = []
+        for function in self.module.defined_functions():
+            for argument in function.args:
+                if argument.type.is_pointer():
+                    nodes.append(argument)
+            for block in reverse_post_order(function):
+                for inst in block.instructions:
+                    if inst.type.is_pointer():
+                        nodes.append(inst)
+        return nodes
+
     def _run(self) -> None:
         start = time.perf_counter()
-        functions = self.module.defined_functions()
-        self.statistics.functions = len(functions)
-        block_orders = {function: reverse_post_order(function) for function in functions}
-
-        def one_pass(pass_index: int, *, widen: bool, narrow: bool) -> bool:
-            changed = False
-            for function in functions:
-                for argument in function.args:
-                    if not argument.type.is_pointer():
-                        continue
-                    old = self._gr.get(argument, BOTTOM)
-                    new = self._argument_state(function, argument)
-                    new = self._combine(old, new, widen=widen, narrow=narrow)
-                    if new != old:
-                        self._gr[argument] = new
-                        changed = True
-                for block in block_orders[function]:
-                    for inst in block.instructions:
-                        if not inst.type.is_pointer():
-                            continue
-                        old = self._gr.get(inst, BOTTOM)
-                        new = self._evaluate(inst)
-                        if isinstance(inst, (PhiInst, CallInst)):
-                            new = self._combine(old, new, widen=widen, narrow=narrow)
-                        if new != old:
-                            self._gr[inst] = new
-                            changed = True
-            return changed
-
-        # Ascending phase: plain pass first, then widening passes.
-        for pass_index in range(self.options.max_ascending_passes):
-            widen = pass_index > 0
-            changed = one_pass(pass_index, widen=widen, narrow=False)
-            self.statistics.ascending_passes += 1
-            if self.options.track_trace and pass_index == 0:
-                self._snapshot("starting state")
-            if not changed:
-                break
-        if self.options.track_trace:
-            self._snapshot("after widening")
-        # Descending sequence.
-        for descent in range(self.options.descending_passes):
-            one_pass(descent, widen=False, narrow=True)
-            if self.options.track_trace:
-                self._snapshot(f"descending step {descent + 1}")
-
+        self.statistics.functions = len(self.module.defined_functions())
+        solver = SparseSolver(
+            _GlobalRangeProblem(self, self._pointer_nodes()),
+            max_node_evaluations=self.options.max_ascending_passes,
+            descending_passes=self.options.descending_passes,
+        )
+        self.solver_statistics = solver.solve()
+        self.statistics.ascending_passes = self.solver_statistics.max_node_evaluations
+        self.statistics.fixpoint_steps = self.solver_statistics.steps
         self.statistics.pointer_values = len(self._gr)
         self.statistics.elapsed_seconds = time.perf_counter() - start
-
-    def _combine(self, old: PointerAbstractValue, new: PointerAbstractValue, *,
-                 widen: bool, narrow: bool) -> PointerAbstractValue:
-        if narrow:
-            return old.narrow(new) if not old.is_bottom else new
-        if widen and not old.is_bottom:
-            return old.widen(new)
-        return new
 
     def _snapshot(self, label: str) -> None:
         self._trace.append((label, dict(self._gr)))

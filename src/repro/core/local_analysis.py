@@ -10,17 +10,20 @@ one shared base per ``(base pointer, varying index, scale)`` triple of
 pointer arithmetic.
 
 Because every abstract value is ``location + interval`` with a *single*
-location, the analysis runs in one pass over the dominance tree (the lattice
-is finite; no widening is needed), exactly as described in the paper.
+location, the analysis converges in one sweep (the lattice is finite; no
+widening is needed), exactly as described in the paper.  The sweep is
+scheduled by the shared sparse solver in dominance preorder; fresh base
+locations are memoized per instruction so the transfer function is
+idempotent under re-evaluation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..analysis.dominance import DominatorTree
-from ..ir.function import Function
+from ..engine.solver import SparseProblem, SparseSolver
 from ..ir.instructions import (
     AllocaInst,
     CallInst,
@@ -62,8 +65,50 @@ class LocalAbstractValue:
         return f"{self.location!r} + {self.interval!r}"
 
 
+class _LocalRangeProblem(SparseProblem):
+    """Adapter presenting the LR analysis to the sparse solver.
+
+    Only the transfer functions that forward an operand's state (σ, bitcast,
+    ``strcpy``-style calls, pointer arithmetic) declare dependencies; the
+    location-defining instructions of Figure 11 (φ, loads, allocations) are
+    sources.  The dependence graph is therefore acyclic — every SSA cycle
+    passes through a φ — and one topological sweep reaches the fixed point.
+    """
+
+    name = "local-ranges"
+
+    def __init__(self, analysis: "LocalRangeAnalysis", nodes: List[Instruction]):
+        self._analysis = analysis
+        self._nodes = nodes
+
+    def nodes(self) -> List[Instruction]:
+        return self._nodes
+
+    def dependencies(self, inst: Instruction):
+        if isinstance(inst, SigmaInst):
+            return (inst.source,)
+        if isinstance(inst, CastInst) and inst.kind == "bitcast":
+            return (inst.value,)
+        if isinstance(inst, CallInst):
+            if inst.callee_name() in _RETURNS_FIRST_ARGUMENT and inst.args:
+                return (inst.args[0],)
+            return ()
+        if isinstance(inst, PtrAddInst):
+            return (inst.base,)
+        return ()
+
+    def transfer(self, inst: Instruction) -> LocalAbstractValue:
+        return self._analysis._evaluate(inst)
+
+    def read(self, inst: Instruction) -> Optional[LocalAbstractValue]:
+        return self._analysis._lr.get(inst)
+
+    def write(self, inst: Instruction, value: LocalAbstractValue) -> None:
+        self._analysis._lr[inst] = value
+
+
 class LocalRangeAnalysis:
-    """Whole-module LR analysis (one dominance-order pass per function)."""
+    """Whole-module LR analysis (one dominance-order sweep)."""
 
     def __init__(self, module: Module,
                  ranges: Optional[SymbolicRangeAnalysis] = None,
@@ -75,6 +120,10 @@ class LocalRangeAnalysis:
         # Shared fresh bases for pointer arithmetic with a varying index
         # (the renaming of Figure 4): keyed by (base, index, scale).
         self._arithmetic_bases: Dict[Tuple[Value, Value, int], MemoryLocation] = {}
+        # Fresh states memoized per instruction so re-evaluation by the
+        # solver is idempotent (NewLocs() must mint one location per site).
+        self._fresh_by_site: Dict[Value, LocalAbstractValue] = {}
+        self.solver_statistics = None
         self._run()
 
     # -- public API -----------------------------------------------------------
@@ -106,14 +155,25 @@ class LocalRangeAnalysis:
     def _scalar_range(self, value: Value) -> SymbolicInterval:
         return self.ranges.range_of(value)
 
+    def _fresh_for(self, site: Value, hint: str) -> LocalAbstractValue:
+        """The (memoized) fresh base state of a location-defining site."""
+        state = self._fresh_by_site.get(site)
+        if state is None:
+            state = self._fresh(hint)
+            self._fresh_by_site[site] = state
+        return state
+
     # -- driver --------------------------------------------------------------------
     def _run(self) -> None:
+        nodes: List[Instruction] = []
         for function in self.module.defined_functions():
             dom_tree = DominatorTree.compute(function)
             for block in dom_tree.preorder():
                 for inst in block.instructions:
                     if inst.type.is_pointer():
-                        self._lr[inst] = self._evaluate(inst)
+                        nodes.append(inst)
+        solver = SparseSolver(_LocalRangeProblem(self, nodes))
+        self.solver_statistics = solver.solve()
 
     # -- transfer functions (Figure 11) ------------------------------------------------
     def _operand(self, value: Value) -> Optional[LocalAbstractValue]:
@@ -132,33 +192,33 @@ class LocalRangeAnalysis:
         function_name = inst.function.name if inst.function is not None else "?"
         label = f"{function_name}.{inst.name or inst.opcode}"
         if isinstance(inst, (MallocInst, AllocaInst)):
-            return self._fresh(label)
+            return self._fresh_for(inst, label)
         if isinstance(inst, (PhiInst, LoadInst)):
             # Figure 11: φs and loads define new locations.
-            return self._fresh(label)
+            return self._fresh_for(inst, label)
         if isinstance(inst, FreeInst):
-            return self._fresh(label)
+            return self._fresh_for(inst, label)
         if isinstance(inst, SigmaInst):
             source = self._operand(inst.source)
-            return source if source is not None else self._fresh(label)
+            return source if source is not None else self._fresh_for(inst, label)
         if isinstance(inst, CastInst):
             if inst.kind == "bitcast":
                 source = self._operand(inst.value)
                 if source is not None:
                     return source
-            return self._fresh(label)
+            return self._fresh_for(inst, label)
         if isinstance(inst, SelectInst):
             # A select is a value chosen at runtime; it acts as its own base.
-            return self._fresh(label)
+            return self._fresh_for(inst, label)
         if isinstance(inst, CallInst):
             if inst.callee_name() in _RETURNS_FIRST_ARGUMENT and inst.args:
                 source = self._operand(inst.args[0])
                 if source is not None:
                     return source
-            return self._fresh(label)
+            return self._fresh_for(inst, label)
         if isinstance(inst, PtrAddInst):
             return self._evaluate_ptradd(inst, label)
-        return self._fresh(label)
+        return self._fresh_for(inst, label)
 
     @staticmethod
     def _decompose_index(index: Value) -> Tuple[Value, int]:
@@ -215,4 +275,4 @@ class LocalRangeAnalysis:
                 self._arithmetic_bases[key] = location
             byte_offset = inst.offset + addend * inst.scale
             return LocalAbstractValue(location, SymbolicInterval.point(byte_offset))
-        return self._fresh(label)
+        return self._fresh_for(inst, label)

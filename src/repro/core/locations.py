@@ -27,9 +27,9 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..ir.instructions import AllocaInst, Instruction, MallocInst
+from ..ir.instructions import AllocaInst, MallocInst
 from ..ir.module import Module
-from ..ir.values import Argument, GlobalVariable, Value
+from ..ir.values import Argument, Value
 
 __all__ = ["LocationKind", "MemoryLocation", "LocationTable"]
 

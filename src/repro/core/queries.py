@@ -12,21 +12,27 @@ Two complementary disambiguation criteria:
 
 Both tests account for the byte size of the accesses being compared: an
 access of ``s`` bytes starting at offset ``o`` touches ``[o, o + s - 1]``.
+
+The module also provides the per-pair memoization used by the batched
+:meth:`~repro.aliases.base.AliasAnalysis.query_many` API: alias queries are
+symmetric and analyses are immutable once built, so one ``(pointer, size)``
+pair never needs to run the tests twice.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional
 
+from ..aliases.results import MemoryAccess
 from ..symbolic import SymbolicInterval
 from .domain import PointerAbstractValue
 from .local_analysis import LocalAbstractValue
-from .locations import LocationKind, MemoryLocation
+from .locations import MemoryLocation
 
 __all__ = ["QueryOutcome", "DisambiguationReason", "global_test", "local_test",
-           "extend_for_access"]
+           "extend_for_access", "pair_key", "QueryPairMemo"]
 
 
 class DisambiguationReason(enum.Enum):
@@ -115,3 +121,55 @@ def local_test(lr_a: Optional[LocalAbstractValue], lr_b: Optional[LocalAbstractV
     if extended_a.definitely_disjoint(extended_b):
         return QueryOutcome(True, DisambiguationReason.LOCAL_DISJOINT_RANGES)
     return QueryOutcome.may_alias()
+
+
+# -- per-pair memoization -------------------------------------------------------
+
+
+def pair_key(a: MemoryAccess, b: MemoryAccess) -> Hashable:
+    """Canonical unordered key of one query pair.
+
+    Alias queries are symmetric, so ``(a, b)`` and ``(b, a)`` share a key.
+    Pointers are keyed by identity: SSA values are unique objects kept alive
+    by the module they belong to.  An unknown access size (``None``) maps to
+    ``-1``, a value no real access can have, so mixed known/unknown pairs
+    stay orderable.
+    """
+    first = (id(a.pointer), -1 if a.size is None else a.size)
+    second = (id(b.pointer), -1 if b.size is None else b.size)
+    return (first, second) if first <= second else (second, first)
+
+
+@dataclass
+class QueryPairMemo:
+    """Memoizes per-pair query payloads for one (immutable) analysis.
+
+    The payload is whatever the analysis wants to replay on a repeat query —
+    RBAA stores the full :class:`QueryOutcome` so its Figure-14 counters can
+    be updated even when the tests themselves are skipped.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    _payloads: Dict[Hashable, Any] = field(default_factory=dict)
+
+    def lookup(self, key: Hashable) -> Optional[Any]:
+        payload = self._payloads.get(key)
+        if payload is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return payload
+
+    def remember(self, key: Hashable, payload: Any) -> None:
+        self._payloads[key] = payload
+
+    def release(self) -> None:
+        """Drop the payloads, keeping the hit/miss counters.
+
+        Batch-scoped memos call this once the batch is answered so an
+        uncapped quadratic pair sweep does not stay pinned in memory."""
+        self._payloads = {}
+
+    def __len__(self) -> int:
+        return len(self._payloads)

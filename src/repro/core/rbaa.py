@@ -4,25 +4,37 @@
 integer symbolic range analysis bootstrap, the global GR analysis, the local
 LR analysis — behind the common :class:`~repro.aliases.base.AliasAnalysis`
 interface, so it can be compared against and combined with the baseline
-analyses.  Every query runs the global test first and falls back to the
-local test, and the analysis keeps counters of which criterion answered each
-query (the data behind Figure 14).
+analyses.  The pieces are requested from an
+:class:`~repro.engine.manager.AnalysisManager`, so two consumers sharing a
+manager (say, ``rbaa`` and the chained ``rbaa + basic``) share one range
+bootstrap and one GR/LR fixed point.  Every query runs the global test first
+and falls back to the local test, and the analysis keeps counters of which
+criterion answered each query (the data behind Figure 14); queries are
+memoized per pair, and a memoized replay still updates the counters.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 from ..aliases.base import AliasAnalysis
 from ..aliases.results import AliasResult, MemoryAccess
+from ..engine import keys
+from ..engine.manager import AnalysisManager
 from ..ir.module import Module
-from ..rangeanalysis.symbolic_ra import RangeAnalysisOptions, SymbolicRangeAnalysis
+from ..rangeanalysis.symbolic_ra import RangeAnalysisOptions
 from .domain import PointerAbstractValue
-from .global_analysis import GlobalAnalysisOptions, GlobalRangeAnalysis
-from .local_analysis import LocalAbstractValue, LocalRangeAnalysis
-from .locations import LocationTable
-from .queries import DisambiguationReason, QueryOutcome, global_test, local_test
+from .global_analysis import GlobalAnalysisOptions
+from .local_analysis import LocalAbstractValue
+from .queries import (
+    DisambiguationReason,
+    QueryOutcome,
+    QueryPairMemo,
+    global_test,
+    local_test,
+    pair_key,
+)
 
 __all__ = ["RBAAOptions", "RBAAStatistics", "RBAAAliasAnalysis"]
 
@@ -75,17 +87,21 @@ class RBAAAliasAnalysis(AliasAnalysis):
 
     name = "rbaa"
 
-    def __init__(self, module: Module, options: Optional[RBAAOptions] = None):
+    def __init__(self, module: Module, options: Optional[RBAAOptions] = None,
+                 manager: Optional[AnalysisManager] = None):
         super().__init__(module)
         self.options = options or RBAAOptions()
-        self.ranges = SymbolicRangeAnalysis(module, self.options.range_options)
-        self.locations = LocationTable(module)
-        self.global_analysis = GlobalRangeAnalysis(
-            module, ranges=self.ranges, locations=self.locations,
-            options=self.options.global_options)
-        self.local_analysis = LocalRangeAnalysis(
-            module, ranges=self.ranges, locations=self.locations)
+        self.manager = manager if manager is not None else AnalysisManager(module)
+        self.ranges = self.manager.get(keys.RANGES, options=self.options.range_options)
+        self.locations = self.manager.get(keys.LOCATIONS)
+        self.global_analysis = self.manager.get(
+            keys.GLOBAL_RANGES,
+            options=self.options.global_options,
+            range_options=self.options.range_options)
+        self.local_analysis = self.manager.get(
+            keys.LOCAL_RANGES, range_options=self.options.range_options)
         self.statistics = RBAAStatistics()
+        self._outcomes = QueryPairMemo()
 
     # -- introspection helpers ----------------------------------------------------
     def global_state(self, pointer) -> PointerAbstractValue:
@@ -98,7 +114,22 @@ class RBAAAliasAnalysis(AliasAnalysis):
 
     # -- query API ------------------------------------------------------------------
     def query(self, a: MemoryAccess, b: MemoryAccess) -> QueryOutcome:
-        """Run the global then the local test; record which one answered."""
+        """Run the global then the local test; record which one answered.
+
+        Outcomes are memoized per ``(pointer, size)`` pair.  A memoized
+        replay still goes through :meth:`RBAAStatistics.record`: the
+        Figure-14 counters tally *queries answered*, so skipping the tests
+        must not skip the accounting.
+        """
+        key = pair_key(a, b)
+        outcome = self._outcomes.lookup(key)
+        if outcome is None:
+            outcome = self._run_tests(a, b)
+            self._outcomes.remember(key, outcome)
+        self.statistics.record(outcome)
+        return outcome
+
+    def _run_tests(self, a: MemoryAccess, b: MemoryAccess) -> QueryOutcome:
         size_a = a.bounded_size()
         size_b = b.bounded_size()
         outcome = QueryOutcome.may_alias()
@@ -108,7 +139,6 @@ class RBAAAliasAnalysis(AliasAnalysis):
         if not outcome.no_alias and self.options.enable_local_test:
             outcome = local_test(
                 self.local_state(a.pointer), self.local_state(b.pointer), size_a, size_b)
-        self.statistics.record(outcome)
         return outcome
 
     def alias(self, a: MemoryAccess, b: MemoryAccess) -> AliasResult:
@@ -116,3 +146,16 @@ class RBAAAliasAnalysis(AliasAnalysis):
             return AliasResult.MUST_ALIAS
         outcome = self.query(a, b)
         return AliasResult.NO_ALIAS if outcome.no_alias else AliasResult.MAY_ALIAS
+
+    def on_memoized_query(self, a: MemoryAccess, b: MemoryAccess,
+                          result: AliasResult) -> None:
+        """Batched-path statistics fix: replay the memoized outcome.
+
+        ``query_many`` answers repeat pairs from its own memo without calling
+        :meth:`alias`; without this hook those queries would vanish from the
+        Figure-14 counters."""
+        if a.pointer is b.pointer:
+            return
+        outcome = self._outcomes.lookup(pair_key(a, b))
+        if outcome is not None:
+            self.statistics.record(outcome)

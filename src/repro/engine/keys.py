@@ -1,0 +1,99 @@
+"""Standard :class:`~repro.engine.manager.AnalysisKey` definitions.
+
+One key per analysis the repository ships.  Imports of the analysis modules
+happen inside the factories so that this module stays import-cycle-free (the
+analyses themselves import the engine for the sparse solver).
+
+Analyses that layer on others request their inputs through the manager —
+``GLOBAL_RANGES`` asks for ``RANGES`` and ``LOCATIONS`` — so any two
+consumers of the same module share one bootstrap range analysis, one
+location table and one GR/LR fixed point.
+"""
+
+from __future__ import annotations
+
+from .manager import AnalysisKey
+
+__all__ = ["RANGES", "LOCATIONS", "CALLGRAPH", "GLOBAL_RANGES", "LOCAL_RANGES",
+           "ANDERSEN", "STEENSGAARD", "BASIC", "SCEV", "RBAA"]
+
+
+def _build_ranges(module, manager, options=None):
+    from ..rangeanalysis.symbolic_ra import SymbolicRangeAnalysis
+    return SymbolicRangeAnalysis(module, options)
+
+
+def _build_locations(module, manager):
+    from ..core.locations import LocationTable
+    return LocationTable(module)
+
+
+def _build_callgraph(module, manager):
+    from ..analysis.callgraph import CallGraph
+    return CallGraph.compute(module)
+
+
+def _build_global_ranges(module, manager, options=None, range_options=None):
+    from ..core.global_analysis import GlobalRangeAnalysis
+    return GlobalRangeAnalysis(
+        module,
+        ranges=manager.get(RANGES, options=range_options),
+        locations=manager.get(LOCATIONS),
+        options=options,
+    )
+
+
+def _build_local_ranges(module, manager, range_options=None):
+    from ..core.local_analysis import LocalRangeAnalysis
+    return LocalRangeAnalysis(
+        module,
+        ranges=manager.get(RANGES, options=range_options),
+        locations=manager.get(LOCATIONS),
+    )
+
+
+def _build_andersen(module, manager):
+    from ..aliases.andersen import AndersenAliasAnalysis
+    return AndersenAliasAnalysis(module)
+
+
+def _build_steensgaard(module, manager):
+    from ..aliases.steensgaard import SteensgaardAliasAnalysis
+    return SteensgaardAliasAnalysis(module)
+
+
+def _build_basic(module, manager):
+    from ..aliases.basic import BasicAliasAnalysis
+    return BasicAliasAnalysis(module)
+
+
+def _build_scev(module, manager):
+    from ..aliases.scev_aa import SCEVAliasAnalysis
+    return SCEVAliasAnalysis(module)
+
+
+def _build_rbaa(module, manager, options=None):
+    from ..core.rbaa import RBAAAliasAnalysis
+    return RBAAAliasAnalysis(module, options, manager=manager)
+
+
+#: The symbolic integer range bootstrap (Blume–Eigenmann style).
+RANGES = AnalysisKey("symbolic-ranges", _build_ranges)
+#: The module's abstract memory locations (``Loc``).
+LOCATIONS = AnalysisKey("locations", _build_locations)
+#: The direct-call graph with SCC condensation.
+CALLGRAPH = AnalysisKey("callgraph", _build_callgraph)
+#: The global symbolic pointer range analysis (GR, Figure 9).
+GLOBAL_RANGES = AnalysisKey("global-ranges", _build_global_ranges)
+#: The local symbolic pointer range analysis (LR, Figure 11).
+LOCAL_RANGES = AnalysisKey("local-ranges", _build_local_ranges)
+#: Inclusion-based points-to baseline.
+ANDERSEN = AnalysisKey("andersen", _build_andersen)
+#: Unification-based points-to baseline.
+STEENSGAARD = AnalysisKey("steensgaard", _build_steensgaard)
+#: The basicaa-style heuristic baseline.
+BASIC = AnalysisKey("basic", _build_basic)
+#: The scalar-evolution baseline.
+SCEV = AnalysisKey("scev", _build_scev)
+#: The paper's complete range-based alias analysis.
+RBAA = AnalysisKey("rbaa", _build_rbaa)

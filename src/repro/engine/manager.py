@@ -1,0 +1,154 @@
+"""Construction, caching and invalidation of per-module analyses.
+
+Every consumer used to build its own :class:`SymbolicRangeAnalysis`,
+:class:`LocationTable` and friends, so comparing four alias analyses over one
+module ran the (by far most expensive) range bootstrap four times.  The
+manager memoizes analyses behind typed :class:`AnalysisKey`\\ s:
+
+    manager = AnalysisManager(module)
+    ranges = manager.get(keys.RANGES)          # built once
+    ranges = manager.get(keys.RANGES)          # cache hit
+
+Factories receive the manager itself, so an analysis declares its inputs by
+calling :meth:`AnalysisManager.get` recursively; the manager records those
+nested requests as dependency edges and uses them to invalidate dependents
+transitively when an input is invalidated (e.g. after a transform changes
+the module).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional, Set, Tuple
+
+__all__ = ["AnalysisKey", "AnalysisManager", "ManagerStatistics"]
+
+
+@dataclass(frozen=True)
+class AnalysisKey:
+    """Typed handle for one kind of analysis.
+
+    ``factory(module, manager, **params)`` builds the analysis; ``params``
+    must be keyword arguments whose ``repr`` is deterministic — they become
+    part of the cache key, so two requests with equal parameters share one
+    instance.
+    """
+
+    name: str
+    factory: Callable[..., Any]
+
+    def __repr__(self) -> str:
+        return f"AnalysisKey({self.name!r})"
+
+
+@dataclass
+class ManagerStatistics:
+    """Cache behaviour counters (asserted by the engine tests)."""
+
+    hits: int = 0
+    misses: int = 0
+    builds: int = 0
+    invalidations: int = 0
+
+
+class CyclicAnalysisError(RuntimeError):
+    """Two analyses requested each other while being built."""
+
+
+_CacheKey = Tuple[AnalysisKey, Hashable]
+
+
+class AnalysisManager:
+    """Builds, caches and invalidates analyses for one module."""
+
+    def __init__(self, module):
+        self.module = module
+        self.statistics = ManagerStatistics()
+        self._cache: Dict[_CacheKey, Any] = {}
+        #: cache key -> keys that were requested while building it.
+        self._dependencies: Dict[_CacheKey, Set[_CacheKey]] = {}
+        #: cache key -> keys whose build requested it.
+        self._dependents: Dict[_CacheKey, Set[_CacheKey]] = {}
+        self._build_stack: List[_CacheKey] = []
+
+    # -- cache keys -----------------------------------------------------------
+    @staticmethod
+    def _cache_key(key: AnalysisKey, params: Dict[str, Any]) -> _CacheKey:
+        # ``None`` means "the factory default", so ``get(KEY)`` and
+        # ``get(KEY, options=None)`` must share one cache entry.
+        filtered = {name: value for name, value in params.items() if value is not None}
+        if not filtered:
+            return (key, ())
+        return (key, tuple(sorted((name, repr(value)) for name, value in filtered.items())))
+
+    # -- retrieval ------------------------------------------------------------
+    def get(self, key: AnalysisKey, **params) -> Any:
+        """The analysis for ``key`` (and ``params``), building it on a miss."""
+        cache_key = self._cache_key(key, params)
+        self._record_edge(cache_key)
+        if cache_key in self._cache:
+            self.statistics.hits += 1
+            return self._cache[cache_key]
+        if cache_key in self._build_stack:
+            cycle = " -> ".join(entry[0].name for entry in self._build_stack)
+            raise CyclicAnalysisError(
+                f"analysis dependency cycle: {cycle} -> {key.name}")
+        self.statistics.misses += 1
+        self._build_stack.append(cache_key)
+        try:
+            value = key.factory(self.module, self, **params)
+        finally:
+            self._build_stack.pop()
+        self.statistics.builds += 1
+        self._cache[cache_key] = value
+        return value
+
+    def cached(self, key: AnalysisKey, **params) -> Optional[Any]:
+        """The cached analysis, or ``None`` without building anything."""
+        return self._cache.get(self._cache_key(key, params))
+
+    def _record_edge(self, cache_key: _CacheKey) -> None:
+        if not self._build_stack:
+            return
+        requester = self._build_stack[-1]
+        self._dependencies.setdefault(requester, set()).add(cache_key)
+        self._dependents.setdefault(cache_key, set()).add(requester)
+
+    # -- invalidation ---------------------------------------------------------
+    def invalidate(self, key: Optional[AnalysisKey] = None, **params) -> int:
+        """Drop cached analyses; returns how many entries were evicted.
+
+        With no ``key``, everything goes (the module changed wholesale).
+        With a ``key``, that entry *and every analysis built on top of it*
+        (transitively, via the recorded dependency edges) are evicted.
+        """
+        if key is None:
+            evicted = len(self._cache)
+            self._cache.clear()
+            self._dependencies.clear()
+            self._dependents.clear()
+            self.statistics.invalidations += evicted
+            return evicted
+        doomed: Set[_CacheKey] = set()
+        frontier = [cache_key for cache_key in self._cache
+                    if cache_key[0] is key
+                    and (not params or cache_key == self._cache_key(key, params))]
+        while frontier:
+            cache_key = frontier.pop()
+            if cache_key in doomed:
+                continue
+            doomed.add(cache_key)
+            frontier.extend(self._dependents.get(cache_key, ()))
+        for cache_key in doomed:
+            self._cache.pop(cache_key, None)
+            self._dependencies.pop(cache_key, None)
+            self._dependents.pop(cache_key, None)
+        for dependents in self._dependents.values():
+            dependents.difference_update(doomed)
+        for dependencies in self._dependencies.values():
+            dependencies.difference_update(doomed)
+        self.statistics.invalidations += len(doomed)
+        return len(doomed)
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,295 @@
+"""A shared sparse fixpoint engine for every analysis in the repository.
+
+Before this module existed each analysis — the integer range bootstrap, the
+global GR analysis, the Andersen baseline — carried its own hand-rolled
+fixed-point loop, all of them dense: every pass re-evaluated every node of
+the module whether or not its inputs had changed.  The engine replaces those
+loops with one algorithm:
+
+1. the *dependence graph* of the problem (def-use edges for the SSA
+   analyses, constraint edges for points-to) is condensed into strongly
+   connected components with an iterative Tarjan walk;
+2. nodes are evaluated once in topological (dependencies-first) component
+   order — acyclic regions therefore stabilise in a single visit;
+3. nodes whose inputs changed are re-evaluated through a deduplicating
+   worklist until the component reaches a fixed point, with a widening hook
+   applied at the problem's designated refinement points (φ-functions,
+   formal parameters, call results) to force convergence on cyclic regions;
+4. an optional descending (narrowing) sequence of full sweeps recovers
+   precision lost to widening — the schedule of Section 3.9 of the paper.
+
+Problems describe themselves through :class:`SparseProblem`; the solver owns
+scheduling only, never abstract values, so every analysis keeps its existing
+state tables and transfer functions.  :class:`SolverStatistics` counts
+transfer-function applications ("steps"), which the scalability benchmark
+reports alongside wall time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Set
+
+__all__ = ["SolverStatistics", "SparseProblem", "SparseSolver", "condense_sccs"]
+
+Node = Hashable
+
+
+@dataclass
+class SolverStatistics:
+    """Counters of one :meth:`SparseSolver.solve` run.
+
+    ``steps`` is the total number of transfer-function applications — the
+    engine's hardware-independent cost measure.  ``max_node_evaluations``
+    plays the role the old per-analysis "pass" counters played: it bounds how
+    often any single node was re-evaluated during the ascending phase.
+    """
+
+    problem: str = ""
+    nodes: int = 0
+    edges: int = 0
+    sccs: int = 0
+    largest_scc: int = 0
+    steps: int = 0
+    sweep_steps: int = 0
+    worklist_steps: int = 0
+    descending_steps: int = 0
+    widenings: int = 0
+    max_node_evaluations: int = 0
+
+
+class SparseProblem:
+    """One dataflow problem the sparse solver can run.
+
+    Subclasses own the abstract state; the solver only schedules.  The
+    minimal contract is ``nodes`` + ``transfer`` + ``read``/``write``;
+    everything else has a sensible default.
+    """
+
+    #: Short name used in statistics and debugging output.
+    name = "sparse-problem"
+
+    def nodes(self) -> Sequence[Node]:
+        """Every node of the problem, in the priority order sweeps should use."""
+        raise NotImplementedError
+
+    def dependencies(self, node: Node) -> Iterable[Node]:
+        """Nodes whose state the transfer function of ``node`` reads."""
+        return ()
+
+    def transfer(self, node: Node) -> Any:
+        """Recompute the abstract value of ``node`` from its inputs."""
+        raise NotImplementedError
+
+    def read(self, node: Node) -> Any:
+        """Current abstract value of ``node`` (a sentinel when unvisited)."""
+        raise NotImplementedError
+
+    def write(self, node: Node, value: Any) -> None:
+        """Store the new abstract value of ``node``."""
+        raise NotImplementedError
+
+    def is_refinement_point(self, node: Node) -> bool:
+        """Nodes where widening (ascending) and narrowing (descending) apply."""
+        return False
+
+    def widen(self, node: Node, old: Any, new: Any) -> Any:
+        """Widening hook: combine on re-evaluation of a refinement point."""
+        return new
+
+    def narrow(self, node: Node, old: Any, new: Any) -> Any:
+        """Narrowing hook: combine during descending sweeps."""
+        return new
+
+    def on_phase(self, phase: str) -> None:
+        """Called at phase boundaries: ``"sweep"``, ``"ascending"`` and
+        ``"descending:<k>"`` — the GR analysis snapshots its Figure-12 trace
+        from here."""
+
+
+def condense_sccs(nodes: Sequence[Node],
+                  dependencies: Callable[[Node], Iterable[Node]]) -> List[List[Node]]:
+    """Strongly connected components in dependencies-first topological order.
+
+    Iterative Tarjan over the dependence edges; because edges point from a
+    node to the nodes it *reads*, Tarjan's emission order (callees first) is
+    exactly the evaluation order the solver wants.  Unknown dependencies
+    (values that are not problem nodes, e.g. constants) are skipped.
+    """
+    known = set(nodes)
+    index_counter = [0]
+    stack: List[Node] = []
+    lowlink: Dict[Node, int] = {}
+    index: Dict[Node, int] = {}
+    on_stack: Set[Node] = set()
+    components: List[List[Node]] = []
+
+    def edges(node: Node) -> List[Node]:
+        return [dep for dep in dependencies(node) if dep in known]
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: List[tuple] = [(root, iter(edges(root)))]
+        index[root] = lowlink[root] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            current, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = lowlink[child] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(edges(child))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[current] = min(lowlink[current], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[current])
+            if lowlink[current] == index[current]:
+                component: List[Node] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member is current:
+                        break
+                components.append(component)
+    return components
+
+
+class SparseSolver:
+    """Drives a :class:`SparseProblem` to its fixed point.
+
+    The ascending phase is change-driven: after the initial topological
+    sweep, only nodes whose dependencies changed are re-evaluated.  Problems
+    whose dependence edges appear during solving (Andersen's load/store
+    constraints) register them with :meth:`add_dependency` from inside their
+    transfer functions.
+    """
+
+    def __init__(self, problem: SparseProblem, *,
+                 max_node_evaluations: Optional[int] = None,
+                 descending_passes: int = 0):
+        self.problem = problem
+        self.max_node_evaluations = max_node_evaluations
+        self.descending_passes = descending_passes
+        self.statistics = SolverStatistics(problem=problem.name)
+        self._order: List[Node] = []
+        self._dependents: Dict[Node, List[Node]] = {}
+        self._dependent_sets: Dict[Node, Set[Node]] = {}
+        self._evaluations: Dict[Node, int] = {}
+        self._worklist: deque = deque()
+        self._enqueued: Set[Node] = set()
+
+    # -- dynamic dependence edges ---------------------------------------------
+    def add_dependency(self, dependent: Node, dependency: Node) -> None:
+        """Record, mid-solve, that ``dependent`` reads ``dependency``.
+
+        Future changes of ``dependency`` will re-enqueue ``dependent``; used
+        by problems whose dependence graph grows as states grow.
+        """
+        bucket = self._dependent_sets.setdefault(dependency, set())
+        if dependent in bucket:
+            return
+        bucket.add(dependent)
+        self._dependents.setdefault(dependency, []).append(dependent)
+        self.statistics.edges += 1
+
+    def _enqueue_dependents(self, node: Node) -> None:
+        for dependent in self._dependents.get(node, ()):
+            if dependent in self._enqueued:
+                continue
+            if self._evaluations.get(dependent, 0) == 0:
+                continue  # the initial sweep will evaluate it with fresh inputs
+            cap = self.max_node_evaluations
+            if cap is not None and self._evaluations.get(dependent, 0) >= cap:
+                continue  # forced convergence: the cap bounds re-evaluation
+            self._enqueued.add(dependent)
+            self._worklist.append(dependent)
+
+    # -- evaluation -----------------------------------------------------------
+    def _evaluate(self, node: Node, *, phase: str) -> bool:
+        problem = self.problem
+        stats = self.statistics
+        old = problem.read(node)
+        new = problem.transfer(node)
+        stats.steps += 1
+        seen = self._evaluations.get(node, 0)
+        self._evaluations[node] = seen + 1
+        if phase != "descending" and seen + 1 > stats.max_node_evaluations:
+            stats.max_node_evaluations = seen + 1
+        if phase == "descending":
+            stats.descending_steps += 1
+            if problem.is_refinement_point(node):
+                new = problem.narrow(node, old, new)
+            if new != old:
+                problem.write(node, new)
+                return True
+            return False
+        if phase == "sweep":
+            stats.sweep_steps += 1
+        else:
+            stats.worklist_steps += 1
+            if problem.is_refinement_point(node):
+                widened = problem.widen(node, old, new)
+                if widened != new:
+                    stats.widenings += 1
+                new = widened
+        if new != old:
+            problem.write(node, new)
+            self._enqueue_dependents(node)
+            return True
+        return False
+
+    # -- driver ---------------------------------------------------------------
+    def solve(self) -> SolverStatistics:
+        problem = self.problem
+        stats = self.statistics
+        bind = getattr(problem, "bind", None)
+        if bind is not None:
+            bind(self)
+        ordered_nodes = list(problem.nodes())
+        stats.nodes = len(ordered_nodes)
+
+        components = condense_sccs(ordered_nodes, problem.dependencies)
+        stats.sccs = len(components)
+        stats.largest_scc = max((len(c) for c in components), default=0)
+        # Stable priority inside each component: the order nodes() gave us.
+        priority = {node: position for position, node in enumerate(ordered_nodes)}
+        self._order = [node for component in components
+                       for node in sorted(component, key=priority.__getitem__)]
+
+        for node in ordered_nodes:
+            for dependency in problem.dependencies(node):
+                if dependency in priority:
+                    self.add_dependency(node, dependency)
+
+        # Phase 1: one topological sweep (dependencies before dependents).
+        for node in self._order:
+            self._evaluate(node, phase="sweep")
+        problem.on_phase("sweep")
+
+        # Phase 2: change-driven iteration with widening at refinement points.
+        while self._worklist:
+            node = self._worklist.popleft()
+            self._enqueued.discard(node)
+            self._evaluate(node, phase="ascending")
+        problem.on_phase("ascending")
+
+        # Phase 3: descending sweeps (narrowing) in the same global order.
+        for step in range(self.descending_passes):
+            for node in self._order:
+                self._evaluate(node, phase="descending")
+            problem.on_phase(f"descending:{step + 1}")
+        return stats

@@ -18,11 +18,12 @@ Run directly with ``python -m repro.evaluation.ablation``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..benchgen import build_suite
 from ..core import GlobalAnalysisOptions, RBAAAliasAnalysis, RBAAOptions
+from ..engine.manager import AnalysisManager
 from ..frontend import compile_source
 from ..ir.module import Module
 from ..transforms import PipelineOptions
@@ -32,26 +33,30 @@ from .reporting import format_table
 __all__ = ["AblationVariant", "ABLATION_VARIANTS", "run_ablation", "format_ablation"]
 
 
-def _default_rbaa(module: Module) -> RBAAAliasAnalysis:
-    return RBAAAliasAnalysis(module)
+def _default_rbaa(module: Module, manager=None) -> RBAAAliasAnalysis:
+    return RBAAAliasAnalysis(module, manager=manager)
 
 
-def _global_only(module: Module) -> RBAAAliasAnalysis:
-    return RBAAAliasAnalysis(module, RBAAOptions(enable_local_test=False))
+def _global_only(module: Module, manager=None) -> RBAAAliasAnalysis:
+    return RBAAAliasAnalysis(module, RBAAOptions(enable_local_test=False),
+                             manager=manager)
 
 
-def _local_only(module: Module) -> RBAAAliasAnalysis:
-    return RBAAAliasAnalysis(module, RBAAOptions(enable_global_test=False))
+def _local_only(module: Module, manager=None) -> RBAAAliasAnalysis:
+    return RBAAAliasAnalysis(module, RBAAOptions(enable_global_test=False),
+                             manager=manager)
 
 
-def _no_descending(module: Module) -> RBAAAliasAnalysis:
+def _no_descending(module: Module, manager=None) -> RBAAAliasAnalysis:
     return RBAAAliasAnalysis(
-        module, RBAAOptions(global_options=GlobalAnalysisOptions(descending_passes=0)))
+        module, RBAAOptions(global_options=GlobalAnalysisOptions(descending_passes=0)),
+        manager=manager)
 
 
-def _intraprocedural(module: Module) -> RBAAAliasAnalysis:
+def _intraprocedural(module: Module, manager=None) -> RBAAAliasAnalysis:
     return RBAAAliasAnalysis(
-        module, RBAAOptions(global_options=GlobalAnalysisOptions(interprocedural=False)))
+        module, RBAAOptions(global_options=GlobalAnalysisOptions(interprocedural=False)),
+        manager=manager)
 
 
 @dataclass(frozen=True)
@@ -87,6 +92,10 @@ def run_ablation(program_names: Optional[Sequence[str]] = None,
     """
     suite = build_suite(program_names, max_programs)
     totals: Dict[str, Tuple[int, int]] = {}
+    # One manager per module: the range bootstrap and location table are
+    # shared across every ablation variant analysing the same module (the
+    # variants differ only in test selection and GR options).
+    managers: Dict[int, AnalysisManager] = {}
     for variant in ABLATION_VARIANTS:
         queries = 0
         no_alias = 0
@@ -95,8 +104,9 @@ def run_ablation(program_names: Optional[Sequence[str]] = None,
             if variant.pipeline is not None:
                 module = compile_source(program.source, name,
                                         pipeline_options=variant.pipeline)
+            manager = managers.setdefault(id(module), AnalysisManager(module))
             result = run_queries(name, module, [("rbaa", variant.factory)],
-                                 max_pairs_per_function)
+                                 max_pairs_per_function, manager=manager)
             queries += result.queries
             no_alias += result.no_alias.get("rbaa", 0)
         totals[variant.name] = (queries, no_alias)

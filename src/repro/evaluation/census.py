@@ -15,8 +15,8 @@ Run directly with ``python -m repro.evaluation.census``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from ..benchgen import build_suite
 from ..core import GlobalRangeAnalysis

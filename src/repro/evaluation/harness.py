@@ -10,22 +10,38 @@ layer consumes.
 
 from __future__ import annotations
 
+import inspect
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..aliases.base import AliasAnalysis
 from ..aliases.results import AliasResult, MemoryAccess
+from ..engine.manager import AnalysisManager
 from ..ir.function import Function
 from ..ir.module import Module
-from ..ir.values import Value
 
 __all__ = ["QueryPair", "ProgramResult", "enumerate_query_pairs", "run_queries",
-           "AnalysisFactory"]
+           "AnalysisFactory", "build_analysis"]
 
 #: A callable building an analysis for a module (e.g. ``BasicAliasAnalysis``).
+#: Factories may additionally accept a keyword-only ``manager`` argument to
+#: share cached sub-analyses with the other factories of the same run.
 AnalysisFactory = Callable[[Module], AliasAnalysis]
+
+
+def build_analysis(factory: AnalysisFactory, module: Module,
+                   manager: Optional[AnalysisManager] = None) -> AliasAnalysis:
+    """Build one analysis, passing the shared manager when the factory takes it."""
+    if manager is not None:
+        try:
+            parameters = inspect.signature(factory).parameters
+        except (TypeError, ValueError):  # builtins / odd callables
+            parameters = {}
+        if "manager" in parameters:
+            return factory(module, manager=manager)
+    return factory(module)
 
 
 @dataclass(frozen=True)
@@ -81,13 +97,22 @@ def enumerate_query_pairs(module: Module,
 
 def run_queries(program_name: str, module: Module,
                 factories: Sequence[Tuple[str, AnalysisFactory]],
-                max_pairs_per_function: Optional[int] = None) -> ProgramResult:
-    """Build each analysis and run the full query set through it."""
+                max_pairs_per_function: Optional[int] = None,
+                manager: Optional[AnalysisManager] = None) -> ProgramResult:
+    """Build each analysis and run the full query set through it.
+
+    All factories share one :class:`AnalysisManager`, so analyses layered on
+    the same inputs (``rbaa`` and ``rbaa + basic``) compute the expensive
+    range bootstrap and GR/LR fixed points once per module instead of once
+    per factory.
+    """
     result = ProgramResult(program=program_name)
+    if manager is None:
+        manager = AnalysisManager(module)
     analyses: List[Tuple[str, AliasAnalysis]] = []
     for name, factory in factories:
         start = time.perf_counter()
-        analysis = factory(module)
+        analysis = build_analysis(factory, module, manager)
         result.build_seconds[name] = time.perf_counter() - start
         result.no_alias[name] = 0
         result.query_seconds[name] = 0.0
@@ -97,10 +122,8 @@ def run_queries(program_name: str, module: Module,
     result.queries = len(pairs)
     for name, analysis in analyses:
         start = time.perf_counter()
-        count = 0
-        for pair in pairs:
-            if analysis.alias(pair.a, pair.b) is AliasResult.NO_ALIAS:
-                count += 1
+        answers = analysis.query_many([(pair.a, pair.b) for pair in pairs])
+        count = sum(1 for answer in answers if answer is AliasResult.NO_ALIAS)
         result.no_alias[name] = count
         result.query_seconds[name] = time.perf_counter() - start
         extra: Dict[str, int] = {}

@@ -14,7 +14,7 @@ Run directly with ``python -m repro.evaluation.precision``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..aliases import BasicAliasAnalysis, CombinedAliasAnalysis, SCEVAliasAnalysis
 from ..benchgen import build_suite
@@ -31,11 +31,18 @@ ANALYSIS_COLUMNS = ("scev", "basic", "rbaa", "r+b")
 
 
 def standard_factories() -> List[Tuple[str, AnalysisFactory]]:
-    """The four analysis configurations of Figure 13."""
+    """The four analysis configurations of Figure 13.
 
-    def combined_factory(module: Module):
+    The factories accept the harness' shared :class:`AnalysisManager`, so the
+    standalone ``rbaa`` and the ``rbaa`` inside the chained combination share
+    one range bootstrap and one GR/LR fixed point per module.
+    """
+
+    def combined_factory(module: Module, manager=None):
         return CombinedAliasAnalysis(
-            module, [RBAAAliasAnalysis(module), BasicAliasAnalysis(module)], name="r+b")
+            module,
+            [RBAAAliasAnalysis(module, manager=manager), BasicAliasAnalysis(module)],
+            name="r+b")
 
     return [
         ("scev", SCEVAliasAnalysis),

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 __all__ = ["format_table", "table_to_csv"]
 

@@ -9,7 +9,9 @@ Here the programs are produced by the synthetic generator at 50 increasing
 sizes; for each one the experiment times exactly what the paper times — the
 mapping of pointers to ``SymbRanges`` values (the GR + LR fixed points),
 excluding query time and excluding the bootstrap integer range analysis —
-and reports the same correlation coefficients.
+and reports the same correlation coefficients.  Alongside wall time the
+experiment reports the sparse solver's fixpoint step counts (transfer
+applications), a hardware-independent cost measure.
 
 Run directly with ``python -m repro.evaluation.scalability``.
 """
@@ -19,11 +21,10 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 from ..benchgen import GeneratorConfig, generate_module
-from ..core import GlobalRangeAnalysis, LocalRangeAnalysis, LocationTable
-from ..rangeanalysis import SymbolicRangeAnalysis
+from ..engine import AnalysisManager, keys
 from .reporting import format_table
 
 __all__ = ["ScalabilityPoint", "ScalabilityReport", "run_scalability_experiment",
@@ -38,6 +39,8 @@ class ScalabilityPoint:
     instructions: int
     pointers: int
     analysis_seconds: float
+    #: Transfer-function applications of the GR + LR sparse solves.
+    solver_steps: int = 0
 
 
 @dataclass
@@ -69,6 +72,15 @@ class ScalabilityReport:
         seconds = self.total_seconds()
         return self.total_instructions() / seconds if seconds else float("inf")
 
+    def total_solver_steps(self) -> int:
+        return sum(point.solver_steps for point in self.points)
+
+    def steps_per_instruction(self) -> float:
+        """Fixpoint steps per IR instruction — the sparseness headline: the
+        solver should touch each value a small constant number of times."""
+        instructions = self.total_instructions()
+        return self.total_solver_steps() / instructions if instructions else 0.0
+
 
 def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
     """The linear correlation coefficient R (no numpy needed at this size)."""
@@ -88,20 +100,24 @@ def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
 def _measure(name: str, instances: int, seed: int) -> ScalabilityPoint:
     program = generate_module(GeneratorConfig(name=name, instances=instances, seed=seed))
     module = program.module
+    manager = AnalysisManager(module)
     # The bootstrap range analysis is excluded from the timing, mirroring the
     # paper ("we do not count the time to run the out-of-the-box
     # implementation of range analysis").
-    ranges = SymbolicRangeAnalysis(module)
-    locations = LocationTable(module)
+    manager.get(keys.RANGES)
+    manager.get(keys.LOCATIONS)
     start = time.perf_counter()
-    GlobalRangeAnalysis(module, ranges=ranges, locations=locations)
-    LocalRangeAnalysis(module, ranges=ranges, locations=locations)
+    global_analysis = manager.get(keys.GLOBAL_RANGES)
+    local_analysis = manager.get(keys.LOCAL_RANGES)
     elapsed = time.perf_counter() - start
+    steps = (global_analysis.solver_statistics.steps
+             + local_analysis.solver_statistics.steps)
     return ScalabilityPoint(
         name=name,
         instructions=module.instruction_count(),
         pointers=module.pointer_count(),
         analysis_seconds=elapsed,
+        solver_steps=steps,
     )
 
 
@@ -123,18 +139,21 @@ def run_scalability_experiment(program_count: int = 50,
 
 def format_figure15(report: ScalabilityReport) -> str:
     rows = [[point.name, point.instructions, point.pointers,
-             f"{point.analysis_seconds * 1000:.2f}"]
+             f"{point.analysis_seconds * 1000:.2f}", point.solver_steps]
             for point in report.points]
-    table = format_table(["Program", "#Instructions", "#Pointers", "Runtime (ms)"],
-                         rows, title="Figure 15 — analysis runtime vs. program size")
+    table = format_table(
+        ["Program", "#Instructions", "#Pointers", "Runtime (ms)", "Fixpoint steps"],
+        rows, title="Figure 15 — analysis runtime vs. program size")
     summary = (
         f"\nTotal: {report.total_instructions()} instructions, "
-        f"{report.total_pointers()} pointers, {report.total_seconds():.2f} s\n"
+        f"{report.total_pointers()} pointers, {report.total_seconds():.2f} s, "
+        f"{report.total_solver_steps()} fixpoint steps\n"
         f"R(time, instructions) = {report.correlation_time_vs_instructions():.3f} "
         f"(paper: 0.982)\n"
         f"R(time, pointers)     = {report.correlation_time_vs_pointers():.3f} "
         f"(paper: 0.975)\n"
-        f"Throughput: {report.instructions_per_second():,.0f} instructions/second"
+        f"Throughput: {report.instructions_per_second():,.0f} instructions/second, "
+        f"{report.steps_per_instruction():.2f} fixpoint steps/instruction"
     )
     return table + summary
 

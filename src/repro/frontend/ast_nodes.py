@@ -7,7 +7,7 @@ semantic analysis (:mod:`repro.frontend.sema`) and consumed during lowering.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional
 
 __all__ = [
     # type syntax

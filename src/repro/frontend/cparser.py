@@ -389,7 +389,8 @@ class Parser:
         left = self._parse_unary()
         while True:
             token = self._peek()
-            precedence = _BINARY_PRECEDENCE.get(token.text) if token.kind == TokenKind.PUNCT else None
+            precedence = (_BINARY_PRECEDENCE.get(token.text)
+                          if token.kind == TokenKind.PUNCT else None)
             if precedence is None or precedence < min_precedence:
                 return left
             self._advance()

@@ -136,9 +136,11 @@ def tokenize(source: str) -> List[Token]:
             text = source[position:end]
             numeric = text.rstrip("uUlLfF")
             if is_float:
-                tokens.append(Token(TokenKind.FLOAT, text, start_line, start_column, float(numeric)))
+                tokens.append(
+                    Token(TokenKind.FLOAT, text, start_line, start_column, float(numeric)))
             else:
-                tokens.append(Token(TokenKind.INT, text, start_line, start_column, int(numeric, 10)))
+                tokens.append(
+                    Token(TokenKind.INT, text, start_line, start_column, int(numeric, 10)))
             advance(end - position)
             continue
         # Identifiers / keywords.
@@ -164,7 +166,8 @@ def tokenize(source: str) -> List[Token]:
             if end >= length or source[end] != "'":
                 raise LexerError("unterminated character literal", start_line, start_column)
             end += 1
-            tokens.append(Token(TokenKind.CHAR, source[position:end], start_line, start_column, value))
+            tokens.append(
+                Token(TokenKind.CHAR, source[position:end], start_line, start_column, value))
             advance(end - position)
             continue
         # String literals.

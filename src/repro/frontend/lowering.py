@@ -23,15 +23,12 @@ from typing import Dict, List, Optional, Tuple
 from ..ir.basicblock import BasicBlock
 from ..ir.builder import IRBuilder
 from ..ir.function import Function
-from ..ir.instructions import ICmpInst
 from ..ir.module import Module
 from ..ir.types import (
     ArrayType,
     BOOL,
     DOUBLE,
-    FLOAT,
     FloatType,
-    FunctionType,
     INT32,
     INT64,
     INT8,
@@ -41,14 +38,7 @@ from ..ir.types import (
     Type,
     VOID,
 )
-from ..ir.values import (
-    ConstantFloat,
-    ConstantInt,
-    GlobalVariable,
-    NullPointer,
-    UndefValue,
-    Value,
-)
+from ..ir.values import ConstantFloat, ConstantInt, GlobalVariable, NullPointer, Value
 from .ast_nodes import (
     ArrayIndex,
     Assignment,
@@ -79,10 +69,9 @@ from .ast_nodes import (
     StringLiteral,
     TranslationUnit,
     UnaryOp,
-    VarDecl,
     WhileStmt,
 )
-from .sema import SemanticError, SemanticInfo, analyze
+from .sema import SemanticInfo, analyze
 
 __all__ = ["LoweringError", "lower_translation_unit"]
 

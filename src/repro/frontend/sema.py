@@ -32,7 +32,6 @@ from .ast_nodes import (
     IntLiteral,
     NamedTypeSpec,
     PointerTypeSpec,
-    StructDecl,
     StructTypeSpec,
     TranslationUnit,
     TypeSpec,

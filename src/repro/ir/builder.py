@@ -7,7 +7,7 @@ build programs through this class.  The builder keeps an insertion point
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 from .basicblock import BasicBlock
 from .function import Function
@@ -30,7 +30,6 @@ from .instructions import (
     StoreInst,
     UnreachableInst,
 )
-from .module import Module
 from .types import INT32, INT8, PointerType, Type, VOID
 from .values import ConstantInt, NullPointer, UndefValue, Value
 

@@ -38,7 +38,8 @@ class Function(Value):
             arg_names.append(f"arg{len(arg_names)}")
         self.args: List[Argument] = [
             Argument(param_type, arg_name, parent=self, index=index)
-            for index, (param_type, arg_name) in enumerate(zip(function_type.param_types, arg_names))
+            for index, (param_type, arg_name)
+            in enumerate(zip(function_type.param_types, arg_names))
         ]
         for arg in self.args:
             self._taken_names[arg.name] = 1

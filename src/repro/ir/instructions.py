@@ -28,10 +28,10 @@ the data-flow graph to be sparse.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING, Union
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING, Union
 
 from .types import BOOL, INT32, PointerType, Type, VOID
-from .values import Constant, ConstantInt, Value
+from .values import ConstantInt, Value
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .basicblock import BasicBlock

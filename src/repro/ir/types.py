@@ -10,7 +10,7 @@ pointer-plus-constant rule consumes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 __all__ = [
     "Type",

@@ -9,9 +9,9 @@ e-SSA renaming cheap).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, TYPE_CHECKING, Tuple
+from typing import List, Optional, TYPE_CHECKING
 
-from .types import BOOL, INT32, PointerType, Type, VOID
+from .types import INT32, PointerType, Type
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .instructions import Instruction

@@ -17,13 +17,13 @@ raises on the first batch unless ``raise_on_error=False``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from .basicblock import BasicBlock
 from .function import Function
 from .instructions import BranchInst, Instruction, PhiInst, SigmaInst
 from .module import Module
-from .values import Argument, Constant, GlobalVariable, Value
+from .values import Argument, Constant, GlobalVariable
 
 __all__ = ["VerificationError", "IRVerificationFailure", "verify_function", "verify_module"]
 
@@ -54,7 +54,8 @@ def _check_terminators(function: Function, errors: List[VerificationError]) -> N
         ]
         if not terminator_positions:
             errors.append(VerificationError(function.name, f"block {block.name} has no terminator"))
-        elif terminator_positions[-1] != len(block.instructions) - 1 or len(terminator_positions) > 1:
+        elif terminator_positions[-1] != len(block.instructions) - 1 \
+                or len(terminator_positions) > 1:
             errors.append(VerificationError(
                 function.name, f"block {block.name} has a misplaced or duplicate terminator"))
         for inst in block.instructions:
@@ -74,7 +75,8 @@ def _check_phis(function: Function, errors: List[VerificationError]) -> None:
             if isinstance(inst, PhiInst):
                 if seen_non_phi:
                     errors.append(VerificationError(
-                        function.name, f"phi {inst.short_name()} is not at the top of {block.name}"))
+                        function.name,
+                        f"phi {inst.short_name()} is not at the top of {block.name}"))
                 incoming_blocks = inst.incoming_blocks
                 if len(incoming_blocks) != len(inst.operands):
                     errors.append(VerificationError(
@@ -114,7 +116,6 @@ def _check_operands(function: Function, errors: List[VerificationError]) -> None
     local_values = set(function.args)
     for inst in function.instructions():
         local_values.add(inst)
-    module = function.parent
     for block in function.blocks:
         for inst in block.instructions:
             for operand in inst.operands:

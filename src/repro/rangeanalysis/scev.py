@@ -17,7 +17,7 @@ A value's evolution is either:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from ..analysis.loops import Loop, LoopInfo
 from ..ir.function import Function
@@ -136,7 +136,8 @@ class ScalarEvolution:
             if isinstance(current, SigmaInst):
                 current = current.source
                 continue
-            if isinstance(current, CastInst) and current.kind in ("sext", "zext", "trunc", "bitcast"):
+            if isinstance(current, CastInst) \
+                    and current.kind in ("sext", "zext", "trunc", "bitcast"):
                 current = current.value
                 continue
             if isinstance(current, BinaryInst) and current.opcode in ("add", "sub"):

@@ -9,16 +9,20 @@ loaded values.
 
 The fixed-point schedule matches the one the paper uses for pointers
 (Section 3.9): an ascending phase with widening applied at φ-functions after
-the first complete pass, followed by a descending (narrowing) sequence of
-length two.
+the first complete sweep, followed by a descending (narrowing) sequence of
+length two.  Scheduling is delegated to the shared sparse solver of
+:mod:`repro.engine.solver`: def-use edges between integer instructions form
+the dependence graph, so acyclic code stabilises in one visit and only
+φ-cycles iterate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from ..analysis.cfg import reverse_post_order
+from ..engine.solver import SparseProblem, SparseSolver
 from ..ir.function import Function
 from ..ir.instructions import (
     BinaryInst,
@@ -28,12 +32,11 @@ from ..ir.instructions import (
     Instruction,
     LoadInst,
     PhiInst,
-    PtrAddInst,
     SelectInst,
     SigmaInst,
 )
 from ..ir.module import Module
-from ..ir.values import Argument, ConstantInt, GlobalVariable, UndefValue, Value
+from ..ir.values import Argument, ConstantInt, UndefValue, Value
 from ..symbolic import (
     EMPTY_INTERVAL,
     NEG_INF,
@@ -62,6 +65,57 @@ class RangeAnalysisOptions:
     descending_passes: int = 2
 
 
+class _IntegerRangeProblem(SparseProblem):
+    """Adapter presenting the integer range analysis to the sparse solver."""
+
+    name = "symbolic-ranges"
+
+    def __init__(self, analysis: "SymbolicRangeAnalysis", nodes: List[Instruction]):
+        self._analysis = analysis
+        self._nodes = nodes
+
+    def nodes(self) -> List[Instruction]:
+        return self._nodes
+
+    def dependencies(self, inst: Instruction):
+        if isinstance(inst, BinaryInst):
+            return (inst.lhs, inst.rhs)
+        if isinstance(inst, PhiInst):
+            return [value for value, _ in inst.incoming()]
+        if isinstance(inst, SigmaInst):
+            deps = [inst.source]
+            if inst.lower is not None:
+                deps.append(inst.lower)
+            if inst.upper is not None:
+                deps.append(inst.upper)
+            return deps
+        if isinstance(inst, CastInst):
+            return (inst.value,)
+        if isinstance(inst, SelectInst):
+            return (inst.true_value, inst.false_value)
+        return ()
+
+    def transfer(self, inst: Instruction) -> SymbolicInterval:
+        return self._analysis._evaluate(inst)
+
+    def read(self, inst: Instruction) -> SymbolicInterval:
+        return self._analysis._ranges.get(inst, EMPTY_INTERVAL)
+
+    def write(self, inst: Instruction, value: SymbolicInterval) -> None:
+        self._analysis._ranges[inst] = value
+
+    def is_refinement_point(self, inst: Instruction) -> bool:
+        return isinstance(inst, PhiInst)
+
+    def widen(self, inst: Instruction, old: SymbolicInterval,
+              new: SymbolicInterval) -> SymbolicInterval:
+        return old.widen(new) if not old.is_empty else new
+
+    def narrow(self, inst: Instruction, old: SymbolicInterval,
+               new: SymbolicInterval) -> SymbolicInterval:
+        return old.narrow(new) if not old.is_empty else new
+
+
 class SymbolicRangeAnalysis:
     """Maps every integer SSA value of a module to a symbolic interval."""
 
@@ -70,6 +124,7 @@ class SymbolicRangeAnalysis:
         self.options = options or RangeAnalysisOptions()
         self._ranges: Dict[Value, SymbolicInterval] = {}
         self._kernel: Dict[Value, Symbol] = {}
+        self.solver_statistics = None
         self._run()
 
     # -- public API ---------------------------------------------------------
@@ -117,8 +172,15 @@ class SymbolicRangeAnalysis:
     def _run(self) -> None:
         for function in self.module.defined_functions():
             self._seed_arguments(function)
+        nodes: List[Instruction] = []
         for function in self.module.defined_functions():
-            self._solve_function(function)
+            nodes.extend(self._integer_instructions(function))
+        solver = SparseSolver(
+            _IntegerRangeProblem(self, nodes),
+            max_node_evaluations=self.options.max_ascending_passes,
+            descending_passes=self.options.descending_passes,
+        )
+        self.solver_statistics = solver.solve()
 
     def _seed_arguments(self, function: Function) -> None:
         for argument in function.args:
@@ -133,32 +195,6 @@ class SymbolicRangeAnalysis:
                 if inst.type.is_integer():
                     order.append(inst)
         return order
-
-    def _solve_function(self, function: Function) -> None:
-        instructions = self._integer_instructions(function)
-        options = self.options
-        # Ascending phase with widening at φ after the first full pass.
-        for pass_index in range(options.max_ascending_passes):
-            changed = False
-            for inst in instructions:
-                old = self._ranges.get(inst, EMPTY_INTERVAL)
-                new = self._evaluate(inst)
-                if isinstance(inst, PhiInst) and pass_index > 0 and not old.is_empty:
-                    new = old.widen(new)
-                if new != old:
-                    self._ranges[inst] = new
-                    changed = True
-            if not changed:
-                break
-        # Descending phase: recompute, letting infinite bounds tighten.
-        for _ in range(options.descending_passes):
-            for inst in instructions:
-                old = self._ranges.get(inst, EMPTY_INTERVAL)
-                recomputed = self._evaluate(inst)
-                if isinstance(inst, PhiInst) and not old.is_empty:
-                    self._ranges[inst] = old.narrow(recomputed)
-                else:
-                    self._ranges[inst] = recomputed
 
     # -- transfer functions ----------------------------------------------------------
     def _operand_range(self, value: Value) -> SymbolicInterval:

@@ -26,7 +26,7 @@ saturating arithmetic, because interval bounds live in
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple, Union
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple, Union
 
 __all__ = [
     "SymExpr",

@@ -18,7 +18,7 @@ holds here" becomes ordinary data flow attached to a fresh variable name.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..analysis.dominance import DominatorTree
 from ..ir.basicblock import BasicBlock

@@ -14,12 +14,12 @@ pointer).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from ..analysis.dominance import DominatorTree, dominance_frontiers
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
-from ..ir.instructions import AllocaInst, Instruction, LoadInst, PhiInst, StoreInst
+from ..ir.instructions import AllocaInst, LoadInst, PhiInst, StoreInst
 from ..ir.module import Module
 from ..ir.values import ConstantInt, UndefValue, Value
 

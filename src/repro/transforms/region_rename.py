@@ -23,10 +23,10 @@ IR and to support the ablation experiments.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Tuple
 
 from ..ir.function import Function
-from ..ir.instructions import Instruction, PtrAddInst
+from ..ir.instructions import PtrAddInst
 from ..ir.module import Module
 from ..ir.values import ConstantInt, Value
 

@@ -12,15 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..ir.function import Function
-from ..ir.instructions import (
-    BinaryInst,
-    BranchInst,
-    CastInst,
-    ICmpInst,
-    Instruction,
-    PhiInst,
-    SelectInst,
-)
+from ..ir.instructions import BinaryInst, ICmpInst, Instruction, PhiInst, SelectInst
 from ..ir.module import Module
 from ..ir.values import ConstantInt, Value
 

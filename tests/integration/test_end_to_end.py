@@ -20,7 +20,6 @@ from repro.core import RBAAAliasAnalysis
 from repro.evaluation import (
     census_for_module,
     enumerate_query_pairs,
-    pearson_correlation,
     run_ablation,
     run_precision_experiment,
     run_queries,

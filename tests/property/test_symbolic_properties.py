@@ -6,7 +6,6 @@ the kernel symbols.  Concrete instantiation is provided by
 :func:`repro.symbolic.evaluate`.
 """
 
-import math
 
 from hypothesis import given, settings, strategies as st
 

@@ -13,7 +13,7 @@ from repro.aliases import (
 )
 from repro.core import RBAAAliasAnalysis
 from repro.frontend import compile_source
-from repro.ir.instructions import MallocInst, PtrAddInst, StoreInst
+from repro.ir.instructions import MallocInst, StoreInst
 from repro.ir.values import NullPointer
 
 

@@ -1,6 +1,5 @@
 """Unit tests for CFG analyses: orderings, dominance, loops, liveness, call graph."""
 
-import pytest
 
 from repro.analysis import (
     CallGraph,

@@ -19,7 +19,6 @@ from repro.benchgen import (
 from repro.core import RBAAAliasAnalysis
 from repro.aliases import BasicAliasAnalysis
 from repro.evaluation import (
-    ProgramResult,
     census_for_module,
     enumerate_query_pairs,
     format_table,

@@ -1,6 +1,5 @@
 """Unit tests for the paper's core: locations, MemLocs domain, GR, LR, queries."""
 
-import pytest
 
 from repro.core import (
     BOTTOM,

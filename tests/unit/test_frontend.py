@@ -19,10 +19,7 @@ from repro.frontend.ast_nodes import (
     Call,
     Cast,
     ForStmt,
-    FunctionDecl,
-    Identifier,
     IfStmt,
-    IntLiteral,
     Member,
     ReturnStmt,
     StringLiteral,
@@ -30,7 +27,7 @@ from repro.frontend.ast_nodes import (
     WhileStmt,
 )
 from repro.frontend.lexer import TokenKind
-from repro.ir import INT32, INT8, PointerType, StructType, verify_module
+from repro.ir import INT32, PointerType, StructType, verify_module
 from repro.ir.instructions import (
     AllocaInst,
     CallInst,

@@ -5,11 +5,9 @@ import pytest
 from repro.ir import (
     ArrayType,
     BOOL,
-    BasicBlock,
     ConstantInt,
     DOUBLE,
     FLOAT,
-    Function,
     FunctionType,
     GlobalVariable,
     INT32,
@@ -19,7 +17,6 @@ from repro.ir import (
     IntType,
     Module,
     NullPointer,
-    PointerType,
     StructType,
     UndefValue,
     VOID,

@@ -1,16 +1,10 @@
 """Unit tests for the integer symbolic range analysis and scalar evolution."""
 
-import pytest
 
 from repro.frontend import compile_source
-from repro.ir.instructions import BinaryInst, LoadInst, PhiInst, PtrAddInst, SigmaInst
-from repro.rangeanalysis import (
-    AddRecurrence,
-    RangeAnalysisOptions,
-    ScalarEvolution,
-    SymbolicRangeAnalysis,
-)
-from repro.symbolic import NEG_INF, POS_INF, Symbol, sym
+from repro.ir.instructions import BinaryInst, LoadInst, PhiInst, SigmaInst
+from repro.rangeanalysis import RangeAnalysisOptions, ScalarEvolution, SymbolicRangeAnalysis
+from repro.symbolic import Symbol
 
 
 def find_value(function, name):

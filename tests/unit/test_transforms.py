@@ -1,6 +1,5 @@
 """Unit tests for the IR transforms: mem2reg, e-SSA, region renaming, simplify."""
 
-import pytest
 
 from repro.frontend import compile_source
 from repro.ir import (
@@ -280,7 +279,6 @@ class TestSimplify:
         void f(char* p, int n) { *p = n; malloc(n); }
         """)
         fn = module.get_function("f")
-        before = fn.instruction_count()
         eliminate_dead_code_in_function(fn)
         stores = [inst for inst in fn.instructions() if isinstance(inst, StoreInst)]
         mallocs = [inst for inst in fn.instructions() if inst.opcode == "malloc"]
