@@ -1,29 +1,52 @@
 """Benchmark-program substrate: paper figures, idioms, generator, suites."""
 
-from .generator import GeneratedProgram, GeneratorConfig, generate_module, generate_source
+from .generator import (
+    GeneratedProgram,
+    GeneratorConfig,
+    generate_module,
+    generate_source,
+    source_digest,
+    stable_seed,
+)
 from .idioms import IDIOMS, Idiom, get_idiom, idiom_names
+from .manifest import GENERATOR_VERSION, corpus_manifest, manifest_entry, suite_configs
 from .paper_programs import (
     FIGURE1_SOURCE,
     FIGURE3_SOURCE,
     FIGURE10_SOURCE,
+    PAPER_SOURCES,
     compile_figure1,
     compile_figure3,
     compile_figure10,
 )
-from .suites import SUITE_PROGRAMS, SuiteProgram, build_program, build_suite, suite_names
+from .suites import (
+    SUITE_PROGRAMS,
+    SuiteProgram,
+    build_program,
+    build_suite,
+    select_programs,
+    suite_names,
+)
 
 __all__ = [
     "GeneratedProgram",
     "GeneratorConfig",
     "generate_module",
     "generate_source",
+    "source_digest",
+    "stable_seed",
     "IDIOMS",
     "Idiom",
     "get_idiom",
     "idiom_names",
+    "GENERATOR_VERSION",
+    "corpus_manifest",
+    "manifest_entry",
+    "suite_configs",
     "FIGURE1_SOURCE",
     "FIGURE3_SOURCE",
     "FIGURE10_SOURCE",
+    "PAPER_SOURCES",
     "compile_figure1",
     "compile_figure3",
     "compile_figure10",
@@ -31,5 +54,6 @@ __all__ = [
     "SuiteProgram",
     "build_program",
     "build_suite",
+    "select_programs",
     "suite_names",
 ]

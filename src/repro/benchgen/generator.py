@@ -3,12 +3,20 @@
 Given a size budget and an idiom mix, the generator emits a mini-C source
 composed of independently generated functions plus a ``main`` that allocates
 shared buffers and calls every generated routine.  The same
-``(name, seed, size)`` triple always produces the same program, so benchmark
-results are reproducible run to run.
+``(name, seed, size)`` triple always produces the same program — bit for
+bit, in any interpreter process, under any ``PYTHONHASHSEED`` — so
+benchmark results are reproducible run to run.
+
+Determinism contract: all randomness flows from one ``random.Random``
+seeded via :func:`stable_seed` (a SHA-256 digest, never the builtin
+``hash``), idiom pools and mixes are iterated in sorted order, and idiom
+templates draw their per-instance variation from the explicitly threaded
+rng rather than from any ambient state.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
@@ -17,7 +25,26 @@ from ..frontend import compile_source
 from ..ir.module import Module
 from .idioms import IDIOMS, Idiom, get_idiom
 
-__all__ = ["GeneratorConfig", "GeneratedProgram", "generate_source", "generate_module"]
+__all__ = ["GeneratorConfig", "GeneratedProgram", "generate_source", "generate_module",
+           "stable_seed", "source_digest"]
+
+
+def stable_seed(text: str, modulus: Optional[int] = None) -> int:
+    """A hash-order-independent integer seed for ``text``.
+
+    The builtin ``hash`` of a string changes with ``PYTHONHASHSEED``; this
+    digest does not, so program shapes derived from it are identical in
+    every interpreter process.
+    """
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    value = int.from_bytes(digest[:8], "big")
+    return value % modulus if modulus else value
+
+
+def source_digest(source: str) -> str:
+    """SHA-256 hex digest of a generated source (manifest / replay identity)."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
 
 _MAIN_PREAMBLE = """
 int main(int argc, char** argv) {
@@ -34,7 +61,7 @@ _MAIN_EPILOGUE = """  return 0;
 """
 
 
-@dataclass
+@dataclass(frozen=True)
 class GeneratorConfig:
     """What to generate."""
 
@@ -46,6 +73,14 @@ class GeneratorConfig:
     #: Idiom mix: mapping idiom name -> relative weight (unlisted idioms get
     #: weight 0).  ``None`` means the uniform mix over all idioms.
     mix: Optional[Dict[str, float]] = None
+    #: Override of the rng derivation label (default ``"{name}:{seed}"``).
+    #: Programs sharing one ``rng_key`` draw the same idiom selection stream
+    #: and the same per-instance template constants (each instance's render
+    #: rng is derived from ``(rng_key, index)``), so a size sweep over them
+    #: varies *size only* — a smaller program's functions are exactly the
+    #: first functions of a larger one, which is what makes the Figure-15
+    #: scaling measurement compare like with like.
+    rng_key: Optional[str] = None
 
 
 @dataclass
@@ -61,10 +96,31 @@ class GeneratedProgram:
         return self.config.name
 
 
-def _pick_idioms(config: GeneratorConfig) -> List[Idiom]:
-    rng = random.Random(f"{config.name}:{config.seed}")
+def _rng_label(config: GeneratorConfig) -> str:
+    return config.rng_key if config.rng_key is not None else f"{config.name}:{config.seed}"
+
+
+def _derive_rng(config: GeneratorConfig) -> random.Random:
+    """The rng the idiom *selection* stream flows from."""
+    return random.Random(stable_seed(_rng_label(config)))
+
+
+def _instance_rng(config: GeneratorConfig, index: int) -> random.Random:
+    """The rng instance ``index``'s template constants flow from.
+
+    Keyed by ``(label, index)`` rather than drawn from the selection stream:
+    this keeps instance ``i``'s rendered body independent of how many
+    instances the program has, so configs sharing an ``rng_key`` produce
+    programs that are literal prefixes of one another.
+    """
+    return random.Random(stable_seed(f"{_rng_label(config)}#{index}"))
+
+
+def _pick_idioms(config: GeneratorConfig, rng: random.Random) -> List[Idiom]:
     if config.mix:
-        names = [name for name, weight in config.mix.items() if weight > 0]
+        # Sorted so the selection sequence is independent of mix insertion
+        # (and of any future mapping type whose iteration order varies).
+        names = sorted(name for name, weight in config.mix.items() if weight > 0)
         weights = [config.mix[name] for name in names]
         pool = [get_idiom(name) for name in names]
     else:
@@ -76,12 +132,13 @@ def _pick_idioms(config: GeneratorConfig) -> List[Idiom]:
 
 def generate_source(config: GeneratorConfig) -> str:
     """Emit the mini-C source for ``config``."""
-    chosen = _pick_idioms(config)
+    rng = _derive_rng(config)
+    chosen = _pick_idioms(config, rng)
     pieces: List[str] = [f"/* synthetic program {config.name!r} "
                          f"({config.instances} idiom instances, seed {config.seed}) */"]
     calls: List[str] = []
     for index, idiom in enumerate(chosen):
-        pieces.append(idiom.render(index))
+        pieces.append(idiom.render(index, _instance_rng(config, index)))
         calls.append(f"  {idiom.call(index)}")
     pieces.append(_MAIN_PREAMBLE)
     pieces.extend(calls)

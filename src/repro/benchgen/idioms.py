@@ -8,6 +8,12 @@ allocator-heavy code, linked structures and table-driven indexing.  Each
 idiom is a template producing one self-contained C function; the generator
 (:mod:`repro.benchgen.generator`) instantiates and composes them.
 
+Every template receives the generator's explicitly threaded
+``random.Random`` and draws its per-instance variation (strides, buffer
+sizes, sentinel bytes) from it — never from ambient state or the builtin
+``hash`` — so an instantiated idiom is bit-identical across interpreter
+processes regardless of ``PYTHONHASHSEED``.
+
 Every idiom advertises which analyses are expected to disambiguate its
 accesses (``favours``), which is what shapes the relative precision of the
 columns in the Figure 13 reproduction.
@@ -15,6 +21,7 @@ columns in the Figure 13 reproduction.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Callable, List, Sequence
 
@@ -29,21 +36,22 @@ class Idiom:
     #: Analyses expected to disambiguate the idiom's accesses
     #: (subset of {"rbaa", "basic", "scev"}); purely documentary.
     favours: Sequence[str]
-    #: Template: ``render(index)`` returns the C source of one function
-    #: named ``<name>_<index>``.
-    render: Callable[[int], str]
+    #: Template: ``render(index, rng)`` returns the C source of one function
+    #: named ``<name>_<index>``, drawing instance variation from ``rng``.
+    render: Callable[[int, random.Random], str]
     #: A call statement exercising the function from ``main`` given the
     #: index and the names of the buffers available in ``main``.
     call: Callable[[int], str]
 
 
-def _serialize(index: int) -> str:
+def _serialize(index: int, rng: random.Random) -> str:
+    marker = rng.randrange(1, 127)
     return f"""
 void serialize_{index}(char* buf, int n, char* payload) {{
   char* cursor;
   char* end;
   for (cursor = buf, end = buf + n; cursor < end; cursor += 2) {{
-    *cursor = {index % 127};
+    *cursor = {marker};
     *(cursor + 1) = 0;
   }}
   {{
@@ -58,8 +66,8 @@ void serialize_{index}(char* buf, int n, char* payload) {{
 """
 
 
-def _strided(index: int) -> str:
-    stride = 2 + (index % 3)
+def _strided(index: int, rng: random.Random) -> str:
+    stride = 2 + rng.randrange(3)
     return f"""
 void strided_{index}(float* v, float x, float y, int n) {{
   int i = 0;
@@ -72,9 +80,10 @@ void strided_{index}(float* v, float x, float y, int n) {{
 """
 
 
-def _struct_fields(index: int) -> str:
+def _struct_fields(index: int, rng: random.Random) -> str:
+    tag = 8 + rng.randrange(8)
     return f"""
-struct record_{index} {{ int key; int count; int flags; char tag[{8 + index % 8}]; }};
+struct record_{index} {{ int key; int count; int flags; char tag[{tag}]; }};
 
 void update_record_{index}(struct record_{index}* r, char* name, int n) {{
   int i;
@@ -88,7 +97,7 @@ void update_record_{index}(struct record_{index}* r, char* name, int n) {{
 """
 
 
-def _split_halves(index: int) -> str:
+def _split_halves(index: int, rng: random.Random) -> str:
     return f"""
 void split_halves_{index}(int* data, int n) {{
   int* lo = data;
@@ -102,14 +111,15 @@ void split_halves_{index}(int* data, int n) {{
 """
 
 
-def _string_scan(index: int) -> str:
+def _string_scan(index: int, rng: random.Random) -> str:
+    needle = 32 + rng.randrange(32)
     return f"""
 int string_scan_{index}(char* text, char* out) {{
   int count = 0;
   char* src = text;
   char* dst = out;
   while (*src) {{
-    if (*src == {32 + index % 32}) {{
+    if (*src == {needle}) {{
       count++;
     }}
     *dst = *src;
@@ -122,8 +132,8 @@ int string_scan_{index}(char* text, char* out) {{
 """
 
 
-def _allocator(index: int) -> str:
-    chunk = 16 + (index % 5) * 8
+def _allocator(index: int, rng: random.Random) -> str:
+    chunk = 16 + rng.randrange(5) * 8
     return f"""
 char* pool_alloc_{index}(int users) {{
   char* pool = (char*)malloc(users * {chunk});
@@ -139,7 +149,7 @@ char* pool_alloc_{index}(int users) {{
 """
 
 
-def _linked_list(index: int) -> str:
+def _linked_list(index: int, rng: random.Random) -> str:
     return f"""
 struct node_{index} {{ int value; struct node_{index}* next; }};
 
@@ -162,8 +172,8 @@ int list_sum_{index}(int n) {{
 """
 
 
-def _matrix(index: int) -> str:
-    width = 8 + index % 8
+def _matrix(index: int, rng: random.Random) -> str:
+    width = 8 + rng.randrange(8)
     return f"""
 void matrix_fill_{index}(double* m, int rows) {{
   int r;
@@ -178,8 +188,8 @@ void matrix_fill_{index}(double* m, int rows) {{
 """
 
 
-def _table_lookup(index: int) -> str:
-    size = 32 + (index % 4) * 16
+def _table_lookup(index: int, rng: random.Random) -> str:
+    size = 32 + rng.randrange(4) * 16
     return f"""
 int table_{index}[{size}];
 
@@ -199,7 +209,7 @@ int table_lookup_{index}(int* keys, int n) {{
 """
 
 
-def _double_buffer(index: int) -> str:
+def _double_buffer(index: int, rng: random.Random) -> str:
     return f"""
 void double_buffer_{index}(int n) {{
   char* front = (char*)malloc(n);
@@ -216,8 +226,8 @@ void double_buffer_{index}(int n) {{
 """
 
 
-def _local_scratch(index: int) -> str:
-    size = 32 + (index % 4) * 16
+def _local_scratch(index: int, rng: random.Random) -> str:
+    size = 32 + rng.randrange(4) * 16
     return f"""
 int local_scratch_{index}(char* input, int n) {{
   char scratch[{size}];
@@ -234,7 +244,7 @@ int local_scratch_{index}(char* input, int n) {{
 """
 
 
-def _conditional_buffers(index: int) -> str:
+def _conditional_buffers(index: int, rng: random.Random) -> str:
     return f"""
 void conditional_buffers_{index}(int n, int which) {{
   char* small = (char*)malloc(n);
@@ -254,7 +264,7 @@ void conditional_buffers_{index}(int n, int which) {{
 """
 
 
-def _array_of_structs(index: int) -> str:
+def _array_of_structs(index: int, rng: random.Random) -> str:
     return f"""
 struct point_{index} {{ int x; int y; }};
 

@@ -1,0 +1,72 @@
+"""Corpus manifest: exactly which programs a benchmark run evaluated.
+
+A manifest pins everything needed to replay a run bit-for-bit: for every
+synthetic program its ``(name, seed, instances, mix)`` generator inputs and
+the SHA-256 of the emitted source, plus the digests of the fixed paper
+programs and a generator version that is bumped whenever the templates or
+the selection logic change shape.  The evaluation runner emits it next to
+the ``BENCH_*.json`` record, and CI uploads both as one artifact.
+
+Because generation is hash-order independent (see
+:mod:`repro.benchgen.generator`), two manifests produced from the same
+configs are byte-identical regardless of ``PYTHONHASHSEED`` — the
+determinism gate relies on that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .generator import GeneratorConfig, generate_source, source_digest
+from .paper_programs import PAPER_SOURCES
+from .suites import SUITE_PROGRAMS, select_programs
+
+__all__ = ["GENERATOR_VERSION", "manifest_entry", "corpus_manifest", "suite_configs"]
+
+#: Bump when idiom templates, selection, or seeding change generated shapes.
+GENERATOR_VERSION = 2
+
+
+def manifest_entry(config: GeneratorConfig, suite: Optional[str] = None) -> Dict[str, object]:
+    """The manifest record for one generator config (source is regenerated)."""
+    entry: Dict[str, object] = {
+        "name": config.name,
+        "seed": config.seed,
+        "instances": config.instances,
+        "mix": dict(sorted(config.mix.items())) if config.mix else None,
+        "rng_key": config.rng_key,
+        "source_sha256": source_digest(generate_source(config)),
+    }
+    if suite is not None:
+        entry["suite"] = suite
+    return entry
+
+
+def corpus_manifest(configs: Iterable[GeneratorConfig],
+                    include_paper_programs: bool = True) -> Dict[str, object]:
+    """The full manifest for one evaluation run.
+
+    Args:
+        configs: generator configs of every synthetic program the run used,
+            in corpus order.
+        include_paper_programs: also digest the fixed paper sources.
+    """
+    suites = {program.name: program.suite for program in SUITE_PROGRAMS}
+    programs: List[Dict[str, object]] = [
+        manifest_entry(config, suites.get(config.name)) for config in configs]
+    manifest: Dict[str, object] = {
+        "schema": 1,
+        "generator_version": GENERATOR_VERSION,
+        "programs": programs,
+    }
+    if include_paper_programs:
+        manifest["paper_programs"] = [
+            {"name": name, "source_sha256": source_digest(source)}
+            for name, source in sorted(PAPER_SOURCES.items())]
+    return manifest
+
+
+def suite_configs(names: Optional[Sequence[str]] = None,
+                  max_programs: Optional[int] = None) -> List[GeneratorConfig]:
+    """Generator configs of the (sliced) evaluation suite, in corpus order."""
+    return [program.config() for program in select_programs(names, max_programs)]

@@ -13,6 +13,8 @@ benchmark (Figure 12):
 
 from __future__ import annotations
 
+from typing import Dict
+
 from ..frontend import compile_source
 from ..ir.module import Module
 
@@ -20,6 +22,7 @@ __all__ = [
     "FIGURE1_SOURCE",
     "FIGURE3_SOURCE",
     "FIGURE10_SOURCE",
+    "PAPER_SOURCES",
     "compile_figure1",
     "compile_figure3",
     "compile_figure10",
@@ -90,6 +93,16 @@ int main(int argc, char** argv) {
   return pick(a3 + 1, a3 + 2, cond);
 }
 """
+
+
+#: Fixed (non-generated) corpus members, by name — the corpus manifest
+#: digests these alongside the synthetic programs so a replay can detect a
+#: drifted template just as it detects a drifted generator.
+PAPER_SOURCES: Dict[str, str] = {
+    "figure1": FIGURE1_SOURCE,
+    "figure3": FIGURE3_SOURCE,
+    "figure10": FIGURE10_SOURCE,
+}
 
 
 def compile_figure1() -> Module:

@@ -17,9 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from .generator import GeneratedProgram, GeneratorConfig, generate_module
+from .generator import GeneratedProgram, GeneratorConfig, generate_module, stable_seed
 
-__all__ = ["SuiteProgram", "SUITE_PROGRAMS", "suite_names", "build_program", "build_suite"]
+__all__ = ["SuiteProgram", "SUITE_PROGRAMS", "suite_names", "select_programs",
+           "build_program", "build_suite"]
 
 #: Idiom mixes per suite.
 _MALLOCBENCH_MIX = {
@@ -53,8 +54,10 @@ class SuiteProgram:
         mix = {"MallocBench": _MALLOCBENCH_MIX,
                "Prolangs": _PROLANGS_MIX,
                "PtrDist": _PTRDIST_MIX}[self.suite]
+        # stable_seed, not the builtin hash: ``hash(str)`` varies with
+        # PYTHONHASHSEED, which used to reshape the whole corpus per process.
         return GeneratorConfig(name=self.name, instances=self.instances,
-                               seed=hash(self.name) % 10_000, mix=mix)
+                               seed=stable_seed(self.name, 10_000), mix=mix)
 
 
 #: The 22 programs of Figure 13 with their paper query counts.
@@ -88,6 +91,21 @@ def suite_names() -> List[str]:
     return sorted({program.suite for program in SUITE_PROGRAMS})
 
 
+def select_programs(names: Optional[Sequence[str]] = None,
+                    max_programs: Optional[int] = None) -> List[SuiteProgram]:
+    """The suite slice in canonical corpus order.
+
+    Both the serial experiments and the sharded parallel runner select
+    through this helper, so their program order — and therefore their merged
+    result order — is identical by construction.
+    """
+    selected = [program for program in SUITE_PROGRAMS
+                if names is None or program.name in names]
+    if max_programs is not None:
+        selected = selected[:max_programs]
+    return selected
+
+
 def build_program(name: str) -> GeneratedProgram:
     """Generate and compile one named suite program."""
     for program in SUITE_PROGRAMS:
@@ -105,8 +123,5 @@ def build_suite(names: Optional[Sequence[str]] = None,
         max_programs: additionally cap the number of programs (useful for
             quick benchmark runs).
     """
-    selected = [program for program in SUITE_PROGRAMS
-                if names is None or program.name in names]
-    if max_programs is not None:
-        selected = selected[:max_programs]
-    return {program.name: generate_module(program.config()) for program in selected}
+    return {program.name: generate_module(program.config())
+            for program in select_programs(names, max_programs)}

@@ -43,12 +43,30 @@ class AnalysisKey:
 
 @dataclass
 class ManagerStatistics:
-    """Cache behaviour counters (asserted by the engine tests)."""
+    """Cache behaviour counters (asserted by the engine tests).
+
+    The counters are deterministic for a given module and request sequence —
+    no wall time, no memory addresses — so the sharded evaluation runner
+    ships them across process boundaries and merges them into the benchmark
+    record as hardware-independent cost signals.
+    """
 
     hits: int = 0
     misses: int = 0
     builds: int = 0
     invalidations: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """A plain-dict snapshot (picklable, JSON-ready, stable key order)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "builds": self.builds, "invalidations": self.invalidations}
+
+    def merge(self, other: "ManagerStatistics") -> None:
+        """Accumulate another manager's counters (shard-merge aggregation)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.builds += other.builds
+        self.invalidations += other.invalidations
 
 
 class CyclicAnalysisError(RuntimeError):
@@ -59,7 +77,13 @@ _CacheKey = Tuple[AnalysisKey, Hashable]
 
 
 class AnalysisManager:
-    """Builds, caches and invalidates analyses for one module."""
+    """Builds, caches and invalidates analyses for one module.
+
+    Managers are cheap to construct and must never cross process boundaries:
+    cached analyses hold live IR object graphs, so the parallel evaluation
+    runner has each worker construct its own manager per module and ships
+    only plain-data results (and :class:`ManagerStatistics` snapshots) back.
+    """
 
     def __init__(self, module):
         self.module = module

@@ -12,13 +12,26 @@ from .precision import (
     run_precision_experiment,
     standard_factories,
 )
-from .reporting import format_table, table_to_csv
+from .parallel import (
+    bench_record,
+    compare_bench_files,
+    map_shards,
+    merge_indexed,
+    partition,
+    resolve_jobs,
+    run_parallel_precision,
+    run_parallel_scalability,
+    strip_volatile,
+)
+from .reporting import format_table, table_to_csv, to_canonical_json
 from .scalability import (
     ScalabilityPoint,
     ScalabilityReport,
     format_figure15,
+    measure_point,
     pearson_correlation,
     run_scalability_experiment,
+    scalability_configs,
 )
 
 __all__ = [
@@ -44,9 +57,21 @@ __all__ = [
     "standard_factories",
     "format_table",
     "table_to_csv",
+    "to_canonical_json",
+    "bench_record",
+    "compare_bench_files",
+    "map_shards",
+    "merge_indexed",
+    "partition",
+    "resolve_jobs",
+    "run_parallel_precision",
+    "run_parallel_scalability",
+    "strip_volatile",
     "ScalabilityPoint",
     "ScalabilityReport",
     "format_figure15",
+    "measure_point",
     "pearson_correlation",
     "run_scalability_experiment",
+    "scalability_configs",
 ]

@@ -10,6 +10,7 @@ layer consumes.
 
 from __future__ import annotations
 
+import functools
 import inspect
 import itertools
 import time
@@ -31,15 +32,25 @@ __all__ = ["QueryPair", "ProgramResult", "enumerate_query_pairs", "run_queries",
 AnalysisFactory = Callable[[Module], AliasAnalysis]
 
 
+@functools.lru_cache(maxsize=None)
+def _accepts_manager(factory: AnalysisFactory) -> bool:
+    """Whether ``factory`` takes a ``manager`` kwarg (resolved once per factory)."""
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # builtins / odd callables
+        return False
+    return "manager" in parameters
+
+
 def build_analysis(factory: AnalysisFactory, module: Module,
                    manager: Optional[AnalysisManager] = None) -> AliasAnalysis:
     """Build one analysis, passing the shared manager when the factory takes it."""
     if manager is not None:
         try:
-            parameters = inspect.signature(factory).parameters
-        except (TypeError, ValueError):  # builtins / odd callables
-            parameters = {}
-        if "manager" in parameters:
+            accepts = _accepts_manager(factory)
+        except TypeError:  # unhashable callable: fall back to a one-off probe
+            accepts = _accepts_manager.__wrapped__(factory)
+        if accepts:
             return factory(module, manager=manager)
     return factory(module)
 
@@ -67,6 +78,9 @@ class ProgramResult:
     build_seconds: Dict[str, float] = field(default_factory=dict)
     #: extra per-analysis counters (e.g. rbaa's global-test hits).
     extra: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: engine cache counters of the run's AnalysisManager (hits/misses/
+    #: builds/invalidations) — deterministic, hardware-independent.
+    engine: Dict[str, int] = field(default_factory=dict)
 
     def percentage(self, analysis_name: str) -> float:
         """Percentage of queries the analysis disambiguated."""
@@ -136,4 +150,5 @@ def run_queries(program_name: str, module: Module,
             extra.update({f"credit_{key}": value for key, value in credit.items()})
         if extra:
             result.extra[name] = extra
+    result.engine = manager.statistics.as_dict()
     return result

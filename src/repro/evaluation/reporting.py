@@ -1,12 +1,24 @@
-"""Plain-text and CSV rendering of the evaluation results."""
+"""Plain-text, CSV and canonical-JSON rendering of the evaluation results."""
 
 from __future__ import annotations
 
 import csv
 import io
+import json
 from typing import List, Optional, Sequence
 
-__all__ = ["format_table", "table_to_csv"]
+__all__ = ["format_table", "table_to_csv", "to_canonical_json"]
+
+
+def to_canonical_json(payload: object) -> str:
+    """One canonical JSON encoding (sorted keys, fixed separators, newline).
+
+    Bench records and corpus manifests are emitted through this function so
+    that "same results" means "byte-identical files" — which is what the CI
+    determinism gate diffs.
+    """
+    return json.dumps(payload, sort_keys=True, indent=2,
+                      separators=(",", ": "), ensure_ascii=False) + "\n"
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],

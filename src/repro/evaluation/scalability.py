@@ -27,7 +27,8 @@ from ..benchgen import GeneratorConfig, generate_module
 from ..engine import AnalysisManager, keys
 from .reporting import format_table
 
-__all__ = ["ScalabilityPoint", "ScalabilityReport", "run_scalability_experiment",
+__all__ = ["ScalabilityPoint", "ScalabilityReport", "scalability_configs",
+           "measure_point", "run_scalability_experiment",
            "pearson_correlation", "format_figure15"]
 
 
@@ -68,6 +69,14 @@ class ScalabilityReport:
             [point.pointers for point in self.points],
             [point.analysis_seconds for point in self.points])
 
+    def correlation_steps_vs_instructions(self) -> float:
+        """Linear correlation of solver steps against program size — the
+        deterministic counterpart of the paper's wall-time R: identical on
+        every machine and immune to load jitter, so CI can gate on it."""
+        return pearson_correlation(
+            [point.instructions for point in self.points],
+            [point.solver_steps for point in self.points])
+
     def instructions_per_second(self) -> float:
         seconds = self.total_seconds()
         return self.total_instructions() / seconds if seconds else float("inf")
@@ -97,8 +106,36 @@ def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
     return covariance / math.sqrt(variance_x * variance_y)
 
 
-def _measure(name: str, instances: int, seed: int) -> ScalabilityPoint:
-    program = generate_module(GeneratorConfig(name=name, instances=instances, seed=seed))
+def scalability_configs(program_count: int = 50,
+                        smallest: int = 2,
+                        largest: int = 60,
+                        seed: int = 7) -> List[GeneratorConfig]:
+    """Generator configs of the Figure-15 sweep, in corpus (size) order.
+
+    Both the serial loop below and the sharded parallel runner
+    (:mod:`repro.evaluation.parallel`) enumerate points through this helper,
+    so a merged parallel sweep is point-for-point the same corpus.
+    """
+    configs: List[GeneratorConfig] = []
+    for index in range(program_count):
+        if program_count > 1:
+            instances = smallest + (largest - smallest) * index // (program_count - 1)
+        else:
+            instances = largest
+        # One shared rng_key: every point draws the same idiom stream, so
+        # smaller programs are prefixes of larger ones and the sweep varies
+        # size only (composition noise would otherwise drown the R of the
+        # linear-scaling claim at quick-mode point counts).
+        configs.append(GeneratorConfig(name=f"scale_{index:02d}",
+                                       instances=max(1, instances),
+                                       seed=seed + index,
+                                       rng_key=f"scale:{seed}"))
+    return configs
+
+
+def measure_point(config: GeneratorConfig) -> ScalabilityPoint:
+    """Generate one program and time its GR + LR fixed points."""
+    program = generate_module(config)
     module = program.module
     manager = AnalysisManager(module)
     # The bootstrap range analysis is excluded from the timing, mirroring the
@@ -113,7 +150,7 @@ def _measure(name: str, instances: int, seed: int) -> ScalabilityPoint:
     steps = (global_analysis.solver_statistics.steps
              + local_analysis.solver_statistics.steps)
     return ScalabilityPoint(
-        name=name,
+        name=config.name,
         instructions=module.instruction_count(),
         pointers=module.pointer_count(),
         analysis_seconds=elapsed,
@@ -124,16 +161,23 @@ def _measure(name: str, instances: int, seed: int) -> ScalabilityPoint:
 def run_scalability_experiment(program_count: int = 50,
                                smallest: int = 2,
                                largest: int = 60,
-                               seed: int = 7) -> ScalabilityReport:
-    """Generate ``program_count`` programs of increasing size and time the analysis."""
+                               seed: int = 7,
+                               jobs: int = 1) -> ScalabilityReport:
+    """Generate ``program_count`` programs of increasing size and time the analysis.
+
+    ``jobs > 1`` fans the points out over worker processes via
+    :func:`repro.evaluation.parallel.run_parallel_scalability`; the merged
+    report carries the same points in the same order, with identical
+    instruction/pointer/solver-step counts (only wall times differ).
+    """
+    if jobs > 1:
+        from .parallel import run_parallel_scalability
+        return run_parallel_scalability(program_count=program_count,
+                                        smallest=smallest, largest=largest,
+                                        seed=seed, jobs=jobs)
     report = ScalabilityReport()
-    for index in range(program_count):
-        if program_count > 1:
-            instances = smallest + (largest - smallest) * index // (program_count - 1)
-        else:
-            instances = largest
-        point = _measure(f"scale_{index:02d}", max(1, instances), seed + index)
-        report.points.append(point)
+    for config in scalability_configs(program_count, smallest, largest, seed):
+        report.points.append(measure_point(config))
     return report
 
 
@@ -152,6 +196,8 @@ def format_figure15(report: ScalabilityReport) -> str:
         f"(paper: 0.982)\n"
         f"R(time, pointers)     = {report.correlation_time_vs_pointers():.3f} "
         f"(paper: 0.975)\n"
+        f"R(steps, instructions) = {report.correlation_steps_vs_instructions():.3f} "
+        f"(deterministic)\n"
         f"Throughput: {report.instructions_per_second():,.0f} instructions/second, "
         f"{report.steps_per_instruction():.2f} fixpoint steps/instruction"
     )

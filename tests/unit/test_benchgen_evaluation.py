@@ -1,5 +1,7 @@
 """Unit tests for the benchmark generator, suites and evaluation harness."""
 
+import random
+
 import pytest
 
 from repro.benchgen import (
@@ -40,7 +42,7 @@ class TestIdioms:
     @pytest.mark.parametrize("idiom", IDIOMS, ids=lambda i: i.name)
     def test_every_idiom_compiles_standalone(self, idiom):
         """Each idiom template must produce valid mini-C that survives the pipeline."""
-        source = idiom.render(0) + f"""
+        source = idiom.render(0, random.Random(0)) + f"""
         int main(int argc, char** argv) {{
           int n = atoi(argv[1]);
           char* bytes = (char*)malloc(n);
