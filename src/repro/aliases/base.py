@@ -9,11 +9,11 @@ stacks alias-analysis passes.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..ir.module import Module
 from ..ir.values import Value
-from .results import AliasResult, MemoryAccess
+from .results import AliasResult, MemoryAccess, NoAliasClaim
 
 __all__ = ["AliasAnalysis"]
 
@@ -75,6 +75,25 @@ class AliasAnalysis(ABC):
     def no_alias(self, a: Value, b: Value) -> bool:
         """True when the analysis proves the two pointers never overlap."""
         return self.alias_pointers(a, b) is AliasResult.NO_ALIAS
+
+    # -- differential-validation hooks ----------------------------------------
+    def no_alias_pairs(self, pairs: Sequence[Tuple[MemoryAccess, MemoryAccess]]
+                       ) -> List[int]:
+        """Indices of ``pairs`` this analysis answers "no alias" (oracle hook)."""
+        answers = self.query_many(pairs)
+        return [index for index, answer in enumerate(answers)
+                if answer is AliasResult.NO_ALIAS]
+
+    def no_alias_context(self, a: MemoryAccess, b: MemoryAccess) -> NoAliasClaim:
+        """Describe the validity scope of a no-alias verdict on ``(a, b)``.
+
+        Only meaningful for pairs the analysis answered
+        :attr:`AliasResult.NO_ALIAS`.  The default — a plain invocation-set
+        claim — is correct for object-disambiguation analyses (Andersen,
+        Steensgaard); analyses with instance-relative or symbolic rules
+        override this (``basic``, ``rbaa``).
+        """
+        return NoAliasClaim()
 
     # -- identification ---------------------------------------------------------
     def __repr__(self) -> str:

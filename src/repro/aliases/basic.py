@@ -39,7 +39,7 @@ from ..ir.instructions import (
 from ..ir.module import Module
 from ..ir.values import GlobalVariable, NullPointer, Value
 from .base import AliasAnalysis
-from .results import AliasResult, MemoryAccess
+from .results import AliasResult, MemoryAccess, NoAliasClaim
 
 __all__ = ["BasicAliasAnalysis", "UnderlyingObject"]
 
@@ -54,6 +54,10 @@ _NO_MEMORY_FUNCTIONS = frozenset({"abs", "labs", "rand", "exit", "getchar"})
 
 #: Decomposition walk limit (defensive, mirrors LLVM's search depth caps).
 _MAX_WALK = 64
+
+#: Shared descriptor for invocation-scoped claims (NoAliasClaim is frozen,
+#: so one instance serves every query on the benchmark-timed path).
+_INVOCATION_CLAIM = NoAliasClaim()
 
 
 @dataclass(frozen=True)
@@ -77,6 +81,7 @@ class BasicAliasAnalysis(AliasAnalysis):
     def __init__(self, module: Module):
         super().__init__(module)
         self._escape_cache: dict = {}
+        self._claim_cache: dict = {}
 
     # -- underlying-object decomposition --------------------------------------
     @staticmethod
@@ -190,23 +195,32 @@ class BasicAliasAnalysis(AliasAnalysis):
         return name in _NO_MEMORY_FUNCTIONS
 
     # -- the query -----------------------------------------------------------------------
-    def alias(self, a: MemoryAccess, b: MemoryAccess) -> AliasResult:
+    def classify(self, a: MemoryAccess, b: MemoryAccess
+                 ) -> Tuple[AliasResult, NoAliasClaim]:
+        """One alias query, plus the validity scope of a no-alias verdict.
+
+        Object-disambiguation rules make invocation-set claims (the regions
+        the two pointers ever reference within one activation are disjoint);
+        the constant-offset rule is relative to one dynamic instance of the
+        shared base, so its claim carries ``scope="same-base"``.
+        """
+        invocation = _INVOCATION_CLAIM
         pointer_a, pointer_b = a.pointer, b.pointer
         if pointer_a is pointer_b:
-            return AliasResult.MUST_ALIAS
+            return AliasResult.MUST_ALIAS, invocation
 
         # Null never aliases identified objects.
         objects_a = self.underlying_objects(pointer_a)
         objects_b = self.underlying_objects(pointer_b)
         if isinstance(pointer_a, NullPointer) and objects_b.all_identified:
-            return AliasResult.NO_ALIAS
+            return AliasResult.NO_ALIAS, invocation
         if isinstance(pointer_b, NullPointer) and objects_a.all_identified:
-            return AliasResult.NO_ALIAS
+            return AliasResult.NO_ALIAS, invocation
 
         # Distinct identified objects never alias.
         if objects_a.all_identified and objects_b.all_identified:
             if not (objects_a.objects & objects_b.objects):
-                return AliasResult.NO_ALIAS
+                return AliasResult.NO_ALIAS, invocation
 
         # A non-escaping stack allocation cannot be reached through a pointer
         # that is not based on it (function arguments, loads, call results).
@@ -219,21 +233,38 @@ class BasicAliasAnalysis(AliasAnalysis):
                         self._is_identified_object(obj) and obj in mine.objects
                         for obj in other.objects)
                     if not other_has_identified_overlap:
-                        return AliasResult.NO_ALIAS
+                        return AliasResult.NO_ALIAS, invocation
 
         # Same base object with statically different constant offsets: struct
         # fields and constant array subscripts.
         base_a, offset_a = self.decompose(pointer_a)
         base_b, offset_b = self.decompose(pointer_b)
         if base_a is base_b and offset_a is not None and offset_b is not None:
+            same_base = NoAliasClaim(scope="same-base", anchors=(base_a,))
             if offset_a == offset_b:
-                return AliasResult.MUST_ALIAS
+                return AliasResult.MUST_ALIAS, same_base
             size_a = a.bounded_size()
             size_b = b.bounded_size()
             low, low_size, high = ((offset_a, size_a, offset_b) if offset_a < offset_b
                                    else (offset_b, size_b, offset_a))
             if low + low_size <= high:
-                return AliasResult.NO_ALIAS
-            return AliasResult.PARTIAL_ALIAS
+                return AliasResult.NO_ALIAS, same_base
+            return AliasResult.PARTIAL_ALIAS, same_base
 
-        return AliasResult.MAY_ALIAS
+        return AliasResult.MAY_ALIAS, invocation
+
+    def alias(self, a: MemoryAccess, b: MemoryAccess) -> AliasResult:
+        return self.classify(a, b)[0]
+
+    def no_alias_context(self, a: MemoryAccess, b: MemoryAccess) -> NoAliasClaim:
+        # The oracle asks for the context of every no-alias pair right
+        # after query_many computed the verdicts; memoize the (stateless)
+        # classification so the decomposition walk is not repeated.
+        from ..core.queries import pair_key
+
+        key = pair_key(a, b)
+        claim = self._claim_cache.get(key)
+        if claim is None:
+            claim = self.classify(a, b)[1]
+            self._claim_cache[key] = claim
+        return claim

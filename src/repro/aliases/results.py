@@ -3,12 +3,12 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
 
 from ..ir.values import Value
 
-__all__ = ["AliasResult", "MemoryAccess"]
+__all__ = ["AliasResult", "MemoryAccess", "NoAliasClaim"]
 
 
 class AliasResult(enum.Enum):
@@ -50,3 +50,34 @@ class MemoryAccess:
         offset math (the *analysis* must already have handled unknown sizes
         conservatively before relying on this)."""
         return self.size if self.size is not None else 1
+
+
+@dataclass(frozen=True)
+class NoAliasClaim:
+    """The *scope* of one no-alias verdict, for differential validation.
+
+    A no-alias answer is a universally quantified statement, but the
+    quantifier's domain differs by disambiguation rule.  The soundness
+    oracle (:mod:`repro.evaluation.soundness`) uses this descriptor to
+    compare each verdict against exactly the executions it quantifies over:
+
+    * ``"invocation"`` — the sets of concrete regions the two pointers
+      reference during one activation of their function are disjoint
+      (object-disambiguation rules, RBAA's range tests).
+    * ``"same-base"`` — the claim is relative to one dynamic instance of a
+      shared base pointer (basic-AA's constant-offset rule): only value
+      pairs derived from the same base instance are compared.
+    * ``"unchecked"`` — the claim's validity context cannot be
+      reconstructed from the trace; the oracle skips (and counts) it.
+    """
+
+    scope: str = "invocation"
+    #: Values whose per-invocation dynamic instance the claim is relative
+    #: to.  For ``"same-base"`` the single shared base; for ``"invocation"``
+    #: claims, anchors that must be single-instance in a frame for the
+    #: value-set comparison to be licensed (e.g. the load defining a
+    #: synthetic LR base).
+    anchors: Tuple[Value, ...] = ()
+    #: Kernel symbols the claim's symbolic ranges mention; the oracle skips
+    #: frames in which any of them was bound to more than one value.
+    symbols: FrozenSet[str] = field(default_factory=frozenset)

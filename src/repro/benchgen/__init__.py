@@ -1,8 +1,10 @@
 """Benchmark-program substrate: paper figures, idioms, generator, suites."""
 
 from .generator import (
+    ExecutionInputs,
     GeneratedProgram,
     GeneratorConfig,
+    execution_inputs,
     generate_module,
     generate_source,
     source_digest,
@@ -29,6 +31,8 @@ from .suites import (
 )
 
 __all__ = [
+    "ExecutionInputs",
+    "execution_inputs",
     "GeneratedProgram",
     "GeneratorConfig",
     "generate_module",

@@ -26,7 +26,7 @@ from ..ir.module import Module
 from .idioms import IDIOMS, Idiom, get_idiom
 
 __all__ = ["GeneratorConfig", "GeneratedProgram", "generate_source", "generate_module",
-           "stable_seed", "source_digest"]
+           "stable_seed", "source_digest", "ExecutionInputs", "execution_inputs"]
 
 
 def stable_seed(text: str, modulus: Optional[int] = None) -> int:
@@ -151,3 +151,36 @@ def generate_module(config: GeneratorConfig) -> GeneratedProgram:
     source = generate_source(config)
     module = compile_source(source, config.name)
     return GeneratedProgram(config=config, source=source, module=module)
+
+
+@dataclass(frozen=True)
+class ExecutionInputs:
+    """Concrete ``main`` inputs for interpreting one generated program.
+
+    Every generated ``main`` reads its workload from ``argv``:
+    ``n = atoi(argv[1])`` sizes the shared buffers and bounds every loop,
+    and ``argv[2]`` is the text payload.  Keeping ``n`` small and the text
+    shorter than ``n`` makes execution terminate quickly and keeps
+    string-copy loops inside the buffers ``main`` allocates.
+    """
+
+    n: int
+    text: str
+    argv0: str = "bench"
+
+    def argv(self) -> List[str]:
+        return [self.argv0, str(self.n), self.text]
+
+
+def execution_inputs(config: GeneratorConfig) -> ExecutionInputs:
+    """Deterministic bounded inputs for ``config`` (seeded like the source).
+
+    Derived from the same :func:`stable_seed` scheme as program generation,
+    so a ``(name, seed)`` pair pins both the program *and* its concrete
+    execution — the replay identity the soundness oracle reports.
+    """
+    rng = random.Random(stable_seed(f"{_rng_label(config)}::inputs"))
+    n = 8 + rng.randrange(5)
+    letters = "abcdefghijklmnopqrstuvwxyz"
+    text = "".join(rng.choice(letters) for _ in range(max(1, n - 2)))
+    return ExecutionInputs(n=n, text=text)

@@ -20,7 +20,7 @@ idempotent under re-evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..analysis.dominance import DominatorTree
 from ..engine.solver import SparseProblem, SparseSolver
@@ -123,6 +123,7 @@ class LocalRangeAnalysis:
         # Fresh states memoized per instruction so re-evaluation by the
         # solver is idempotent (NewLocs() must mint one location per site).
         self._fresh_by_site: Dict[Value, LocalAbstractValue] = {}
+        self._location_anchor_cache: Optional[Dict[int, FrozenSet[Value]]] = None
         self.solver_statistics = None
         self._run()
 
@@ -142,6 +143,37 @@ class LocalRangeAnalysis:
             owner = value.parent.name if value.parent is not None else "?"
             return self._remember(value, self._fresh(f"{owner}.{value.name}"))
         return None
+
+    def location_anchors(self) -> Dict[int, FrozenSet[Value]]:
+        """Location index → IR values a synthetic base is *relative to*.
+
+        A synthetic location minted by ``NewLocs()`` stands for "wherever
+        its defining site pointed when it executed": the φ/load/select/call
+        instruction for fresh bases, the root ``(base, index)`` values for
+        shared pointer-arithmetic bases, the argument/global for seeded
+        bases.  The soundness oracle uses these anchors to restrict a
+        local-test claim to executions of a single dynamic instance of the
+        base (query extraction hook; see ``NoAliasClaim``).
+
+        The analysis is immutable once built, so the map is computed once
+        and memoized.
+        """
+        if self._location_anchor_cache is not None:
+            return self._location_anchor_cache
+        anchors: Dict[int, Set[Value]] = {}
+        for site, state in self._fresh_by_site.items():
+            anchors.setdefault(state.location.index, set()).add(site)
+        for (base, index, _scale), location in self._arithmetic_bases.items():
+            bucket = anchors.setdefault(location.index, set())
+            bucket.add(base)
+            if isinstance(index, Value):
+                bucket.add(index)
+        for value, state in self._lr.items():
+            if isinstance(value, (Argument, GlobalVariable)):
+                anchors.setdefault(state.location.index, set()).add(value)
+        frozen = {index: frozenset(values) for index, values in anchors.items()}
+        self._location_anchor_cache = frozen
+        return frozen
 
     # -- helpers -------------------------------------------------------------------
     def _fresh(self, hint: str) -> LocalAbstractValue:

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..aliases.base import AliasAnalysis
-from ..aliases.results import AliasResult, MemoryAccess
+from ..aliases.results import AliasResult, MemoryAccess, NoAliasClaim
 from ..engine import keys
 from ..engine.manager import AnalysisManager
 from ..ir.module import Module
@@ -146,6 +146,58 @@ class RBAAAliasAnalysis(AliasAnalysis):
             return AliasResult.MUST_ALIAS
         outcome = self.query(a, b)
         return AliasResult.NO_ALIAS if outcome.no_alias else AliasResult.MAY_ALIAS
+
+    def no_alias_context(self, a: MemoryAccess, b: MemoryAccess) -> NoAliasClaim:
+        """Validity scope of a no-alias verdict (soundness-oracle hook).
+
+        Range-based claims are universally quantified over one valuation of
+        the kernel symbols their intervals mention, and — for non-concrete
+        base locations — over one dynamic instance of the location's
+        defining site.  Both contexts are reported so the oracle compares
+        the verdict against exactly the executions it speaks about.
+        """
+        key = pair_key(a, b)
+        outcome = self._outcomes.lookup(key)
+        if outcome is None:
+            outcome = self._run_tests(a, b)
+            self._outcomes.remember(key, outcome)
+        if not outcome.no_alias:
+            return NoAliasClaim()
+        if outcome.reason is DisambiguationReason.GLOBAL_DISJOINT_RANGES:
+            symbols: set = set()
+            anchors: set = set()
+            anchored = True
+            for access in (a, b):
+                state = self.global_state(access.pointer)
+                for location, interval in state.items():
+                    symbols |= interval.symbols()
+                    if not location.is_concrete_object():
+                        if location.site is not None:
+                            anchors.add(location.site)
+                        else:
+                            anchored = False
+            return NoAliasClaim(scope="invocation" if anchored else "unchecked",
+                                anchors=tuple(anchors), symbols=frozenset(symbols))
+        if outcome.reason is DisambiguationReason.LOCAL_DISJOINT_RANGES:
+            lr_a = self.local_state(a.pointer)
+            lr_b = self.local_state(b.pointer)
+            if lr_a is None or lr_b is None:  # pragma: no cover - defensive
+                return NoAliasClaim(scope="unchecked")
+            symbols = set(lr_a.interval.symbols()) | set(lr_b.interval.symbols())
+            location = lr_a.location
+            if location.is_concrete_object():
+                return NoAliasClaim(symbols=frozenset(symbols))
+            anchor_values: set = set()
+            if location.site is not None:
+                anchor_values.add(location.site)
+            anchor_values |= set(
+                self.local_analysis.location_anchors().get(location.index, frozenset()))
+            if not anchor_values:
+                return NoAliasClaim(scope="unchecked", symbols=frozenset(symbols))
+            return NoAliasClaim(scope="same-base", anchors=tuple(anchor_values),
+                                symbols=frozenset(symbols))
+        # Distinct-objects reasoning: a plain invocation-set claim.
+        return NoAliasClaim()
 
     def on_memoized_query(self, a: MemoryAccess, b: MemoryAccess,
                           result: AliasResult) -> None:

@@ -1,0 +1,581 @@
+"""Differential soundness oracle: analyses versus concrete executions.
+
+The paper's headline claim is *soundness*: RBAA may only answer
+"no-alias" when the two accesses truly never touch the same memory.
+This module checks that claim — and the baselines' and the bootstrap
+range analysis' claims — against ground truth produced by the concrete
+interpreter (:mod:`repro.interp`):
+
+* every **no-alias verdict** (RBAA, basic, Andersen, Steensgaard) is
+  compared against the provenance-carrying pointer values the program
+  actually held, scoped by the verdict's
+  :class:`~repro.aliases.results.NoAliasClaim` (invocation value sets,
+  same-base instances, or skipped when the claim's context cannot be
+  reconstructed);
+* every **symbolic-RA interval** is compared against every integer value
+  observed for the SSA name, after binding the kernel symbols the bounds
+  mention to their concretely observed values.
+
+Violations are reported with a replayable ``(program, seed, query)``
+triple.  The oracle shards over worker processes exactly like the
+benchmark runner (workers regenerate their programs; IR never crosses
+process boundaries).
+
+Command line::
+
+    python -m repro.evaluation.soundness --quick --jobs 2 \
+        --out SOUNDNESS_REPORT.json --min-programs 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..aliases import (
+    AndersenAliasAnalysis,
+    BasicAliasAnalysis,
+    SteensgaardAliasAnalysis,
+)
+from ..aliases.results import MemoryAccess, NoAliasClaim
+from ..benchgen import (
+    GeneratorConfig,
+    execution_inputs,
+    generate_module,
+    stable_seed,
+    suite_configs,
+)
+from ..core import RBAAAliasAnalysis
+from ..engine.manager import AnalysisManager
+from ..interp import ExecutionTrace, Interpreter, InterpreterLimits, Pointer
+from ..interp.trace import FrameTrace
+from ..ir.function import Function
+from ..ir.values import Value
+from ..symbolic import evaluate
+from .harness import build_analysis, enumerate_query_pairs
+from .parallel import map_shards, merge_indexed, partition, resolve_jobs
+from .reporting import to_canonical_json
+
+__all__ = [
+    "Violation",
+    "ProgramCheck",
+    "SoundnessReport",
+    "soundness_corpus",
+    "soundness_factories",
+    "check_program",
+    "run_soundness",
+    "main",
+]
+
+#: Default cap on enumerated pointer pairs per function (oracle workload).
+DEFAULT_MAX_PAIRS = 120
+
+#: Extra generated programs in the quick corpus (on top of the 22 suite
+#: programs): 22 + 34 = 56 ≥ the CI gate of 50.
+QUICK_EXTRA_PROGRAMS = 34
+
+#: Guard against quadratic blow-up when sweeping value-window pairs.
+_MAX_WINDOW_PRODUCT = 250_000
+
+
+def soundness_factories() -> List[Tuple[str, Any]]:
+    """The four analyses whose no-alias verdicts the oracle validates."""
+    return [
+        ("rbaa", RBAAAliasAnalysis),
+        ("basic", BasicAliasAnalysis),
+        ("andersen", AndersenAliasAnalysis),
+        ("steensgaard", SteensgaardAliasAnalysis),
+    ]
+
+
+def soundness_corpus(extra: int = QUICK_EXTRA_PROGRAMS,
+                     seed: int = 11) -> List[GeneratorConfig]:
+    """The oracle's corpus: every suite program plus ``extra`` fuzz programs.
+
+    The fuzz programs draw from the full idiom pool (uniform mix) with
+    sizes cycling 3..8 idiom instances, seeded via :func:`stable_seed` so
+    the corpus is identical in every process and under every
+    ``PYTHONHASHSEED`` — a violation's ``(program, seed)`` pair replays
+    exactly.
+    """
+    configs = suite_configs()
+    for index in range(max(0, extra)):
+        name = f"sound_{index:02d}"
+        configs.append(GeneratorConfig(
+            name=name,
+            instances=3 + (index % 6),
+            seed=stable_seed(f"soundness:{seed}:{name}", 1_000_000),
+        ))
+    return configs
+
+
+# -- result records -----------------------------------------------------------
+
+
+@dataclass
+class Violation:
+    """One falsified claim, with everything needed to replay it."""
+
+    kind: str                 # "no-alias" | "range"
+    program: str
+    analysis: str
+    function: str
+    query: str
+    detail: str
+    replay: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ProgramCheck:
+    """Oracle outcome for one corpus program (pure data, picklable)."""
+
+    program: str
+    seed: int
+    executed: bool = False
+    stop_reason: Optional[str] = None
+    steps: int = 0
+    queries: int = 0
+    #: analysis name -> number of no-alias verdicts it produced.
+    no_alias_claims: Dict[str, int] = field(default_factory=dict)
+    claims_checked: int = 0
+    claims_skipped: int = 0
+    range_values_checked: int = 0
+    range_values_skipped: int = 0
+    violations: List[Violation] = field(default_factory=list)
+    truncated: bool = False
+
+
+@dataclass
+class SoundnessReport:
+    """Aggregated oracle results over a corpus."""
+
+    checks: List[ProgramCheck] = field(default_factory=list)
+
+    def programs_executed(self) -> int:
+        return sum(1 for check in self.checks if check.executed)
+
+    def violations(self) -> List[Violation]:
+        return [violation for check in self.checks for violation in check.violations]
+
+    def as_record(self, run_info: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "schema": 1,
+            "programs": [asdict(check) for check in self.checks],
+            "totals": {
+                "programs": len(self.checks),
+                "programs_executed": self.programs_executed(),
+                "claims_checked": sum(c.claims_checked for c in self.checks),
+                "claims_skipped": sum(c.claims_skipped for c in self.checks),
+                "range_values_checked": sum(c.range_values_checked for c in self.checks),
+                "range_values_skipped": sum(c.range_values_skipped for c in self.checks),
+                "violations": len(self.violations()),
+            },
+        }
+        if run_info is not None:
+            record["run"] = dict(run_info)
+        return record
+
+
+# -- ground-truth helpers ------------------------------------------------------
+
+
+def _regions_overlap(pa: Pointer, pb: Pointer, size_a: int, size_b: int) -> bool:
+    """Provenance-exact region intersection of two access footprints."""
+    if pa.is_null() or pb.is_null():
+        return False
+    if pa.obj is not pb.obj:
+        return False
+    return pa.offset < pb.offset + size_b and pb.offset < pa.offset + size_a
+
+
+def _alive_at(pointer: Pointer, step: int) -> bool:
+    """False once the object was freed before ``step`` (accesses would be UB)."""
+    freed_at = pointer.obj.freed_at
+    return freed_at is None or step < freed_at
+
+
+class _SymbolTable:
+    """Concrete observations of every kernel symbol across the whole trace."""
+
+    def __init__(self, bindings: Dict[str, Value], trace: ExecutionTrace):
+        self.bindings = bindings
+        values = set(bindings.values())
+        observed: Dict[Value, set] = {value: set() for value in values}
+        for frame in trace.frames:
+            for value in values & frame.events.keys():
+                observed[value].update(
+                    concrete for concrete in frame.observed(value)
+                    if isinstance(concrete, int))
+        self._global_values: Dict[str, List[int]] = {
+            name: sorted(observed[value]) for name, value in bindings.items()}
+
+    def globally_stable(self, name: str) -> bool:
+        """At most one distinct value observed program-wide."""
+        return len(self._global_values.get(name, [])) <= 1
+
+    def frame_env(self, frame: FrameTrace) -> Tuple[Dict[str, int], set]:
+        """``symbol → concrete value`` for one frame, plus the unusable set.
+
+        Frame-local observations win (parameters, loads of this
+        activation); symbols from other activations fall back to their
+        program-wide binding when it is unique.  Symbols observed with
+        several values — here or globally — are *unstable*: claims whose
+        bounds mention them are not quantified over a single valuation and
+        are skipped.
+        """
+        env: Dict[str, int] = {}
+        unusable: set = set()
+        for name, value in self.bindings.items():
+            local = [concrete for concrete in frame.observed(value)
+                     if isinstance(concrete, int)]
+            if local:
+                if len(set(local)) == 1:
+                    env[name] = local[0]
+                else:
+                    unusable.add(name)
+                continue
+            observed = self._global_values.get(name, [])
+            if len(observed) == 1:
+                env[name] = observed[0]
+            elif len(observed) > 1:
+                unusable.add(name)
+            else:
+                unusable.add(name)  # never executed: no binding to check against
+        return env, unusable
+
+
+def _value_label(value: Value) -> str:
+    return value.short_name()
+
+
+def _pointer_windows(frame: FrameTrace, value: Value) -> List[Tuple[int, int, Pointer]]:
+    return [(start, end, concrete) for start, end, concrete in frame.windows(value)
+            if isinstance(concrete, Pointer)]
+
+
+def _anchor_is_single_instance(frame: FrameTrace, trace: ExecutionTrace,
+                               anchor: Value) -> bool:
+    """True when ``anchor`` held at most one distinct value in context."""
+    if anchor in frame.events:
+        return frame.distinct_count(anchor) <= 1
+    # Anchors defined in other functions (interprocedural GR locations):
+    # require a unique program-wide instance.
+    distinct: set = set()
+    for other in trace.frames:
+        for concrete in other.observed(anchor):
+            distinct.add(concrete if not isinstance(concrete, float) else ("f", concrete))
+            if len(distinct) > 1:
+                return False
+    return True
+
+
+# -- the two check passes ------------------------------------------------------
+
+
+def _check_alias_claim(frame: FrameTrace, trace: ExecutionTrace,
+                       a: MemoryAccess, b: MemoryAccess,
+                       claim: NoAliasClaim,
+                       symbols: _SymbolTable) -> Tuple[bool, Optional[str]]:
+    """Check one no-alias claim against one frame.
+
+    Returns ``(checked, detail)``: ``checked`` is False when the frame had
+    to be skipped (unstable symbol / repeated anchor instance); ``detail``
+    describes the first observed overlap, if any.
+    """
+    if claim.scope == "unchecked":
+        return False, None
+    if frame.truncated:
+        # A truncated event log would mis-pair anchor instances and could
+        # hide reassignments; never judge claims against partial windows.
+        return False, None
+    for name in claim.symbols:
+        if not symbols.globally_stable(name):
+            return False, None
+    windows_a = _pointer_windows(frame, a.pointer)
+    windows_b = _pointer_windows(frame, b.pointer)
+    if not windows_a or not windows_b:
+        return True, None
+    size_a, size_b = a.bounded_size(), b.bounded_size()
+
+    if claim.scope == "invocation":
+        # The claim: the *sets* of regions the two pointers reference during
+        # this activation are disjoint.  Every observed value pair is
+        # compared — no temporal-coexistence filter — except pairs whose
+        # object was already freed when the later value was assigned
+        # (referencing freed memory is outside any analysis' contract).
+        for anchor in claim.anchors:
+            if not _anchor_is_single_instance(frame, trace, anchor):
+                return False, None
+        if len(windows_a) * len(windows_b) > _MAX_WINDOW_PRODUCT:
+            return False, None
+        for start_a, _end_a, pa in windows_a:
+            for start_b, _end_b, pb in windows_b:
+                if not _regions_overlap(pa, pb, size_a, size_b):
+                    continue
+                if not _alive_at(pa, max(start_a, start_b)):
+                    continue
+                return True, (f"{_value_label(a.pointer)}={pa!r} overlaps "
+                              f"{_value_label(b.pointer)}={pb!r} "
+                              f"(steps {start_a} and {start_b})")
+        return True, None
+
+    # scope == "same-base": only value pairs derived from the same dynamic
+    # instance of every anchor are quantified over by the claim.
+    if len(windows_a) * len(windows_b) > _MAX_WINDOW_PRODUCT:
+        return False, None
+    for start_a, _end_a, pa in windows_a:
+        for start_b, _end_b, pb in windows_b:
+            consistent = all(
+                frame.window_index_at(anchor, start_a)
+                == frame.window_index_at(anchor, start_b)
+                for anchor in claim.anchors)
+            if not consistent:
+                continue
+            if not _regions_overlap(pa, pb, size_a, size_b):
+                continue
+            if not _alive_at(pa, max(start_a, start_b)):
+                continue
+            return True, (f"{_value_label(a.pointer)}={pa!r} overlaps "
+                          f"{_value_label(b.pointer)}={pb!r} "
+                          f"(same base instance)")
+    return True, None
+
+
+def _check_ranges(function: Function, frame: FrameTrace, range_oracle,
+                  symbols: _SymbolTable, check: ProgramCheck,
+                  replay: Dict[str, Any]) -> None:
+    """Compare computed intervals against every observed integer value."""
+    if frame.truncated:
+        # Partial event logs could hide the later values of a symbol's
+        # defining instruction; don't bind symbols against them.
+        return
+    env, unusable = symbols.frame_env(frame)
+    for value in range_oracle.integer_values(function):
+        observed = [v for v in frame.observed(value) if isinstance(v, int)]
+        if not observed:
+            continue
+        interval = range_oracle.range_of(value)
+        if interval.is_empty or interval.is_top:
+            continue
+        mentioned = interval.symbols()
+        if mentioned & unusable or any(name not in env and name in
+                                       symbols.bindings for name in mentioned):
+            check.range_values_skipped += 1
+            continue
+        try:
+            lower = evaluate(interval.lower, env)
+            upper = evaluate(interval.upper, env)
+        except (ArithmeticError, KeyError, TypeError):
+            check.range_values_skipped += 1
+            continue
+        check.range_values_checked += 1
+        for concrete in observed:
+            if lower <= concrete <= upper:
+                continue
+            check.violations.append(Violation(
+                kind="range",
+                program=check.program,
+                analysis="symbolic-ra",
+                function=function.name,
+                query=_value_label(value),
+                detail=(f"observed {concrete}, claimed "
+                        f"[{interval.lower!r}, {interval.upper!r}] "
+                        f"= [{lower}, {upper}] under {env!r}"),
+                replay=dict(replay),
+            ))
+            break
+
+
+# -- per-program driver --------------------------------------------------------
+
+
+def check_program(program, *, factories: Optional[Sequence[Tuple[str, Any]]] = None,
+                  range_oracle=None,
+                  max_pairs_per_function: Optional[int] = DEFAULT_MAX_PAIRS,
+                  limits: Optional[InterpreterLimits] = None) -> ProgramCheck:
+    """Run the full differential check for one generated program.
+
+    ``factories`` and ``range_oracle`` are injectable so the test-suite can
+    feed deliberately broken analyses through the oracle and assert they
+    are caught.
+    """
+    config = program.config
+    module = program.module
+    check = ProgramCheck(program=config.name, seed=config.seed)
+    inputs = execution_inputs(config)
+    replay = {
+        "program": config.name,
+        "seed": config.seed,
+        "instances": config.instances,
+        "rng_key": config.rng_key,
+        "mix": dict(sorted(config.mix.items())) if config.mix else None,
+        "argv": inputs.argv(),
+    }
+
+    manager = AnalysisManager(module)
+    analyses = [(name, build_analysis(factory, module, manager))
+                for name, factory in (factories or soundness_factories())]
+    if range_oracle is None:
+        for name, analysis in analyses:
+            if isinstance(analysis, RBAAAliasAnalysis):
+                range_oracle = analysis.ranges
+                break
+        else:
+            from ..engine import keys
+            range_oracle = manager.get(keys.RANGES)
+
+    pairs = list(enumerate_query_pairs(module, max_pairs_per_function))
+    check.queries = len(pairs)
+    claims: List[Tuple[str, Any, NoAliasClaim]] = []
+    for name, analysis in analyses:
+        accesses = [(pair.a, pair.b) for pair in pairs]
+        indices = analysis.no_alias_pairs(accesses)
+        check.no_alias_claims[name] = len(indices)
+        for index in indices:
+            pair = pairs[index]
+            claims.append((name, pair, analysis.no_alias_context(pair.a, pair.b)))
+
+    interpreter = Interpreter(module, limits=limits)
+    trace = interpreter.run_main(inputs.argv())
+    check.executed = trace.completed
+    check.stop_reason = trace.stop_reason
+    check.steps = trace.steps
+    check.truncated = any(frame.truncated for frame in trace.frames)
+
+    symbols = _SymbolTable(range_oracle.kernel_bindings(), trace)
+
+    for name, pair, claim in claims:
+        claim_checked = False
+        for frame in trace.frames_of(pair.function):
+            checked, detail = _check_alias_claim(frame, trace, pair.a, pair.b,
+                                                 claim, symbols)
+            claim_checked = claim_checked or checked
+            if detail is not None:
+                check.violations.append(Violation(
+                    kind="no-alias",
+                    program=config.name,
+                    analysis=name,
+                    function=pair.function.name,
+                    query=(f"{_value_label(pair.a.pointer)} vs "
+                           f"{_value_label(pair.b.pointer)}"),
+                    detail=detail,
+                    replay=dict(replay),
+                ))
+                break
+        if claim_checked:
+            check.claims_checked += 1
+        else:
+            check.claims_skipped += 1
+
+    for function in module.defined_functions():
+        for frame in trace.frames_of(function):
+            _check_ranges(function, frame, range_oracle, symbols, check, replay)
+    return check
+
+
+# -- sharded corpus driver -----------------------------------------------------
+
+
+def _soundness_shard_worker(
+        shard: Sequence[Tuple[int, GeneratorConfig, Optional[int], int]]
+) -> List[Tuple[int, ProgramCheck]]:
+    """Check one shard of corpus programs (runs inside a worker process)."""
+    results: List[Tuple[int, ProgramCheck]] = []
+    for corpus_index, config, max_pairs, max_steps in shard:
+        program = generate_module(config)
+        limits = InterpreterLimits(max_steps=max_steps)
+        results.append((corpus_index, check_program(
+            program, max_pairs_per_function=max_pairs, limits=limits)))
+    return results
+
+
+def run_soundness(configs: Optional[Sequence[GeneratorConfig]] = None,
+                  jobs: Optional[int] = None,
+                  max_pairs_per_function: Optional[int] = DEFAULT_MAX_PAIRS,
+                  max_steps: int = InterpreterLimits.max_steps) -> SoundnessReport:
+    """Run the oracle over a corpus, sharded like the benchmark runner."""
+    configs = list(configs if configs is not None else soundness_corpus())
+    jobs = resolve_jobs(jobs)
+    items = [(index, config, max_pairs_per_function, max_steps)
+             for index, config in enumerate(configs)]
+    shards = partition(items, jobs)
+    checks = merge_indexed(map_shards(_soundness_shard_worker, shards, jobs))
+    return SoundnessReport(checks=checks)
+
+
+# -- command line --------------------------------------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.evaluation.soundness",
+        description="Differential soundness oracle: alias verdicts and "
+                    "symbolic ranges versus concrete executions.")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: $REPRO_EVAL_JOBS or 1)")
+    parser.add_argument("--quick", action="store_true",
+                        help=f"CI smoke corpus: 22 suite programs + "
+                             f"{QUICK_EXTRA_PROGRAMS} fuzz programs")
+    parser.add_argument("--extra", type=int, default=None,
+                        help="number of generated fuzz programs beyond the suite")
+    parser.add_argument("--seed", type=int, default=11,
+                        help="base seed of the fuzz slice of the corpus")
+    parser.add_argument("--max-pairs", type=int, default=DEFAULT_MAX_PAIRS,
+                        help="cap on enumerated pointer pairs per function")
+    parser.add_argument("--max-steps", type=int, default=InterpreterLimits.max_steps,
+                        help="interpreter step budget per program")
+    parser.add_argument("--min-programs", type=int, default=0,
+                        help="fail unless at least this many programs executed")
+    parser.add_argument("--out", default="SOUNDNESS_REPORT.json",
+                        help="report output path")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    extra = args.extra
+    if extra is None:
+        # Quick mode is the CI smoke corpus (56 programs); the full run
+        # sweeps a larger fuzz slice.
+        extra = QUICK_EXTRA_PROGRAMS if args.quick else 3 * QUICK_EXTRA_PROGRAMS
+    configs = soundness_corpus(extra=extra, seed=args.seed)
+    jobs = resolve_jobs(args.jobs)
+
+    started = time.perf_counter()
+    report = run_soundness(configs, jobs=jobs,
+                           max_pairs_per_function=args.max_pairs,
+                           max_steps=args.max_steps)
+    elapsed = time.perf_counter() - started
+
+    record = report.as_record(run_info={
+        "jobs": jobs,
+        "quick": bool(args.quick),
+        "python": sys.version.split()[0],
+        "total_wall_seconds": elapsed,
+    })
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(to_canonical_json(record))
+
+    executed = report.programs_executed()
+    violations = report.violations()
+    print(f"wrote {args.out}: {executed}/{len(report.checks)} programs executed, "
+          f"{record['totals']['claims_checked']} claims and "
+          f"{record['totals']['range_values_checked']} ranges checked, "
+          f"{len(violations)} violation(s) ({elapsed:.2f}s wall, jobs={jobs})")
+    for violation in violations[:20]:
+        print(f"  [{violation.kind}] {violation.program}/{violation.function} "
+              f"{violation.analysis}: {violation.query} — {violation.detail}")
+    if violations:
+        return 1
+    if executed < args.min_programs:
+        print(f"only {executed} programs executed "
+              f"(< --min-programs {args.min_programs})")
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

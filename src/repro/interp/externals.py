@@ -1,0 +1,77 @@
+"""Concrete models of the external (libc) functions the corpus calls.
+
+The mini-C programs the generator emits only ever call a small set of
+library routines (``atoi`` on ``argv``, ``strlen`` on string inputs); the
+remaining known names get deterministic no-op models so that interpreting
+any frontend-compilable program never depends on ambient state.  Unknown
+externals return a type-appropriate zero and are tallied on the
+interpreter so callers can see when a run leaned on the default model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .memory import Heap, Pointer, coerce_int as _as_int
+
+__all__ = ["ProgramExit", "call_external", "MODELED_EXTERNALS"]
+
+
+class ProgramExit(Exception):
+    """Raised by the ``exit`` model to unwind the interpreter cleanly."""
+
+    def __init__(self, status: int):
+        super().__init__(f"exit({status})")
+        self.status = status
+
+
+def _atoi(heap: Heap, pointer: Pointer) -> int:
+    text = heap.read_c_string(pointer).strip()
+    sign = 1
+    if text[:1] in ("+", "-"):
+        sign = -1 if text[0] == "-" else 1
+        text = text[1:]
+    digits = ""
+    for char in text:
+        if not char.isdigit():
+            break
+        digits += char
+    return sign * int(digits) if digits else 0
+
+
+#: Externals with a real model (the interpreter substitutes a
+#: type-appropriate zero, and tallies the call, for everything else).
+MODELED_EXTERNALS = frozenset({
+    "atoi", "strlen", "abs", "labs", "exit", "printf", "puts", "putchar",
+    "rand", "getchar", "isdigit", "isalpha", "isspace", "toupper", "tolower",
+})
+
+
+def call_external(name: str, args: List, heap: Heap) -> Optional[object]:
+    """Evaluate one modeled external call.
+
+    Returns ``NotImplemented`` for names outside
+    :data:`MODELED_EXTERNALS`; the interpreter maps that to a
+    type-appropriate zero (its one zero-of-type rule) and counts the call.
+    """
+    if name == "exit":
+        raise ProgramExit(_as_int(args[0]) if args else 0)
+    if name == "atoi" and args and isinstance(args[0], Pointer):
+        return _atoi(heap, args[0])
+    if name == "strlen" and args and isinstance(args[0], Pointer):
+        return len(heap.read_c_string(args[0]))
+    if name in ("abs", "labs") and args:
+        return abs(_as_int(args[0]))
+    if name in ("isdigit", "isalpha", "isspace"):
+        char = chr(_as_int(args[0]) & 0xFF) if args else "\0"
+        table = {"isdigit": char.isdigit(), "isalpha": char.isalpha(),
+                 "isspace": char.isspace()}
+        return 1 if table[name] else 0
+    if name in ("toupper", "tolower") and args:
+        char = chr(_as_int(args[0]) & 0xFF)
+        return ord(char.upper() if name == "toupper" else char.lower())
+    if name in ("printf", "puts", "putchar"):
+        return 0
+    if name in ("rand", "getchar"):
+        return 0  # deterministic by design
+    return NotImplemented

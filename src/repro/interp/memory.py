@@ -1,0 +1,192 @@
+"""Concrete memory model of the IR interpreter.
+
+Pointers carry *provenance*: a runtime pointer value is a
+:class:`Pointer` — an allocated :class:`MemObject` plus a byte offset —
+never a bare integer.  Two accesses overlap exactly when they reference
+the same object and their byte ranges intersect, which is the ground
+truth the soundness oracle compares analysis verdicts against.
+
+Each object also receives a disjoint *absolute* address range (base
+addresses are spaced by a large guard gap) so that ``ptrtoint``,
+``inttoptr`` and pointer comparisons have the obvious C semantics even
+for moderately out-of-bounds offsets, while provenance keeps overlap
+checks exact.
+
+Object payloads are sparse: a dictionary from byte offset to the cell
+written there (a Python int, float or :class:`Pointer`).  Reads of bytes
+never written yield a type-appropriate zero, mirroring zero-initialised
+memory; the interpreter does not model bit-level representations, so a
+cell read back has whatever width it was written with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = ["Pointer", "MemObject", "Heap", "MemoryError_", "CellValue", "coerce_int"]
+
+#: What one memory cell can hold.
+CellValue = Union[int, float, "Pointer"]
+
+#: Guard gap between consecutive objects' absolute address ranges, large
+#: enough that bounded out-of-bounds offsets never collide with a
+#: neighbouring object's absolute range.
+_GUARD_BYTES = 1 << 20
+
+#: Base of the very first object (kept well away from address 0 so null
+#: comparisons are unambiguous).
+_FIRST_BASE = 1 << 16
+
+
+class MemoryError_(Exception):
+    """Raised for operations the concrete memory model cannot express."""
+
+
+def coerce_int(value) -> int:
+    """The one integer-coercion rule of the concrete semantics.
+
+    Pointers coerce to their absolute address, floats truncate, ``None``
+    (a void result) is zero.  Shared by the instruction interpreter and
+    the libc models so the two paths cannot drift apart.
+    """
+    if isinstance(value, Pointer):
+        return value.address
+    if isinstance(value, float):
+        return int(value)
+    return int(value) if value is not None else 0
+
+
+@dataclass(eq=False)
+class MemObject:
+    """One allocated object (heap, stack, global or interpreter-provided).
+
+    Equality and hashing are by identity: every allocation is its own
+    object, even when two share a size and allocation site.
+    """
+
+    uid: int
+    base: int
+    size: int
+    kind: str                 # "heap" | "stack" | "global" | "input" | "null"
+    label: str                # allocation-site name, for reports
+    alive: bool = True
+    #: Global step at which the object was freed (None while alive).
+    freed_at: Optional[int] = None
+    cells: Dict[int, Tuple[CellValue, int]] = field(default_factory=dict)
+
+    def store(self, offset: int, value: CellValue, width: int) -> None:
+        existing = self.cells.get(offset)
+        if existing is None or existing[1] != width:
+            # Drop cells the new write (partially) covers so stale bytes
+            # never shadow a newer overlapping store.  Cells are kept
+            # mutually disjoint, so the exact-overwrite fast path above is
+            # the only case that can skip the scan.
+            overlapping = [o for o, (_, w) in self.cells.items()
+                           if offset < o + w and o < offset + width and o != offset]
+            for other in overlapping:
+                del self.cells[other]
+        self.cells[offset] = (value, width)
+
+    def load(self, offset: int) -> Optional[CellValue]:
+        cell = self.cells.get(offset)
+        return cell[0] if cell is not None else None
+
+    def __repr__(self) -> str:
+        return f"<MemObject #{self.uid} {self.kind} {self.label!r} size={self.size}>"
+
+
+@dataclass(frozen=True)
+class Pointer:
+    """A provenance-carrying pointer value: object + byte offset."""
+
+    obj: MemObject
+    offset: int
+
+    @property
+    def address(self) -> int:
+        """Absolute address (used for ptrtoint and pointer comparisons)."""
+        return self.obj.base + self.offset
+
+    def add(self, delta: int) -> "Pointer":
+        return Pointer(self.obj, self.offset + delta)
+
+    def is_null(self) -> bool:
+        return self.obj.kind == "null"
+
+    def __repr__(self) -> str:
+        if self.is_null():
+            return "<null>"
+        return f"<&{self.obj.label}+{self.offset}>"
+
+
+class Heap:
+    """The interpreter's address space: allocation and byte access."""
+
+    def __init__(self) -> None:
+        self._objects: List[MemObject] = []
+        self._next_base = _FIRST_BASE
+        self.null_object = MemObject(uid=0, base=0, size=0, kind="null", label="null")
+        self.null = Pointer(self.null_object, 0)
+
+    # -- allocation ---------------------------------------------------------
+    def allocate(self, size: int, kind: str, label: str) -> Pointer:
+        size = max(0, int(size))
+        obj = MemObject(uid=len(self._objects) + 1, base=self._next_base,
+                        size=size, kind=kind, label=label)
+        self._next_base += ((size + _GUARD_BYTES - 1) // _GUARD_BYTES + 1) * _GUARD_BYTES
+        self._objects.append(obj)
+        return Pointer(obj, 0)
+
+    def free(self, pointer: Pointer, step: int = 0) -> None:
+        if not pointer.is_null():
+            pointer.obj.alive = False
+            if pointer.obj.freed_at is None:
+                pointer.obj.freed_at = step
+
+    def objects(self) -> List[MemObject]:
+        return list(self._objects)
+
+    # -- access -------------------------------------------------------------
+    def store(self, pointer: Pointer, value: CellValue, width: int) -> None:
+        if pointer.is_null():
+            raise MemoryError_("store through a null pointer")
+        pointer.obj.store(pointer.offset, value, max(1, width))
+
+    def load(self, pointer: Pointer) -> Optional[CellValue]:
+        """The cell at ``pointer``, or ``None`` for never-written bytes."""
+        if pointer.is_null():
+            raise MemoryError_("load through a null pointer")
+        return pointer.obj.load(pointer.offset)
+
+    # -- integer <-> pointer ------------------------------------------------
+    def pointer_for_address(self, address: int) -> Pointer:
+        """Reconstruct a pointer from an absolute address (``inttoptr``)."""
+        if address == 0:
+            return self.null
+        for obj in self._objects:
+            span = max(obj.size, 1)
+            if obj.base <= address < obj.base + max(span, _GUARD_BYTES):
+                return Pointer(obj, address - obj.base)
+        # An address nothing was allocated at: provenance-free dangling
+        # pointer, modelled as an offset from the null object so any access
+        # through it raises.
+        return Pointer(self.null_object, address)
+
+    # -- string helpers (for interpreter inputs and libc models) ------------
+    def store_c_string(self, pointer: Pointer, text: str) -> None:
+        for index, char in enumerate(text.encode("ascii", "replace")):
+            self.store(pointer.add(index), int(char), 1)
+        self.store(pointer.add(len(text)), 0, 1)
+
+    def read_c_string(self, pointer: Pointer, limit: int = 1 << 16) -> str:
+        chars: List[str] = []
+        cursor = pointer
+        for _ in range(limit):
+            cell = self.load(cursor)
+            value = cell if isinstance(cell, int) else 0
+            if value == 0:
+                break
+            chars.append(chr(value & 0xFF))
+            cursor = cursor.add(1)
+        return "".join(chars)

@@ -8,7 +8,10 @@ The verifier enforces the invariants the analyses rely on:
 * every SSA value is defined before use (dominance is checked separately by
   the tests via :mod:`repro.analysis.dominance`; here we check block-local
   ordering and that operands belong to the same function);
-* names of values are unique within a function.
+* names of values are unique within a function;
+* operand types are consistent: loads and stores dereference pointer-typed
+  operands, conditional branches test an ``i1``, and φ/σ results carry the
+  type of the values they merge.
 
 Violations are collected as :class:`VerificationError` records; ``verify``
 raises on the first batch unless ``raise_on_error=False``.
@@ -21,9 +24,18 @@ from typing import List
 
 from .basicblock import BasicBlock
 from .function import Function
-from .instructions import BranchInst, Instruction, PhiInst, SigmaInst
+from .instructions import (
+    BinaryInst,
+    BranchInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    SigmaInst,
+    StoreInst,
+)
 from .module import Module
-from .values import Argument, Constant, GlobalVariable
+from .types import BOOL
+from .values import Argument, Constant, GlobalVariable, UndefValue
 
 __all__ = ["VerificationError", "IRVerificationFailure", "verify_function", "verify_module"]
 
@@ -138,6 +150,46 @@ def _check_operands(function: Function, errors: List[VerificationError]) -> None
                             f"{operand.short_name()} before its definition in {block.name}"))
 
 
+def _check_types(function: Function, errors: List[VerificationError]) -> None:
+    """Operand/result type consistency for the memory and merge instructions."""
+    for block in function.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, LoadInst) and not inst.pointer.type.is_pointer():
+                errors.append(VerificationError(
+                    function.name,
+                    f"load {inst.short_name()} dereferences non-pointer "
+                    f"{inst.pointer.short_name()}"))
+            elif isinstance(inst, StoreInst) and not inst.pointer.type.is_pointer():
+                errors.append(VerificationError(
+                    function.name,
+                    f"store writes through non-pointer {inst.pointer.short_name()}"))
+            elif isinstance(inst, BranchInst) and inst.is_conditional() \
+                    and inst.condition.type != BOOL:
+                errors.append(VerificationError(
+                    function.name,
+                    f"conditional branch in {block.name} tests a "
+                    f"non-i1 value {inst.condition.short_name()}"))
+            elif isinstance(inst, PhiInst):
+                for value, _ in inst.incoming():
+                    if isinstance(value, UndefValue):
+                        continue
+                    if value.type != inst.type:
+                        errors.append(VerificationError(
+                            function.name,
+                            f"phi {inst.short_name()} of type {inst.type!r} has "
+                            f"incoming {value.short_name()} of type {value.type!r}"))
+            elif isinstance(inst, SigmaInst) and inst.source.type != inst.type:
+                errors.append(VerificationError(
+                    function.name,
+                    f"sigma {inst.short_name()} of type {inst.type!r} renames "
+                    f"{inst.source.short_name()} of type {inst.source.type!r}"))
+            elif isinstance(inst, BinaryInst) and inst.lhs.type != inst.rhs.type:
+                errors.append(VerificationError(
+                    function.name,
+                    f"binary {inst.short_name() or inst.opcode} mixes operand "
+                    f"types {inst.lhs.type!r} and {inst.rhs.type!r}"))
+
+
 def verify_function(function: Function, raise_on_error: bool = True) -> List[VerificationError]:
     """Verify one function; returns the list of problems found."""
     errors: List[VerificationError] = []
@@ -147,6 +199,7 @@ def verify_function(function: Function, raise_on_error: bool = True) -> List[Ver
     _check_phis(function, errors)
     _check_names(function, errors)
     _check_operands(function, errors)
+    _check_types(function, errors)
     if errors and raise_on_error:
         raise IRVerificationFailure(errors)
     return errors

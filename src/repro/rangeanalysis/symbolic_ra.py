@@ -157,6 +157,25 @@ class SymbolicRangeAnalysis:
         """The kernel symbol assigned to ``value``, if any."""
         return self._kernel.get(value)
 
+    def kernel_bindings(self) -> Dict[str, Value]:
+        """Symbol name → the IR value the symbol stands for.
+
+        The inverse of :meth:`symbol_for`, used by the soundness oracle to
+        bind kernel symbols to concretely observed runtime values when
+        checking that computed intervals enclose every observed value
+        (query extraction hook).
+        """
+        return {symbol.name: value for value, symbol in self._kernel.items()}
+
+    def integer_values(self, function: Function) -> List[Value]:
+        """Every integer-typed SSA value of ``function`` with a computed range
+        (arguments first, then instructions in block order)."""
+        values: List[Value] = [argument for argument in function.args
+                               if argument.type.is_integer()]
+        values.extend(inst for inst in function.instructions()
+                      if inst.type.is_integer())
+        return values
+
     # -- kernel management -----------------------------------------------------
     def _fresh_symbol(self, value: Value, hint: str) -> Symbol:
         symbol = self._kernel.get(value)

@@ -11,10 +11,14 @@ from hypothesis import given, settings, strategies as st
 
 from repro.symbolic import (
     EMPTY_INTERVAL,
+    NEG_INF,
     Ordering,
+    POS_INF,
     SymbolicInterval,
     compare,
     evaluate,
+    limit_expr,
+    limit_interval,
     sym,
     sym_add,
     sym_max,
@@ -195,3 +199,107 @@ def test_join_is_commutative_up_to_equality(a, b):
 @settings(max_examples=100, deadline=None)
 def test_join_is_idempotent(a):
     assert a.join(a) == a
+
+
+# -- widening / narrowing properties ------------------------------------------
+
+@given(intervals(), intervals(), environments, small_ints)
+@settings(max_examples=150, deadline=None)
+def test_widening_is_increasing_in_both_arguments(a, b, env, probe):
+    """``a ⊑ a∇b`` and ``b ⊑ a∇b``: widening only ever loses precision."""
+    widened = a.widen(b)
+    for operand in (a, b):
+        if _contains(operand, env, probe):
+            assert _contains(widened, env, probe)
+
+
+@given(intervals(), intervals())
+@settings(max_examples=150, deadline=None)
+def test_widening_stabilises_after_one_application(a, b):
+    """``(a∇b)∇b = a∇b`` — the ascending sequence cannot oscillate, which
+    is what bounds the solver's widening phase."""
+    once = a.widen(b)
+    assert once.widen(b) == once
+
+
+@given(intervals(), intervals())
+@settings(max_examples=150, deadline=None)
+def test_widening_only_moves_bounds_to_infinity(a, b):
+    """Each widened bound is either the old bound or an infinity — the
+    paper's ∇ never invents new finite bounds."""
+    widened = a.widen(b)
+    if a.is_empty or b.is_empty:
+        return
+    assert widened.lower == a.lower or widened.lower == NEG_INF
+    assert widened.upper == a.upper or widened.upper == POS_INF
+
+
+@given(intervals(), intervals(), environments, small_ints)
+@settings(max_examples=150, deadline=None)
+def test_narrowing_stays_above_the_refinement(a, b, env, probe):
+    """``narrow`` may only replace infinite bounds of ``a`` by bounds of
+    ``b``: anything inside both operands survives narrowing."""
+    narrowed = a.widen(b).narrow(b)
+    if _contains(a, env, probe) and _contains(b, env, probe):
+        assert _contains(narrowed, env, probe)
+
+
+@given(intervals(), intervals())
+@settings(max_examples=150, deadline=None)
+def test_narrowing_is_monotone_never_widens_bounds(a, b):
+    """Narrowing refines: every finite bound of ``a`` is kept verbatim."""
+    narrowed = a.narrow(b)
+    if a.is_empty or b.is_empty:
+        return
+    if a.lower != NEG_INF:
+        assert narrowed.lower == a.lower
+    if a.upper != POS_INF:
+        assert narrowed.upper == a.upper
+
+
+@given(intervals(), intervals())
+@settings(max_examples=100, deadline=None)
+def test_narrowing_is_idempotent(a, b):
+    narrowed = a.narrow(b)
+    assert narrowed.narrow(b) == narrowed
+
+
+# -- simplification / canonicalisation properties ------------------------------
+
+@given(symbolic_expressions())
+@settings(max_examples=150, deadline=None)
+def test_canonicalisation_is_idempotent_under_identities(a):
+    """Rebuilding an expression through identity operations is a no-op:
+    canonical forms are fixed points of the builder functions."""
+    assert sym_add(a, 0) == a
+    assert sym_sub(a, 0) == a
+    assert sym_mul(a, 1) == a
+    assert sym_min(a, a) == a
+    assert sym_max(a, a) == a
+    assert sym_neg(sym_neg(a)) == a
+
+
+@given(symbolic_expressions(), symbolic_expressions())
+@settings(max_examples=150, deadline=None)
+def test_canonicalisation_merges_like_terms(a, b):
+    """``(a + b) - b`` cancels exactly — the linear fragment is canonical."""
+    assert sym_sub(sym_add(a, b), b) == a
+
+
+@given(symbolic_expressions(), st.integers(min_value=1, max_value=64))
+@settings(max_examples=150, deadline=None)
+def test_limit_expr_is_idempotent(a, budget):
+    limited = limit_expr(a, budget=budget, toward_upper=True)
+    assert limit_expr(limited, budget=budget, toward_upper=True) == limited
+    limited_low = limit_expr(a, budget=budget, toward_upper=False)
+    assert limit_expr(limited_low, budget=budget, toward_upper=False) == limited_low
+
+
+@given(intervals(), st.integers(min_value=1, max_value=64), environments, small_ints)
+@settings(max_examples=150, deadline=None)
+def test_limit_interval_is_idempotent_and_sound(interval, budget, env, probe):
+    limited = limit_interval(interval, budget=budget)
+    assert limit_interval(limited, budget=budget) == limited
+    # Budgeting must only ever enlarge the interval (sound direction).
+    if _contains(interval, env, probe):
+        assert _contains(limited, env, probe)

@@ -1,0 +1,248 @@
+"""Unit tests of the concrete IR interpreter (tests/soundness substrate)."""
+
+import pytest
+
+from repro.benchgen import build_program, execution_inputs
+from repro.frontend import compile_source
+from repro.interp import (
+    Interpreter,
+    InterpreterLimits,
+    Pointer,
+    StepBudgetExceeded,
+)
+
+
+def run(source, argv=("prog", "8", "hello")):
+    module = compile_source(source, "test")
+    interpreter = Interpreter(module)
+    trace = interpreter.run_main(list(argv))
+    return interpreter, trace
+
+
+def main_frame(trace):
+    return next(frame for frame in trace.frames if frame.function.name == "main")
+
+
+class TestBasicExecution:
+    def test_returns_and_arithmetic(self):
+        source = """
+        int compute(int a, int b) { return a * b + 3; }
+        int main(int argc, char** argv) { return compute(6, 7); }
+        """
+        interpreter, trace = run(source)
+        assert trace.completed
+        assert len(trace.frames) == 2
+
+    def test_truncating_division_matches_c(self):
+        source = """
+        int main(int argc, char** argv) {
+          int a = 0 - atoi(argv[1]);
+          int q = a / 2;
+          int r = a % 2;
+          int* sink = (int*)malloc(8);
+          sink[0] = q;
+          sink[1] = r;
+          return 0;
+        }
+        """
+        interpreter, trace = run(source, ("prog", "7", "x"))
+        frame = main_frame(trace)
+        observed = {value.name: frame.observed(value)
+                    for value in frame.events if value.name}
+        flattened = [v for values in observed.values() for v in values]
+        assert -3 in flattened  # -7 / 2 truncates toward zero
+        assert -1 in flattened  # -7 % 2 keeps the dividend's sign
+
+    def test_loop_termination_and_store_load(self):
+        source = """
+        int main(int argc, char** argv) {
+          int n = atoi(argv[1]);
+          int* data = (int*)malloc(n * 4);
+          int i;
+          int total = 0;
+          for (i = 0; i < n; i++) { data[i] = i; }
+          for (i = 0; i < n; i++) { total += data[i]; }
+          return total;
+        }
+        """
+        interpreter, trace = run(source, ("prog", "5", "x"))
+        assert trace.completed
+        stores = [a for a in trace.accesses if a.opcode == "store"]
+        loads = [a for a in trace.accesses if a.opcode == "load"]
+        assert len(stores) >= 5 and len(loads) >= 5
+
+    def test_argv_strings_have_provenance(self):
+        source = """
+        int main(int argc, char** argv) {
+          char* text = argv[2];
+          int len = strlen(text);
+          return len;
+        }
+        """
+        interpreter, trace = run(source, ("prog", "8", "hello"))
+        frame = main_frame(trace)
+        pointers = [concrete for events in frame.events.values()
+                    for _, concrete in events if isinstance(concrete, Pointer)]
+        labels = {pointer.obj.label for pointer in pointers}
+        assert "argv[2]" in labels
+
+    def test_distinct_allocations_never_share_objects(self):
+        source = """
+        int main(int argc, char** argv) {
+          char* a = (char*)malloc(16);
+          char* b = (char*)malloc(16);
+          a[0] = 1;
+          b[0] = 2;
+          return 0;
+        }
+        """
+        interpreter, trace = run(source)
+        heap_objects = [obj for obj in interpreter.heap.objects()
+                        if obj.kind == "heap"]
+        assert len(heap_objects) == 2
+        assert heap_objects[0] is not heap_objects[1]
+        assert heap_objects[0].base != heap_objects[1].base
+
+    def test_free_marks_object_dead(self):
+        source = """
+        int main(int argc, char** argv) {
+          char* a = (char*)malloc(16);
+          free(a);
+          return 0;
+        }
+        """
+        interpreter, trace = run(source)
+        heap_objects = [obj for obj in interpreter.heap.objects()
+                        if obj.kind == "heap"]
+        assert len(heap_objects) == 1
+        assert not heap_objects[0].alive
+        assert heap_objects[0].freed_at is not None
+
+    def test_pointer_difference_through_ptrtoint(self):
+        source = """
+        int main(int argc, char** argv) {
+          int* data = (int*)malloc(40);
+          int* hi = data + 5;
+          int delta = hi - data;
+          return delta;
+        }
+        """
+        interpreter, trace = run(source)
+        frame = main_frame(trace)
+        flattened = [v for events in frame.events.values()
+                     for _, v in events if isinstance(v, int)]
+        assert 5 in flattened
+
+    def test_struct_field_offsets(self):
+        source = """
+        struct pair { int x; int y; };
+        int main(int argc, char** argv) {
+          struct pair p;
+          p.x = 11;
+          p.y = 22;
+          return p.x + p.y;
+        }
+        """
+        interpreter, trace = run(source)
+        stores = [a for a in trace.accesses if a.opcode == "store"]
+        offsets = {a.offset for a in stores if a.object_label.endswith(".p")}
+        assert {0, 4} <= offsets
+
+
+class TestLimitsAndWindows:
+    def test_step_budget_stops_infinite_loops(self):
+        source = """
+        int main(int argc, char** argv) {
+          int i = 0;
+          while (1) { i = i + 1; }
+          return i;
+        }
+        """
+        module = compile_source(source, "loop")
+        interpreter = Interpreter(module, limits=InterpreterLimits(max_steps=2_000))
+        trace = interpreter.run_main(["prog"])
+        assert not trace.completed
+        assert trace.stop_reason == "step-budget"
+
+    def test_call_depth_limit(self):
+        source = """
+        int recurse(int n) { return recurse(n + 1); }
+        int main(int argc, char** argv) { return recurse(0); }
+        """
+        module = compile_source(source, "rec")
+        interpreter = Interpreter(module, limits=InterpreterLimits(max_call_depth=8))
+        trace = interpreter.run_main(["prog"])
+        assert not trace.completed
+        assert "runtime-error" in trace.stop_reason
+
+    def test_windows_partition_a_loop_pointer(self):
+        source = """
+        int main(int argc, char** argv) {
+          int n = atoi(argv[1]);
+          char* buf = (char*)malloc(n);
+          char* cursor = buf;
+          int i;
+          for (i = 0; i < n; i++) {
+            *cursor = i;
+            cursor = cursor + 1;
+          }
+          return 0;
+        }
+        """
+        interpreter, trace = run(source, ("prog", "4", "x"))
+        frame = main_frame(trace)
+        loop_values = [frame.windows(value) for value in frame.events
+                       if len(frame.windows(value)) >= 4
+                       and all(isinstance(w[2], Pointer) for w in frame.windows(value))]
+        assert loop_values, "expected a multi-window loop pointer"
+        windows = loop_values[0]
+        # Windows are disjoint, orderd and cover increasing offsets.
+        for (s1, e1, p1), (s2, e2, p2) in zip(windows, windows[1:]):
+            assert e1 == s2
+            assert p2.offset >= p1.offset
+
+    def test_step_budget_exception_type(self):
+        assert issubclass(StepBudgetExceeded, Exception)
+
+    def test_huge_int_to_float_overflow_is_reported_not_raised(self):
+        source = """
+        int main(int argc, char** argv) {
+          int x = 2;
+          int i;
+          for (i = 0; i < 3000; i++) { x = x * 2; }
+          float f = x;
+          double* sink = (double*)malloc(8);
+          sink[0] = f;
+          return 0;
+        }
+        """
+        module = compile_source(source, "overflow")
+        interpreter = Interpreter(module)
+        trace = interpreter.run_main(["prog"])
+        assert not trace.completed
+        assert "runtime-error" in trace.stop_reason
+
+
+class TestCorpusExecution:
+    @pytest.mark.parametrize("name", ["allroots", "ft", "ks"])
+    def test_suite_program_runs_to_completion(self, name):
+        program = build_program(name)
+        inputs = execution_inputs(program.config)
+        interpreter = Interpreter(program.module)
+        trace = interpreter.run_main(inputs.argv())
+        assert trace.completed, trace.stop_reason
+        assert trace.steps > 0
+        assert not interpreter.unknown_external_calls
+
+    def test_execution_is_deterministic(self):
+        program = build_program("fixoutput")
+        inputs = execution_inputs(program.config)
+
+        def fingerprint():
+            interpreter = Interpreter(build_program("fixoutput").module)
+            trace = interpreter.run_main(inputs.argv())
+            return (trace.steps,
+                    [(a.opcode, a.object_label, a.offset, a.width)
+                     for a in trace.accesses])
+
+        assert fingerprint() == fingerprint()
