@@ -34,8 +34,8 @@ class AliasAnalysis(ABC):
     def alias(self, a: MemoryAccess, b: MemoryAccess) -> AliasResult:
         """Answer one alias query between two memory accesses."""
 
-    def query_many(self, pairs: Iterable[Tuple[MemoryAccess, MemoryAccess]]
-                   ) -> List[AliasResult]:
+    def query_many(self, pairs: Iterable[Tuple[MemoryAccess, MemoryAccess]],
+                   memo=None) -> List[AliasResult]:
         """Answer a batch of queries with per-pair memoization.
 
         Alias queries are symmetric and analyses immutable once built, so a
@@ -43,10 +43,18 @@ class AliasAnalysis(ABC):
         of re-running the tests.  Subclasses that keep per-query statistics
         must override :meth:`on_memoized_query` so their counters see the
         replayed queries too (the harness counts every query, cached or not).
+
+        ``memo`` lets a long-lived caller (the analysis service's resident
+        sessions) thread one :class:`~repro.core.queries.QueryPairMemo`
+        through many batches so memoized outcomes survive across requests;
+        the caller then owns the payload lifetime (``release()`` is *not*
+        called).  Without it the memo is batch-scoped as before.
         """
         from ..core.queries import QueryPairMemo, pair_key
 
-        memo = QueryPairMemo()
+        persistent = memo is not None
+        if memo is None:
+            memo = QueryPairMemo()
         results: List[AliasResult] = []
         for a, b in pairs:
             key = pair_key(a, b)
@@ -58,7 +66,9 @@ class AliasAnalysis(ABC):
             result = self.alias(a, b)
             memo.remember(key, result)
             results.append(result)
-        memo.release()  # keep the hit/miss counters, drop the O(pairs) payloads
+        if not persistent:
+            # Keep the hit/miss counters, drop the O(pairs) payloads.
+            memo.release()
         self.last_query_memo = memo
         return results
 

@@ -83,6 +83,17 @@ class BasicAliasAnalysis(AliasAnalysis):
         self._escape_cache: dict = {}
         self._claim_cache: dict = {}
 
+    def refresh_function(self, old_function, new_function) -> None:
+        """Function-granular incremental refresh (manager edit hook).
+
+        The analysis is stateless apart from two caches: escape verdicts for
+        the retired body's allocas are dropped, and the claim cache — keyed
+        by pointer identities whose ids may be recycled — is cleared."""
+        stale = set(old_function.instructions())
+        for value in [value for value in self._escape_cache if value in stale]:
+            del self._escape_cache[value]
+        self._claim_cache.clear()
+
     # -- underlying-object decomposition --------------------------------------
     @staticmethod
     def _is_identified_object(value: Value) -> bool:
@@ -243,10 +254,12 @@ class BasicAliasAnalysis(AliasAnalysis):
             same_base = NoAliasClaim(scope="same-base", anchors=(base_a,))
             if offset_a == offset_b:
                 return AliasResult.MUST_ALIAS, same_base
-            size_a = a.bounded_size()
-            size_b = b.bounded_size()
-            low, low_size, high = ((offset_a, size_a, offset_b) if offset_a < offset_b
-                                   else (offset_b, size_b, offset_a))
+            low, low_size, high = ((offset_a, a.size, offset_b) if offset_a < offset_b
+                                   else (offset_b, b.size, offset_a))
+            if low_size is None:
+                # Unknown extent: the lower access may reach any higher
+                # offset, so neither disjointness nor overlap is provable.
+                return AliasResult.MAY_ALIAS, invocation
             if low + low_size <= high:
                 return AliasResult.NO_ALIAS, same_base
             return AliasResult.PARTIAL_ALIAS, same_base

@@ -45,11 +45,17 @@ class MemoryAccess:
             size = max(1, pointee.size_in_bytes()) if pointee is not None else 1
         return cls(pointer, size)
 
-    def bounded_size(self) -> int:
-        """Size usable in arithmetic: unknown sizes behave as one byte for
-        offset math (the *analysis* must already have handled unknown sizes
-        conservatively before relying on this)."""
-        return self.size if self.size is not None else 1
+    @classmethod
+    def unknown_extent(cls, pointer: Value) -> "MemoryAccess":
+        """An access of *unknown* byte size.
+
+        Analyses must treat the extent as unbounded (``extend_for_access``
+        extends the offset interval to ``+inf``); there is deliberately no
+        helper that collapses an unknown size to one byte — doing arithmetic
+        with 1 in its place once let the disjointness tests prove "no alias"
+        for overlapping accesses.
+        """
+        return cls(pointer, None)
 
 
 @dataclass(frozen=True)

@@ -36,6 +36,12 @@ class SCEVAliasAnalysis(AliasAnalysis):
         super().__init__(module)
         self._engines: Dict[Function, ScalarEvolution] = {}
 
+    def refresh_function(self, old_function, new_function) -> None:
+        """Function-granular incremental refresh (manager edit hook):
+        scalar-evolution engines are built lazily per function, so the edit
+        only needs to retire the old body's engine."""
+        self._engines.pop(old_function, None)
+
     def _engine_for(self, value: Value) -> Optional[ScalarEvolution]:
         function: Optional[Function] = None
         if isinstance(value, Instruction):
@@ -69,10 +75,13 @@ class SCEVAliasAnalysis(AliasAnalysis):
             return AliasResult.MAY_ALIAS
         if distance == 0:
             return AliasResult.MUST_ALIAS
-        size_a = a.bounded_size()
-        size_b = b.bounded_size()
+        size_a = a.size
+        size_b = b.size
         # ``a`` is ``distance`` bytes above ``b`` (or below when negative);
-        # the accesses are disjoint when the gap covers the access size.
+        # the accesses are disjoint when the gap covers the access size.  An
+        # unknown size (None) may span any gap, so nothing is provable.
+        if size_a is None or size_b is None:
+            return AliasResult.MAY_ALIAS
         if distance > 0 and distance >= size_b:
             return AliasResult.NO_ALIAS
         if distance < 0 and -distance >= size_a:

@@ -10,6 +10,7 @@ from .generator import (
     source_digest,
     stable_seed,
 )
+from .editscript import EditScenario, EditStep, edit_scenario
 from .idioms import IDIOMS, Idiom, get_idiom, idiom_names
 from .manifest import GENERATOR_VERSION, corpus_manifest, manifest_entry, suite_configs
 from .paper_programs import (
@@ -39,6 +40,9 @@ __all__ = [
     "generate_source",
     "source_digest",
     "stable_seed",
+    "EditScenario",
+    "EditStep",
+    "edit_scenario",
     "IDIOMS",
     "Idiom",
     "get_idiom",

@@ -130,20 +130,33 @@ def _pick_idioms(config: GeneratorConfig, rng: random.Random) -> List[Idiom]:
             for _ in range(config.instances)]
 
 
-def generate_source(config: GeneratorConfig) -> str:
-    """Emit the mini-C source for ``config``."""
-    rng = _derive_rng(config)
-    chosen = _pick_idioms(config, rng)
+def _compose_source(config: GeneratorConfig, chosen: List[Idiom],
+                    rendered: List[str]) -> str:
+    """Assemble the final source from already-rendered idiom pieces.
+
+    Shared by :func:`generate_source` and the edit-scenario generator
+    (:mod:`repro.benchgen.editscript`), which re-renders single pieces to
+    produce sources differing in exactly one function body.
+    """
     pieces: List[str] = [f"/* synthetic program {config.name!r} "
                          f"({config.instances} idiom instances, seed {config.seed}) */"]
     calls: List[str] = []
     for index, idiom in enumerate(chosen):
-        pieces.append(idiom.render(index, _instance_rng(config, index)))
+        pieces.append(rendered[index])
         calls.append(f"  {idiom.call(index)}")
     pieces.append(_MAIN_PREAMBLE)
     pieces.extend(calls)
     pieces.append(_MAIN_EPILOGUE)
     return "\n".join(pieces)
+
+
+def generate_source(config: GeneratorConfig) -> str:
+    """Emit the mini-C source for ``config``."""
+    rng = _derive_rng(config)
+    chosen = _pick_idioms(config, rng)
+    rendered = [idiom.render(index, _instance_rng(config, index))
+                for index, idiom in enumerate(chosen)]
+    return _compose_source(config, chosen, rendered)
 
 
 def generate_module(config: GeneratorConfig) -> GeneratedProgram:

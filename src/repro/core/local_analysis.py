@@ -175,6 +175,32 @@ class LocalRangeAnalysis:
         self._location_anchor_cache = frozen
         return frozen
 
+    def refresh_function(self, old_function, new_function) -> None:
+        """Function-granular incremental re-run (manager edit hook).
+
+        LR is strictly per-function (bases never cross function boundaries),
+        so an edit purges the old body's state — per-value LR entries, fresh
+        bases minted at its sites, shared arithmetic bases rooted in its
+        values — and re-solves only the new body in dominance preorder.
+        Solver statistics accumulate across refreshes.
+        """
+        stale = set(old_function.args)
+        stale.update(old_function.instructions())
+        for value in [value for value in self._lr if value in stale]:
+            del self._lr[value]
+        for site in [site for site in self._fresh_by_site if site in stale]:
+            del self._fresh_by_site[site]
+        for key in [key for key in self._arithmetic_bases
+                    if key[0] in stale or key[1] in stale]:
+            del self._arithmetic_bases[key]
+        self._location_anchor_cache = None
+        nodes: List[Instruction] = []
+        for block in DominatorTree.compute(new_function).preorder():
+            nodes.extend(inst for inst in block.instructions
+                         if inst.type.is_pointer())
+        solver = SparseSolver(_LocalRangeProblem(self, nodes))
+        self.solver_statistics.accumulate(solver.solve())
+
     # -- helpers -------------------------------------------------------------------
     def _fresh(self, hint: str) -> LocalAbstractValue:
         location = self.locations.new_synthetic_location(hint)

@@ -100,6 +100,28 @@ class LocationTable:
                     self._new_location(LocationKind.STACK,
                                        f"{function.name}.{inst.name or 'alloca'}", inst)
 
+    def refresh_function(self, old_function, new_function) -> None:
+        """Function-granular incremental update (manager edit hook).
+
+        The table is append-only, so locations of the retired body's sites
+        simply become unreferenced once the analyses that pointed at them
+        are refreshed; only the site index must forget the old values (their
+        ids may be recycled) and register the new body's allocation sites.
+        """
+        for value in list(old_function.args):
+            self._by_site.pop(value, None)
+        for inst in old_function.instructions():
+            self._by_site.pop(inst, None)
+        for inst in new_function.instructions():
+            if inst in self._by_site:
+                continue
+            if isinstance(inst, MallocInst):
+                self._new_location(LocationKind.HEAP,
+                                   f"{new_function.name}.{inst.name or 'malloc'}", inst)
+            elif isinstance(inst, AllocaInst):
+                self._new_location(LocationKind.STACK,
+                                   f"{new_function.name}.{inst.name or 'alloca'}", inst)
+
     # -- lookup / creation -------------------------------------------------------
     def location_for_site(self, site: Value) -> Optional[MemoryLocation]:
         """The location of an allocation site, global or previously registered value."""

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Optional
 
 from ..aliases.results import MemoryAccess
-from ..symbolic import SymbolicInterval
+from ..symbolic import POS_INF, SymbolicInterval
 from .domain import PointerAbstractValue
 from .local_analysis import LocalAbstractValue
 from .locations import MemoryLocation
@@ -63,9 +63,21 @@ class QueryOutcome:
         return cls(False, DisambiguationReason.NOT_DISAMBIGUATED)
 
 
-def extend_for_access(interval: SymbolicInterval, size: int) -> SymbolicInterval:
-    """Extend an offset interval by the access size: ``[l, u] → [l, u + size - 1]``."""
-    if interval.is_empty or size <= 1:
+def extend_for_access(interval: SymbolicInterval,
+                      size: Optional[int]) -> SymbolicInterval:
+    """Extend an offset interval by the access size: ``[l, u] → [l, u + size - 1]``.
+
+    An *unknown* size (``None``) means the access may touch any suffix of
+    the object starting at its offset, so the interval extends to ``+inf``.
+    Treating unknown as one byte would let the disjointness tests prove
+    "no alias" for accesses whose true extent overlaps — an unsound claim
+    the soundness oracle can falsify.
+    """
+    if interval.is_empty:
+        return interval
+    if size is None:
+        return SymbolicInterval(interval.lower, POS_INF)
+    if size <= 1:
         return interval
     return SymbolicInterval(interval.lower, interval.upper + (size - 1))
 
@@ -83,7 +95,7 @@ def _objects_certainly_distinct(a: MemoryLocation, b: MemoryLocation) -> bool:
 
 
 def global_test(gr_a: PointerAbstractValue, gr_b: PointerAbstractValue,
-                size_a: int = 1, size_b: int = 1) -> QueryOutcome:
+                size_a: Optional[int] = 1, size_b: Optional[int] = 1) -> QueryOutcome:
     """Proposition 2, refined with object-distinctness and access sizes."""
     if gr_a.is_top or gr_b.is_top:
         return QueryOutcome.may_alias()
@@ -110,7 +122,7 @@ def global_test(gr_a: PointerAbstractValue, gr_b: PointerAbstractValue,
 
 
 def local_test(lr_a: Optional[LocalAbstractValue], lr_b: Optional[LocalAbstractValue],
-               size_a: int = 1, size_b: int = 1) -> QueryOutcome:
+               size_a: Optional[int] = 1, size_b: Optional[int] = 1) -> QueryOutcome:
     """Proposition 3: same local base, provably disjoint offset intervals."""
     if lr_a is None or lr_b is None:
         return QueryOutcome.may_alias()
@@ -140,6 +152,10 @@ def pair_key(a: MemoryAccess, b: MemoryAccess) -> Hashable:
     return (first, second) if first <= second else (second, first)
 
 
+#: Distinguishes "nothing remembered" from a remembered ``None`` payload.
+_MISS = object()
+
+
 @dataclass
 class QueryPairMemo:
     """Memoizes per-pair query payloads for one (immutable) analysis.
@@ -154,11 +170,11 @@ class QueryPairMemo:
     _payloads: Dict[Hashable, Any] = field(default_factory=dict)
 
     def lookup(self, key: Hashable) -> Optional[Any]:
-        payload = self._payloads.get(key)
-        if payload is None:
+        payload = self._payloads.get(key, _MISS)
+        if payload is _MISS:
             self.misses += 1
-        else:
-            self.hits += 1
+            return None
+        self.hits += 1
         return payload
 
     def remember(self, key: Hashable, payload: Any) -> None:

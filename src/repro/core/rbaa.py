@@ -103,6 +103,30 @@ class RBAAAliasAnalysis(AliasAnalysis):
         self.statistics = RBAAStatistics()
         self._outcomes = QueryPairMemo()
 
+    def refresh_function(self, old_function, new_function) -> None:
+        """Function-granular incremental refresh (manager edit hook).
+
+        The function-scoped inputs (ranges, locations, LR) were refreshed in
+        place by the manager before this hook runs, so re-requesting them is
+        a cache hit on the same objects; the whole-module GR fixed point was
+        evicted and rebuilds here on those refreshed inputs.  The per-pair
+        outcome memo is released: its keys are pointer identities, and the
+        retired body's ids may be recycled, while surviving pairs may sit in
+        the edit's interprocedural cone — but the cumulative Figure-14
+        counters survive, so a memoized-then-recomputed query is still
+        counted exactly once per ask.
+        """
+        self.ranges = self.manager.get(keys.RANGES,
+                                       options=self.options.range_options)
+        self.locations = self.manager.get(keys.LOCATIONS)
+        self.global_analysis = self.manager.get(
+            keys.GLOBAL_RANGES,
+            options=self.options.global_options,
+            range_options=self.options.range_options)
+        self.local_analysis = self.manager.get(
+            keys.LOCAL_RANGES, range_options=self.options.range_options)
+        self._outcomes.release()
+
     # -- introspection helpers ----------------------------------------------------
     def global_state(self, pointer) -> PointerAbstractValue:
         """``GR(pointer)`` — exposed for tests, examples and the census."""
@@ -130,8 +154,10 @@ class RBAAAliasAnalysis(AliasAnalysis):
         return outcome
 
     def _run_tests(self, a: MemoryAccess, b: MemoryAccess) -> QueryOutcome:
-        size_a = a.bounded_size()
-        size_b = b.bounded_size()
+        # Unknown sizes stay ``None``: the tests extend the offset interval
+        # to +inf rather than pretending the access spans one byte.
+        size_a = a.size
+        size_b = b.size
         outcome = QueryOutcome.may_alias()
         if self.options.enable_global_test:
             outcome = global_test(

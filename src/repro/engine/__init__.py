@@ -9,14 +9,26 @@
 """
 
 from . import keys
-from .manager import AnalysisKey, AnalysisManager, ManagerStatistics
+from .manager import (
+    SCOPE_CALLGRAPH,
+    SCOPE_FUNCTION,
+    SCOPE_MODULE,
+    AnalysisKey,
+    AnalysisManager,
+    EditImpact,
+    ManagerStatistics,
+)
 from .solver import SolverStatistics, SparseProblem, SparseSolver, condense_sccs
 
 __all__ = [
     "keys",
     "AnalysisKey",
     "AnalysisManager",
+    "EditImpact",
     "ManagerStatistics",
+    "SCOPE_MODULE",
+    "SCOPE_FUNCTION",
+    "SCOPE_CALLGRAPH",
     "SolverStatistics",
     "SparseProblem",
     "SparseSolver",

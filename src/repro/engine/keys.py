@@ -12,7 +12,7 @@ location table and one GR/LR fixed point.
 
 from __future__ import annotations
 
-from .manager import AnalysisKey
+from .manager import SCOPE_CALLGRAPH, SCOPE_FUNCTION, AnalysisKey
 
 __all__ = ["RANGES", "LOCATIONS", "CALLGRAPH", "GLOBAL_RANGES", "LOCAL_RANGES",
            "ANDERSEN", "STEENSGAARD", "BASIC", "SCEV", "RBAA"]
@@ -77,23 +77,31 @@ def _build_rbaa(module, manager, options=None):
     return RBAAAliasAnalysis(module, options, manager=manager)
 
 
-#: The symbolic integer range bootstrap (Blume–Eigenmann style).
-RANGES = AnalysisKey("symbolic-ranges", _build_ranges)
-#: The module's abstract memory locations (``Loc``).
-LOCATIONS = AnalysisKey("locations", _build_locations)
+#: The symbolic integer range bootstrap (Blume–Eigenmann style).  The
+#: analysis is function-local (interprocedural flows become kernel symbols),
+#: so a function edit re-runs only the edited function's nodes.
+RANGES = AnalysisKey("symbolic-ranges", _build_ranges, scope=SCOPE_FUNCTION)
+#: The module's abstract memory locations (``Loc``); allocation sites of an
+#: edited function are re-registered in place.
+LOCATIONS = AnalysisKey("locations", _build_locations, scope=SCOPE_FUNCTION)
 #: The direct-call graph with SCC condensation.
 CALLGRAPH = AnalysisKey("callgraph", _build_callgraph)
-#: The global symbolic pointer range analysis (GR, Figure 9).
-GLOBAL_RANGES = AnalysisKey("global-ranges", _build_global_ranges)
-#: The local symbolic pointer range analysis (LR, Figure 11).
-LOCAL_RANGES = AnalysisKey("local-ranges", _build_local_ranges)
-#: Inclusion-based points-to baseline.
-ANDERSEN = AnalysisKey("andersen", _build_andersen)
-#: Unification-based points-to baseline.
-STEENSGAARD = AnalysisKey("steensgaard", _build_steensgaard)
-#: The basicaa-style heuristic baseline.
-BASIC = AnalysisKey("basic", _build_basic)
-#: The scalar-evolution baseline.
-SCEV = AnalysisKey("scev", _build_scev)
+#: The global symbolic pointer range analysis (GR, Figure 9): an
+#: interprocedural fixed point re-run when an edit lands in its cone.
+GLOBAL_RANGES = AnalysisKey("global-ranges", _build_global_ranges,
+                            scope=SCOPE_CALLGRAPH)
+#: The local symbolic pointer range analysis (LR, Figure 11): one-sweep and
+#: per-function, so edits refresh it in place.
+LOCAL_RANGES = AnalysisKey("local-ranges", _build_local_ranges,
+                           scope=SCOPE_FUNCTION)
+#: Inclusion-based points-to baseline (whole-module constraint graph).
+ANDERSEN = AnalysisKey("andersen", _build_andersen, scope=SCOPE_CALLGRAPH)
+#: Unification-based points-to baseline (whole-module constraint drain).
+STEENSGAARD = AnalysisKey("steensgaard", _build_steensgaard,
+                          scope=SCOPE_CALLGRAPH)
+#: The basicaa-style heuristic baseline (stateless; per-function caches).
+BASIC = AnalysisKey("basic", _build_basic, scope=SCOPE_FUNCTION)
+#: The scalar-evolution baseline (lazy per-function engines).
+SCEV = AnalysisKey("scev", _build_scev, scope=SCOPE_FUNCTION)
 #: The paper's complete range-based alias analysis.
-RBAA = AnalysisKey("rbaa", _build_rbaa)
+RBAA = AnalysisKey("rbaa", _build_rbaa, scope=SCOPE_FUNCTION)

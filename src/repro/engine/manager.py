@@ -18,10 +18,23 @@ the module).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Optional, Set, Tuple
 
-__all__ = ["AnalysisKey", "AnalysisManager", "ManagerStatistics"]
+__all__ = ["AnalysisKey", "AnalysisManager", "ManagerStatistics", "EditImpact",
+           "SCOPE_MODULE", "SCOPE_FUNCTION", "SCOPE_CALLGRAPH"]
+
+#: The analysis depends on the whole module opaquely: any function edit
+#: evicts it (the conservative default).
+SCOPE_MODULE = "module"
+#: The analysis keeps per-function state and implements
+#: ``refresh_function(old, new)``: a function edit refreshes it in place,
+#: re-running only the edited function's nodes.
+SCOPE_FUNCTION = "function"
+#: The analysis is an interprocedural whole-module fixed point whose
+#: dependency cone is the callgraph closure of the edited function: it is
+#: re-run (evicted and lazily rebuilt) on any edit inside that cone.
+SCOPE_CALLGRAPH = "callgraph"
 
 
 @dataclass(frozen=True)
@@ -32,10 +45,17 @@ class AnalysisKey:
     must be keyword arguments whose ``repr`` is deterministic — they become
     part of the cache key, so two requests with equal parameters share one
     instance.
+
+    ``scope`` declares how the analysis reacts to a single-function edit
+    (see :meth:`AnalysisManager.apply_function_edit`): module-scoped entries
+    are evicted, function-scoped entries are refreshed in place through
+    their ``refresh_function`` hook, and callgraph-scoped entries are
+    evicted whenever the edit's dependency cone reaches them.
     """
 
     name: str
     factory: Callable[..., Any]
+    scope: str = SCOPE_MODULE
 
     def __repr__(self) -> str:
         return f"AnalysisKey({self.name!r})"
@@ -55,11 +75,13 @@ class ManagerStatistics:
     misses: int = 0
     builds: int = 0
     invalidations: int = 0
+    refreshes: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """A plain-dict snapshot (picklable, JSON-ready, stable key order)."""
         return {"hits": self.hits, "misses": self.misses,
-                "builds": self.builds, "invalidations": self.invalidations}
+                "builds": self.builds, "invalidations": self.invalidations,
+                "refreshes": self.refreshes}
 
     def merge(self, other: "ManagerStatistics") -> None:
         """Accumulate another manager's counters (shard-merge aggregation)."""
@@ -67,6 +89,7 @@ class ManagerStatistics:
         self.misses += other.misses
         self.builds += other.builds
         self.invalidations += other.invalidations
+        self.refreshes += other.refreshes
 
 
 class CyclicAnalysisError(RuntimeError):
@@ -74,6 +97,58 @@ class CyclicAnalysisError(RuntimeError):
 
 
 _CacheKey = Tuple[AnalysisKey, Hashable]
+
+
+@dataclass
+class EditImpact:
+    """What one function edit did to a manager's cache.
+
+    ``cone`` is the callgraph closure of the edited function (itself plus
+    transitive callers and callees) — the set of functions whose
+    interprocedural analysis results the edit can influence, and therefore
+    the justification for re-running the callgraph-scoped analyses.
+    """
+
+    function: str
+    refreshed: List[str] = field(default_factory=list)
+    evicted: List[str] = field(default_factory=list)
+    cone: Tuple[str, ...] = ()
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"function": self.function,
+                "refreshed": sorted(self.refreshed),
+                "evicted": sorted(self.evicted),
+                "cone": sorted(self.cone)}
+
+
+def _callgraph_cone(module, function) -> Tuple[str, ...]:
+    """Function names in the edit cone: the edited function plus its
+    transitive callers and callees (computed directly from the IR so it
+    never depends on a cached — possibly stale — callgraph analysis)."""
+    from ..ir.instructions import CallInst
+
+    callers: Dict[str, Set[str]] = {}
+    callees: Dict[str, Set[str]] = {}
+    for caller in module.defined_functions():
+        for inst in caller.instructions():
+            if not isinstance(inst, CallInst):
+                continue
+            name = inst.callee_name()
+            target = module.get_function(name)
+            if target is None or target.is_declaration():
+                continue
+            callees.setdefault(caller.name, set()).add(name)
+            callers.setdefault(name, set()).add(caller.name)
+    cone: Set[str] = set()
+    frontier = [function.name]
+    while frontier:
+        name = frontier.pop()
+        if name in cone:
+            continue
+        cone.add(name)
+        frontier.extend(callers.get(name, ()))
+        frontier.extend(callees.get(name, ()))
+    return tuple(sorted(cone))
 
 
 class AnalysisManager:
@@ -94,6 +169,9 @@ class AnalysisManager:
         #: cache key -> keys whose build requested it.
         self._dependents: Dict[_CacheKey, Set[_CacheKey]] = {}
         self._build_stack: List[_CacheKey] = []
+        #: Optional ``callback(key, value)`` invoked for every evicted entry
+        #: (the analysis service harvests retired solver-step counters here).
+        self.on_evict: Optional[Callable[[AnalysisKey, Any], None]] = None
 
     # -- cache keys -----------------------------------------------------------
     @staticmethod
@@ -131,6 +209,13 @@ class AnalysisManager:
         """The cached analysis, or ``None`` without building anything."""
         return self._cache.get(self._cache_key(key, params))
 
+    def cached_values(self) -> List[Any]:
+        """Every live cached analysis, in deterministic key order (the
+        analysis service aggregates solver-step totals over these)."""
+        ordered = sorted(self._cache, key=lambda entry: (entry[0].name,
+                                                         repr(entry[1])))
+        return [self._cache[cache_key] for cache_key in ordered]
+
     def _record_edge(self, cache_key: _CacheKey) -> None:
         if not self._build_stack:
             return
@@ -148,6 +233,9 @@ class AnalysisManager:
         """
         if key is None:
             evicted = len(self._cache)
+            if self.on_evict is not None:
+                for cache_key, value in list(self._cache.items()):
+                    self.on_evict(cache_key[0], value)
             self._cache.clear()
             self._dependencies.clear()
             self._dependents.clear()
@@ -163,7 +251,15 @@ class AnalysisManager:
                 continue
             doomed.add(cache_key)
             frontier.extend(self._dependents.get(cache_key, ()))
+        self._evict_entries(doomed)
+        self.statistics.invalidations += len(doomed)
+        return len(doomed)
+
+    def _evict_entries(self, doomed: Set[_CacheKey]) -> None:
+        """Drop exactly ``doomed`` (no transitive closure) and clean edges."""
         for cache_key in doomed:
+            if self.on_evict is not None and cache_key in self._cache:
+                self.on_evict(cache_key[0], self._cache[cache_key])
             self._cache.pop(cache_key, None)
             self._dependencies.pop(cache_key, None)
             self._dependents.pop(cache_key, None)
@@ -171,8 +267,80 @@ class AnalysisManager:
             dependents.difference_update(doomed)
         for dependencies in self._dependencies.values():
             dependencies.difference_update(doomed)
+
+    # -- function-granular edits ------------------------------------------------
+    def apply_function_edit(self, old_function, new_function) -> EditImpact:
+        """React to one function edit (``Module.replace_function``).
+
+        Entries are handled per their key's declared scope:
+
+        * :data:`SCOPE_FUNCTION` entries whose cached value implements
+          ``refresh_function(old, new)`` are *refreshed in place*: the hook
+          purges the per-value state of the old function and re-runs only the
+          new function's nodes, accumulating solver statistics.  Entries
+          without the hook fall back to eviction.
+        * :data:`SCOPE_CALLGRAPH` entries are interprocedural whole-module
+          fixed points; the edit always lies inside their dependency cone
+          (the callgraph closure recorded in :attr:`EditImpact.cone`), so
+          they are evicted and rebuilt — on refreshed inputs — at the next
+          request.  (A refresh hook that itself depends on such an entry may
+          re-request it during its refresh: a warm RBAA deliberately
+          rebuilds GR *inside the edit*, keeping the dependency edge
+          recorded and the post-edit query latency flat; Andersen and
+          Steensgaard stay lazy until someone asks for them.)
+        * :data:`SCOPE_MODULE` entries are evicted.
+
+        Refreshes run dependencies-first (the recorded edge order), with the
+        refreshing entry pushed on the build stack so any nested
+        :meth:`get` — e.g. RBAA re-requesting the rebuilt GR analysis —
+        records fresh dependency edges.
+        """
+        refresh: List[_CacheKey] = []
+        doomed: Set[_CacheKey] = set()
+        for cache_key, value in self._cache.items():
+            key = cache_key[0]
+            if key.scope == SCOPE_FUNCTION and hasattr(value, "refresh_function"):
+                refresh.append(cache_key)
+            else:
+                doomed.add(cache_key)
+        impact = EditImpact(
+            function=new_function.name,
+            cone=_callgraph_cone(self.module, new_function))
+        impact.evicted = sorted({cache_key[0].name for cache_key in doomed})
+        self._evict_entries(doomed)
         self.statistics.invalidations += len(doomed)
-        return len(doomed)
+
+        for cache_key in self._refresh_order(refresh):
+            value = self._cache[cache_key]
+            self._build_stack.append(cache_key)
+            try:
+                value.refresh_function(old_function, new_function)
+            finally:
+                self._build_stack.pop()
+            self.statistics.refreshes += 1
+            impact.refreshed.append(cache_key[0].name)
+        return impact
+
+    def _refresh_order(self, entries: List[_CacheKey]) -> List[_CacheKey]:
+        """``entries`` sorted dependencies-first along the recorded edges."""
+        pending = set(entries)
+        ordered: List[_CacheKey] = []
+        visiting: Set[_CacheKey] = set()
+
+        def visit(cache_key: _CacheKey) -> None:
+            if cache_key not in pending or cache_key in visiting:
+                return
+            visiting.add(cache_key)
+            for dependency in sorted(self._dependencies.get(cache_key, ()),
+                                     key=lambda entry: entry[0].name):
+                visit(dependency)
+            visiting.discard(cache_key)
+            pending.discard(cache_key)
+            ordered.append(cache_key)
+
+        for cache_key in sorted(entries, key=lambda entry: entry[0].name):
+            visit(cache_key)
+        return ordered
 
     def __len__(self) -> int:
         return len(self._cache)

@@ -58,6 +58,26 @@ class SolverStatistics:
     widenings: int = 0
     max_node_evaluations: int = 0
 
+    def accumulate(self, other: "SolverStatistics") -> None:
+        """Fold a later solve's counters into this one.
+
+        Used by function-granular incremental refreshes: an analysis that
+        re-solves one function's nodes keeps a single statistics object whose
+        ``steps`` total covers the initial solve plus every refresh, so the
+        warm-vs-cold comparison reads one counter.
+        """
+        self.nodes += other.nodes
+        self.edges += other.edges
+        self.sccs += other.sccs
+        self.largest_scc = max(self.largest_scc, other.largest_scc)
+        self.steps += other.steps
+        self.sweep_steps += other.sweep_steps
+        self.worklist_steps += other.worklist_steps
+        self.descending_steps += other.descending_steps
+        self.widenings += other.widenings
+        self.max_node_evaluations = max(self.max_node_evaluations,
+                                        other.max_node_evaluations)
+
 
 class SparseProblem:
     """One dataflow problem the sparse solver can run.

@@ -90,16 +90,20 @@ class ProgramResult:
 
 
 def enumerate_query_pairs(module: Module,
-                          max_pairs_per_function: Optional[int] = None
+                          max_pairs_per_function: Optional[int] = None,
+                          functions: Optional[Sequence[Function]] = None
                           ) -> Iterator[QueryPair]:
     """All unordered pairs of distinct pointer SSA values, per function.
 
     This mirrors the paper's experiment, which queries pairs of pointer
     variables within the analysed programs.  Pairs are enumerated in a
     deterministic order; ``max_pairs_per_function`` truncates the quadratic
-    blow-up for very large synthetic functions.
+    blow-up for very large synthetic functions.  ``functions`` restricts the
+    enumeration (the analysis service's per-function query path) — the
+    default is every defined function of the module.
     """
-    for function in module.defined_functions():
+    targets = functions if functions is not None else module.defined_functions()
+    for function in targets:
         pointers = function.pointer_values()
         emitted = 0
         for a, b in itertools.combinations(pointers, 2):

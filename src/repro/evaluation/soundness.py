@@ -55,7 +55,7 @@ from ..interp.trace import FrameTrace
 from ..ir.function import Function
 from ..ir.values import Value
 from ..symbolic import evaluate
-from .harness import build_analysis, enumerate_query_pairs
+from .harness import QueryPair, build_analysis, enumerate_query_pairs
 from .parallel import map_shards, merge_indexed, partition, resolve_jobs
 from .reporting import to_canonical_json
 
@@ -65,6 +65,7 @@ __all__ = [
     "SoundnessReport",
     "soundness_corpus",
     "soundness_factories",
+    "unknown_size_pairs",
     "check_program",
     "run_soundness",
     "main",
@@ -79,6 +80,12 @@ QUICK_EXTRA_PROGRAMS = 34
 
 #: Guard against quadratic blow-up when sweeping value-window pairs.
 _MAX_WINDOW_PRODUCT = 250_000
+
+#: Per function, how many enumerated pairs are re-queried at *unknown*
+#: access size (regression coverage for the unknown-size soundness fix:
+#: an analysis that treats an unknown extent as one byte produces
+#: falsifiable claims here).
+UNKNOWN_SIZE_PAIRS_PER_FUNCTION = 8
 
 
 def soundness_factories() -> List[Tuple[str, Any]]:
@@ -182,13 +189,21 @@ class SoundnessReport:
 # -- ground-truth helpers ------------------------------------------------------
 
 
-def _regions_overlap(pa: Pointer, pb: Pointer, size_a: int, size_b: int) -> bool:
-    """Provenance-exact region intersection of two access footprints."""
+def _regions_overlap(pa: Pointer, pb: Pointer,
+                     size_a: Optional[int], size_b: Optional[int]) -> bool:
+    """Provenance-exact region intersection of two access footprints.
+
+    An unknown size (``None``) is an unbounded extent: the claim quantifies
+    over accesses of *any* size, so two same-object footprints overlap as
+    soon as either extent is unknown and reaches the other's offset.
+    """
     if pa.is_null() or pb.is_null():
         return False
     if pa.obj is not pb.obj:
         return False
-    return pa.offset < pb.offset + size_b and pb.offset < pa.offset + size_a
+    reaches_a = size_b is None or pa.offset < pb.offset + size_b
+    reaches_b = size_a is None or pb.offset < pa.offset + size_a
+    return reaches_a and reaches_b
 
 
 def _alive_at(pointer: Pointer, step: int) -> bool:
@@ -298,7 +313,7 @@ def _check_alias_claim(frame: FrameTrace, trace: ExecutionTrace,
     windows_b = _pointer_windows(frame, b.pointer)
     if not windows_a or not windows_b:
         return True, None
-    size_a, size_b = a.bounded_size(), b.bounded_size()
+    size_a, size_b = a.size, b.size
 
     if claim.scope == "invocation":
         # The claim: the *sets* of regions the two pointers reference during
@@ -389,6 +404,28 @@ def _check_ranges(function: Function, frame: FrameTrace, range_oracle,
             break
 
 
+def unknown_size_pairs(pairs: Sequence[QueryPair],
+                       per_function: int = UNKNOWN_SIZE_PAIRS_PER_FUNCTION
+                       ) -> List[QueryPair]:
+    """The first ``per_function`` pairs of each function at unknown size.
+
+    These ride along with the sized queries so the corpus sweep also
+    falsifies claims made about accesses of unbounded extent — the class of
+    bug where an unknown size silently behaved as one byte.
+    """
+    emitted: Dict[Function, int] = {}
+    extra: List[QueryPair] = []
+    for pair in pairs:
+        count = emitted.get(pair.function, 0)
+        if count >= per_function:
+            continue
+        emitted[pair.function] = count + 1
+        extra.append(QueryPair(pair.function,
+                               MemoryAccess.unknown_extent(pair.a.pointer),
+                               MemoryAccess.unknown_extent(pair.b.pointer)))
+    return extra
+
+
 # -- per-program driver --------------------------------------------------------
 
 
@@ -428,6 +465,7 @@ def check_program(program, *, factories: Optional[Sequence[Tuple[str, Any]]] = N
             range_oracle = manager.get(keys.RANGES)
 
     pairs = list(enumerate_query_pairs(module, max_pairs_per_function))
+    pairs.extend(unknown_size_pairs(pairs))
     check.queries = len(pairs)
     claims: List[Tuple[str, Any, NoAliasClaim]] = []
     for name, analysis in analyses:

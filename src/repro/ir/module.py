@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from .function import Function
-from .instructions import Instruction
+from .instructions import CallInst, Instruction
 from .types import FunctionType, Type
 from .values import Constant, GlobalVariable
 
@@ -42,6 +42,91 @@ class Module:
     def defined_functions(self) -> List[Function]:
         """Functions that have a body (declarations are external)."""
         return [function for function in self.functions if not function.is_declaration()]
+
+    def replace_function(self, replacement: Function) -> Function:
+        """Swap in ``replacement`` for the same-named function (an *edit*).
+
+        This is the module-level primitive behind function-granular
+        incremental analysis: the replacement typically comes from a donor
+        module (a re-compile of the edited source), so
+
+        * operands of its instructions that reference donor globals or donor
+          functions are remapped **by name** onto this module's objects;
+        * call sites elsewhere in this module are retargeted from the old
+          function object to the replacement;
+        * the replacement takes the old function's slot (module order is
+          preserved — analyses iterate functions in module order).
+
+        The old function is detached and returned with its blocks intact —
+        but with every operand use dropped — so callers (e.g.
+        ``AnalysisManager.apply_function_edit``) can still enumerate its
+        values to purge per-value analysis state.
+
+        The replacement must keep the old signature; edits that add globals
+        or change signatures require a full module reload.
+        """
+        old = self.get_function(replacement.name)
+        if old is None:
+            raise ValueError(f"no function @{replacement.name} to replace")
+        if old is replacement:
+            return old
+        if old.function_type != replacement.function_type:
+            raise ValueError(
+                f"replace_function must preserve the signature of @{old.name}: "
+                f"{old.function_type} != {replacement.function_type}")
+
+        # Remap donor-module references inside the replacement body.
+        for inst in replacement.instructions():
+            for index, operand in enumerate(inst.operands):
+                if isinstance(operand, GlobalVariable):
+                    target = self.get_global(operand.name)
+                    if target is None:
+                        raise ValueError(
+                            f"replacement @{replacement.name} references unknown "
+                            f"global @{operand.name}")
+                    if target is not operand:
+                        inst.set_operand(index, target)
+                elif isinstance(operand, Function):
+                    # A self-reference (recursion) maps onto the replacement
+                    # itself, not the function it is about to retire.
+                    target = (replacement if operand.name == replacement.name
+                              else self.get_function(operand.name))
+                    if target is None:
+                        raise ValueError(
+                            f"replacement @{replacement.name} references unknown "
+                            f"function @{operand.name}")
+                    if target is not operand:
+                        inst.set_operand(index, target)
+            if isinstance(inst, CallInst) and isinstance(inst.callee, Function):
+                if inst.callee.name == replacement.name:
+                    inst.callee = replacement
+                else:
+                    target = self.get_function(inst.callee.name)
+                    inst.callee = target if target is not None else inst.callee.name
+
+        # Retarget this module's references to the old function object.
+        for function in self.functions:
+            if function is old:
+                continue
+            for inst in function.instructions():
+                if isinstance(inst, CallInst) and inst.callee is old:
+                    inst.callee = replacement
+                for index, operand in enumerate(inst.operands):
+                    if operand is old:
+                        inst.set_operand(index, replacement)
+
+        # Detach the old body's operand uses so dangling use-list entries on
+        # shared values (globals, other functions) cannot leak into escape
+        # or address-taken queries.  Blocks stay so the old values remain
+        # enumerable for state purges.
+        for inst in old.instructions():
+            inst.drop_all_operands()
+
+        slot = self.functions.index(old)
+        replacement.parent = self
+        self.functions[slot] = replacement
+        old.parent = None
+        return old
 
     # -- globals --------------------------------------------------------------
     def add_global(self, variable: GlobalVariable) -> GlobalVariable:

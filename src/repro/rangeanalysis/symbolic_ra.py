@@ -201,6 +201,29 @@ class SymbolicRangeAnalysis:
         )
         self.solver_statistics = solver.solve()
 
+    def refresh_function(self, old_function: Function,
+                         new_function: Function) -> None:
+        """Function-granular incremental re-run (manager edit hook).
+
+        The analysis is function-local — interprocedural flows enter the
+        symbolic kernel instead of crossing def-use edges — so replacing one
+        function only requires purging its old per-value state and
+        re-solving the new body's nodes.  Solver statistics accumulate so
+        ``solver_statistics.steps`` totals the initial solve plus refreshes.
+        """
+        stale = set(old_function.args)
+        stale.update(old_function.instructions())
+        for value in stale:
+            self._ranges.pop(value, None)
+            self._kernel.pop(value, None)
+        self._seed_arguments(new_function)
+        solver = SparseSolver(
+            _IntegerRangeProblem(self, self._integer_instructions(new_function)),
+            max_node_evaluations=self.options.max_ascending_passes,
+            descending_passes=self.options.descending_passes,
+        )
+        self.solver_statistics.accumulate(solver.solve())
+
     def _seed_arguments(self, function: Function) -> None:
         for argument in function.args:
             if argument.type.is_integer():

@@ -1,0 +1,23 @@
+"""The analysis service: resident modules, incremental edits, query traffic.
+
+* :mod:`repro.service.session` — :class:`AnalysisSession`, the in-process
+  API: modules stay resident with warm analysis state and cross-request
+  query memos; single-function edits re-run only the invalidated cone.
+* :mod:`repro.service.daemon` — a stdin/stdout daemon speaking
+  line-delimited JSON over the same session API.
+* :mod:`repro.service.bench` — the cold-build vs warm-incremental
+  benchmark (``BENCH_service.json``) driven by seeded benchgen edit
+  scenarios.
+"""
+
+from .daemon import handle_request, serve
+from .session import ANALYSIS_KEYS, AnalysisSession, ResidentModule, ServiceError
+
+__all__ = [
+    "ANALYSIS_KEYS",
+    "AnalysisSession",
+    "ResidentModule",
+    "ServiceError",
+    "handle_request",
+    "serve",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.service`` starts the stdin/stdout daemon."""
+
+import sys
+
+from .daemon import main
+
+if __name__ == "__main__":  # pragma: no cover - thin entry point
+    sys.exit(main())

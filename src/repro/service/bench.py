@@ -1,0 +1,286 @@
+"""Cold-build vs warm-incremental service benchmark (``BENCH_service.json``).
+
+For each benchmark program an edit scenario
+(:func:`repro.benchgen.editscript.edit_scenario`) is replayed two ways:
+
+* **warm** — one resident session (optionally a real stdin/stdout daemon
+  subprocess with ``--daemon``) absorbs every edit through the
+  function-granular incremental path and answers the query sweep from warm
+  analysis state;
+* **cold** — every step rebuilds the module and all analyses from scratch,
+  exactly what every request paid before the service layer existed.
+
+Per step the record carries both paths' *solver steps* (the deterministic,
+hardware-independent cost measure reported next to wall time everywhere
+else in the repository) plus wall seconds under ``*_seconds`` keys, which
+``strip_volatile`` removes for determinism diffs.  ``--check`` turns the
+benchmark into a gate: warm and cold answers must be identical at every
+step and the warm path must re-run strictly fewer solver steps than a cold
+rebuild on every edit.
+
+Command line::
+
+    python -m repro.service.bench --quick --daemon --check \
+        --out BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..benchgen import edit_scenario
+from ..benchgen.suites import SUITE_PROGRAMS
+from ..evaluation.reporting import to_canonical_json
+from .daemon import handle_request
+from .session import AnalysisSession
+
+__all__ = ["DaemonClient", "InProcessClient", "bench_program", "run_bench",
+           "main"]
+
+#: Analyses swept at every step of every scenario.
+BENCH_ANALYSES = ("rbaa", "basic", "andersen", "steensgaard")
+
+#: Quick-mode corpus: small enough for a CI smoke job, big enough that the
+#: warm/cold gap is unambiguous.
+QUICK_PROGRAMS = ("allroots", "fixoutput", "anagram", "ft")
+QUICK_EDITS = 3
+QUICK_MAX_PAIRS = 120
+
+
+class InProcessClient:
+    """The session API behind the same request interface the daemon speaks."""
+
+    def __init__(self) -> None:
+        self._session = AnalysisSession()
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        return handle_request(self._session, payload)
+
+    def close(self) -> None:
+        pass
+
+
+class DaemonClient:
+    """Drives a real daemon subprocess over line-delimited JSON."""
+
+    def __init__(self) -> None:
+        import repro
+
+        env = dict(os.environ)
+        package_root = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = package_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        self._process = subprocess.Popen(
+            [sys.executable, "-m", "repro.service"],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            text=True, env=env)
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        assert self._process.stdin is not None and self._process.stdout is not None
+        self._process.stdin.write(json.dumps(payload) + "\n")
+        self._process.stdin.flush()
+        line = self._process.stdout.readline()
+        if not line:
+            raise RuntimeError("daemon closed its stdout mid-conversation")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise RuntimeError(f"daemon error: {response.get('error')}")
+        return response
+
+    def close(self) -> None:
+        try:
+            self.request({"op": "shutdown"})
+        except (RuntimeError, BrokenPipeError, OSError):  # pragma: no cover
+            self._process.kill()
+        self._process.wait(timeout=30)
+
+
+def _sweep(client, module: str, max_pairs: Optional[int]) -> Dict[str, Any]:
+    """The per-step query sweep: every analysis over every enumerated pair."""
+    queries = 0
+    no_alias: Dict[str, int] = {}
+    outcomes: Dict[str, List[int]] = {}
+    for analysis in BENCH_ANALYSES:
+        response = client.request({"op": "query_function", "module": module,
+                                   "analysis": analysis,
+                                   "max_pairs": max_pairs})
+        queries = response["queries"]
+        no_alias[analysis] = response["no_alias"]
+        outcomes[analysis] = response["no_alias_indices"]
+    return {"queries": queries, "no_alias": no_alias, "outcomes": outcomes}
+
+
+def bench_program(name: str, edits: int, max_pairs: Optional[int],
+                  seed: int = 0, daemon: bool = False) -> Dict[str, Any]:
+    """Replay one program's edit scenario warm and cold; return the record."""
+    config = next(p for p in SUITE_PROGRAMS if p.name == name).config()
+    scenario = edit_scenario(config, edits=edits, seed=seed)
+
+    warm_client = DaemonClient() if daemon else InProcessClient()
+    steps: List[Dict[str, Any]] = []
+    try:
+        started = time.perf_counter()
+        warm_client.request({"op": "load", "name": name,
+                             "source": scenario.steps[0].source})
+        load_seconds = time.perf_counter() - started
+        previous_steps = 0
+        for step in scenario.steps:
+            warm_started = time.perf_counter()
+            if step.index > 0:
+                edited = warm_client.request({"op": "edit", "name": name,
+                                              "source": step.source})
+                if edited["reloaded"] or edited["changed"] != [step.function]:
+                    raise RuntimeError(
+                        f"scenario step {step.index} of {name!r} did not take "
+                        f"the incremental path: {edited}")
+            warm_sweep = _sweep(warm_client, name, max_pairs)
+            warm_seconds = time.perf_counter() - warm_started
+            total = warm_client.request({"op": "stats",
+                                         "module": name})["solver_steps"]
+            warm_steps = total - previous_steps
+            previous_steps = total
+
+            cold_started = time.perf_counter()
+            cold_client = InProcessClient()
+            cold_client.request({"op": "load", "name": name,
+                                 "source": step.source})
+            cold_sweep = _sweep(cold_client, name, max_pairs)
+            cold_steps = cold_client.request({"op": "stats",
+                                              "module": name})["solver_steps"]
+            cold_seconds = time.perf_counter() - cold_started
+
+            steps.append({
+                "index": step.index,
+                "function": step.function,
+                "queries": warm_sweep["queries"],
+                "no_alias": warm_sweep["no_alias"],
+                "identical": warm_sweep["outcomes"] == cold_sweep["outcomes"],
+                "warm_solver_steps": warm_steps,
+                "cold_solver_steps": cold_steps,
+                "warm_seconds": warm_seconds,
+                "cold_seconds": cold_seconds,
+            })
+    finally:
+        warm_client.close()
+
+    edit_steps = [step for step in steps if step["index"] > 0]
+    return {
+        "program": name,
+        "edits": len(edit_steps),
+        "steps": steps,
+        "totals": {
+            "identical": all(step["identical"] for step in steps),
+            "warm_solver_steps": sum(s["warm_solver_steps"] for s in steps),
+            "cold_solver_steps": sum(s["cold_solver_steps"] for s in steps),
+            "warm_edit_solver_steps": sum(s["warm_solver_steps"]
+                                          for s in edit_steps),
+            "cold_edit_solver_steps": sum(s["cold_solver_steps"]
+                                          for s in edit_steps),
+            "load_seconds": load_seconds,
+        },
+    }
+
+
+def run_bench(programs: Sequence[str], edits: int,
+              max_pairs: Optional[int], seed: int = 0,
+              daemon: bool = False) -> Dict[str, Any]:
+    records = [bench_program(name, edits, max_pairs, seed=seed, daemon=daemon)
+               for name in programs]
+    return {
+        "schema": 1,
+        "programs": records,
+        "totals": {
+            "identical": all(r["totals"]["identical"] for r in records),
+            "warm_solver_steps": sum(r["totals"]["warm_solver_steps"]
+                                     for r in records),
+            "cold_solver_steps": sum(r["totals"]["cold_solver_steps"]
+                                     for r in records),
+        },
+    }
+
+
+def check_record(record: Dict[str, Any]) -> List[str]:
+    """Gate violations: outcome mismatches and non-wins on edit steps."""
+    problems: List[str] = []
+    for program in record["programs"]:
+        for step in program["steps"]:
+            where = f"{program['program']} step {step['index']}"
+            if not step["identical"]:
+                problems.append(f"{where}: warm and cold answers differ")
+            if step["index"] > 0 and \
+                    step["warm_solver_steps"] >= step["cold_solver_steps"]:
+                problems.append(
+                    f"{where}: warm path re-ran {step['warm_solver_steps']} "
+                    f"solver steps, cold rebuild {step['cold_solver_steps']}")
+    return problems
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.bench",
+        description="Cold-build vs warm-incremental analysis service benchmark.")
+    parser.add_argument("--quick", action="store_true",
+                        help=f"CI smoke corpus: {', '.join(QUICK_PROGRAMS)}")
+    parser.add_argument("--programs", nargs="*", default=None, metavar="NAME")
+    parser.add_argument("--edits", type=int, default=None,
+                        help=f"edit steps per program (default {QUICK_EDITS})")
+    parser.add_argument("--max-pairs", type=int, default=None,
+                        help="cap on enumerated pointer pairs per function")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="edit scenario seed")
+    parser.add_argument("--daemon", action="store_true",
+                        help="drive the warm path through a real daemon "
+                             "subprocess (end-to-end)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless warm ≡ cold everywhere and the "
+                             "warm path wins every edit step")
+    parser.add_argument("--out", default="BENCH_service.json")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    programs = args.programs
+    if not programs:
+        programs = list(QUICK_PROGRAMS)
+    edits = args.edits if args.edits is not None else QUICK_EDITS
+    max_pairs = args.max_pairs
+    if args.quick and max_pairs is None:
+        max_pairs = QUICK_MAX_PAIRS
+
+    started = time.perf_counter()
+    record = run_bench(programs, edits, max_pairs, seed=args.seed,
+                       daemon=args.daemon)
+    elapsed = time.perf_counter() - started
+    record["run"] = {
+        "daemon": bool(args.daemon),
+        "quick": bool(args.quick),
+        "python": sys.version.split()[0],
+        "total_wall_seconds": elapsed,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(to_canonical_json(record))
+    totals = record["totals"]
+    print(f"wrote {args.out}: {len(record['programs'])} programs, "
+          f"warm {totals['warm_solver_steps']} vs cold "
+          f"{totals['cold_solver_steps']} solver steps, "
+          f"identical={totals['identical']} ({elapsed:.2f}s wall)")
+
+    if args.check:
+        problems = check_record(record)
+        for problem in problems:
+            print(f"  CHECK FAILED: {problem}")
+        if problems:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

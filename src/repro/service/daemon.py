@@ -1,0 +1,130 @@
+"""The analysis daemon: a line-delimited JSON protocol over stdin/stdout.
+
+Each request is one JSON object per line; each response is one JSON object
+per line, in request order.  Responses always carry ``"ok"``; successful
+ones embed the operation's result fields, failures carry ``"error"`` (the
+daemon never dies on a bad request — only on EOF or ``shutdown``).
+
+Operations (``"op"``):
+
+=================  ==========================================================
+``ping``           liveness check; echoes ``{"pong": true}``
+``load``           ``{name, source}`` — compile and hold resident
+``load_program``   ``{name}`` — generate + compile a named suite program
+``edit``           ``{name, source}`` — incremental function-granular edit
+``query``          ``{module, analysis, function, a, b[, size_a, size_b]}``
+``query_many``     ``{module, analysis, function, pairs: [[a, b], …]}``
+``query_function`` ``{module, analysis[, function, max_pairs]}``
+``values``         ``{module, function}`` — queryable SSA value names
+``range``          ``{module, function, value}``
+``stats``          ``{module}`` — solver steps, cache + Figure-14 counters
+``modules``        list resident modules
+``unload``         ``{name}``
+``shutdown``       acknowledge and exit
+=================  ==========================================================
+
+Sizes: omit for the pointee-size default; ``null`` or ``"unknown"`` for an
+unknown (unbounded) access size.
+
+Usage::
+
+    python -m repro.service.daemon        # or: python -m repro.service
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, IO, Optional
+
+from .session import AnalysisSession, ServiceError
+
+__all__ = ["handle_request", "serve", "main"]
+
+#: Marker used instead of the session's keyword-absent default when a size
+#: key is missing from the request.
+_ABSENT = object()
+
+
+def _size(request: Dict[str, Any], key: str) -> Any:
+    return request[key] if key in request else _ABSENT
+
+
+def handle_request(session: AnalysisSession,
+                   request: Dict[str, Any]) -> Dict[str, Any]:
+    """Dispatch one decoded request; returns the response payload."""
+    op = request.get("op")
+    if op == "ping":
+        return {"ok": True, "pong": True}
+    if op == "load":
+        return {"ok": True, **session.load_source(request["name"],
+                                                  request["source"])}
+    if op == "load_program":
+        return {"ok": True, **session.load_program(request["name"])}
+    if op == "edit":
+        return {"ok": True, **session.edit_source(request["name"],
+                                                  request["source"])}
+    if op == "query":
+        kwargs: Dict[str, Any] = {}
+        for key in ("size_a", "size_b"):
+            value = _size(request, key)
+            if value is not _ABSENT:
+                kwargs[key] = value
+        return {"ok": True, **session.query(
+            request["module"], request["analysis"], request["function"],
+            request["a"], request["b"], **kwargs)}
+    if op == "query_many":
+        return {"ok": True, **session.query_many(
+            request["module"], request["analysis"], request["function"],
+            request["pairs"])}
+    if op == "query_function":
+        return {"ok": True, **session.query_function(
+            request["module"], request["analysis"],
+            request.get("function"), request.get("max_pairs"))}
+    if op == "values":
+        return {"ok": True, **session.values(request["module"],
+                                             request["function"])}
+    if op == "range":
+        return {"ok": True, **session.range_of(
+            request["module"], request["function"], request["value"])}
+    if op == "stats":
+        return {"ok": True, **session.stats(request["module"])}
+    if op == "modules":
+        return {"ok": True, "modules": session.modules()}
+    if op == "unload":
+        return {"ok": True, **session.unload(request["name"])}
+    if op == "shutdown":
+        return {"ok": True, "shutdown": True}
+    raise ServiceError(f"unknown op {op!r}")
+
+
+def serve(stdin: Optional[IO[str]] = None,
+          stdout: Optional[IO[str]] = None) -> int:
+    """Run the request loop until EOF or a ``shutdown`` request."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    session = AnalysisSession()
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ServiceError("request must be a JSON object")
+            response = handle_request(session, request)
+        except (ServiceError, KeyError, TypeError, ValueError) as error:
+            response = {"ok": False, "error": f"{type(error).__name__}: {error}"}
+        stdout.write(json.dumps(response, sort_keys=True) + "\n")
+        stdout.flush()
+        if response.get("shutdown"):
+            return 0
+    return 0
+
+
+def main() -> int:  # pragma: no cover - exercised via subprocess in CI
+    return serve()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

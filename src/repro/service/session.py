@@ -1,0 +1,389 @@
+"""The in-process analysis session: resident modules + incremental edits.
+
+This is the serving layer's core.  A session keeps compiled modules
+*resident* — each with its own :class:`~repro.engine.manager.AnalysisManager`
+and long-lived per-analysis query memos — so a stream of alias/range
+queries pays the expensive analysis builds once, and a *function edit*
+(:meth:`AnalysisSession.edit_source`) re-runs only the analyses whose
+dependency cone the edit touches:
+
+* the function-scoped analyses (symbolic ranges, LR, locations, basicaa
+  caches, SCEV engines, RBAA's memo) are refreshed in place, re-solving
+  only the edited function's nodes;
+* the interprocedural fixed points (GR, Andersen, Steensgaard) are evicted
+  and rebuilt lazily on the refreshed inputs.
+
+Everything here is deterministic: responses are pure functions of the load
+and edit history, independent of wall time and ``PYTHONHASHSEED``, so a
+replay against a cold rebuild must produce byte-identical outcomes (the
+service determinism test enforces this).
+
+The stdin/stdout daemon (:mod:`repro.service.daemon`) is a thin
+line-delimited JSON wrapper over this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..aliases.base import AliasAnalysis
+from ..aliases.results import AliasResult, MemoryAccess
+from ..benchgen import build_program
+from ..core.queries import QueryPairMemo
+from ..engine import keys
+from ..engine.manager import AnalysisKey, AnalysisManager
+from ..frontend import compile_source
+from ..ir.function import Function
+from ..ir.module import Module
+from ..ir.printer import print_function
+from ..ir.values import Value
+from ..evaluation.harness import enumerate_query_pairs
+
+__all__ = ["ANALYSIS_KEYS", "AnalysisSession", "ResidentModule", "ServiceError"]
+
+#: Protocol analysis names → engine keys.
+ANALYSIS_KEYS: Dict[str, AnalysisKey] = {
+    "rbaa": keys.RBAA,
+    "basic": keys.BASIC,
+    "andersen": keys.ANDERSEN,
+    "steensgaard": keys.STEENSGAARD,
+    "scev": keys.SCEV,
+}
+
+#: Unknown-access-size marker accepted by the query protocol.
+UNKNOWN_SIZE = "unknown"
+
+#: Sentinel for "size not given" (defaults to the pointee size).
+_AUTO = object()
+
+
+class ServiceError(ValueError):
+    """A request the session cannot serve (unknown module, value, …)."""
+
+
+def _solver_steps_of(analysis: Any) -> int:
+    """Hardware-independent cost of one cached analysis, in solver steps."""
+    statistics = getattr(analysis, "solver_statistics", None)
+    return getattr(statistics, "steps", 0) or 0
+
+
+@dataclass
+class ResidentModule:
+    """One compiled module held resident by a session."""
+
+    name: str
+    source: str
+    module: Module
+    manager: AnalysisManager
+    #: analysis name -> long-lived cross-request query memo.
+    memos: Dict[str, QueryPairMemo] = field(default_factory=dict)
+    #: Solver steps of analyses that were evicted (harvested before drop).
+    retired_steps: int = 0
+    edits: int = 0
+    #: ``EditImpact.as_dict()`` records, newest last.
+    impacts: List[Dict[str, Any]] = field(default_factory=list)
+    #: function name -> value name -> value (invalidated per edit).
+    _value_index: Dict[str, Dict[str, Value]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.manager.on_evict = self._on_evict
+
+    def _on_evict(self, key: AnalysisKey, value: Any) -> None:
+        self.retired_steps += _solver_steps_of(value)
+
+    def solver_steps(self) -> int:
+        """Total solver steps this module has cost the session so far:
+        retired analyses plus everything still cached (whose statistics
+        accumulate across incremental refreshes)."""
+        live = sum(_solver_steps_of(value)
+                   for value in self.manager.cached_values())
+        return self.retired_steps + live
+
+    # -- name resolution -------------------------------------------------------
+    def function(self, name: str) -> Function:
+        function = self.module.get_function(name)
+        if function is None or function.is_declaration():
+            raise ServiceError(f"no function @{name} in module {self.name!r}")
+        return function
+
+    def value(self, function_name: str, value_name: str) -> Value:
+        index = self._value_index.get(function_name)
+        if index is None:
+            function = self.function(function_name)
+            index = {}
+            for argument in function.args:
+                index[argument.name] = argument
+            for inst in function.instructions():
+                if inst.name:
+                    index[inst.name] = inst
+            self._value_index[function_name] = index
+        value = index.get(value_name)
+        if value is None:
+            raise ServiceError(
+                f"no value %{value_name} in @{function_name} "
+                f"of module {self.name!r}")
+        return value
+
+    def drop_value_index(self, function_name: str) -> None:
+        self._value_index.pop(function_name, None)
+
+
+class AnalysisSession:
+    """Holds modules resident and answers queries with warm analysis state."""
+
+    #: Upper bound on remembered payloads per (module, analysis) memo.  The
+    #: memos are what make repeat queries free across requests, but a
+    #: long-lived daemon must not grow without bound under adversarial or
+    #: merely varied traffic (keys include the client-supplied access size),
+    #: so a memo past the cap is released — counters survive, repeats after
+    #: that simply recompute.
+    memo_payload_cap = 100_000
+
+    def __init__(self) -> None:
+        self._modules: Dict[str, ResidentModule] = {}
+
+    # -- module lifecycle ------------------------------------------------------
+    def _resident(self, name: str) -> ResidentModule:
+        resident = self._modules.get(name)
+        if resident is None:
+            raise ServiceError(f"no resident module {name!r}")
+        return resident
+
+    def load_source(self, name: str, source: str) -> Dict[str, Any]:
+        """Compile ``source`` and make it resident (replacing any same name)."""
+        module = compile_source(source, name)
+        resident = ResidentModule(name=name, source=source, module=module,
+                                  manager=AnalysisManager(module))
+        self._modules[name] = resident
+        return {"module": name,
+                "functions": [fn.name for fn in module.defined_functions()],
+                "instructions": module.instruction_count()}
+
+    def load_program(self, name: str) -> Dict[str, Any]:
+        """Generate, compile and make resident one named suite program."""
+        program = build_program(name)
+        return self.load_source(name, program.source)
+
+    def unload(self, name: str) -> Dict[str, Any]:
+        self._resident(name)
+        del self._modules[name]
+        return {"module": name, "unloaded": True}
+
+    def modules(self) -> List[Dict[str, Any]]:
+        return [{"module": resident.name,
+                 "functions": len(resident.module.defined_functions()),
+                 "edits": resident.edits,
+                 "solver_steps": resident.solver_steps()}
+                for name, resident in sorted(self._modules.items())]
+
+    # -- incremental edits -----------------------------------------------------
+    def edit_source(self, name: str, source: str) -> Dict[str, Any]:
+        """Apply an edited source to a resident module.
+
+        Function-body-only changes go down the incremental path: each
+        changed function is grafted via ``Module.replace_function`` and the
+        manager re-runs only what the edit invalidated.  Anything the
+        function-granular contract cannot express — added/removed functions
+        or globals, signature changes — falls back to a full reload (and
+        says so in the response).
+        """
+        resident = self._resident(name)
+        if source == resident.source:
+            return {"module": name, "changed": [], "reloaded": False,
+                    "impacts": []}
+        donor = compile_source(source, name)
+        changed = self._diff_functions(resident.module, donor)
+        if changed is None:
+            result = self.load_source(name, source)
+            result.update({"changed": [], "reloaded": True, "impacts": []})
+            return result
+
+        impacts: List[Dict[str, Any]] = []
+        for function_name in changed:
+            replacement = donor.get_function(function_name)
+            old = resident.module.replace_function(replacement)
+            impact = resident.manager.apply_function_edit(old, replacement)
+            impacts.append(impact.as_dict())
+            resident.impacts.append(impact.as_dict())
+            resident.drop_value_index(function_name)
+        # Cross-request memo payloads key on pointer identities; the edited
+        # bodies' ids may be recycled and cone functions' outcomes may have
+        # changed, so the payloads are dropped (counters survive).
+        for memo in resident.memos.values():
+            memo.release()
+        resident.source = source
+        resident.edits += len(changed)
+        return {"module": name, "changed": changed, "reloaded": False,
+                "impacts": impacts}
+
+    @staticmethod
+    def _diff_functions(current: Module, donor: Module) -> Optional[List[str]]:
+        """Names of functions whose printed IR changed, in module order.
+
+        ``None`` means the edit is not function-granular (function or global
+        set changed, or a signature changed) and needs a full reload.
+        """
+        current_functions = {fn.name: fn for fn in current.defined_functions()}
+        donor_functions = {fn.name: fn for fn in donor.defined_functions()}
+        if set(current_functions) != set(donor_functions):
+            return None
+        current_globals = {g.name: g for g in current.globals}
+        donor_globals = {g.name: g for g in donor.globals}
+        if set(current_globals) != set(donor_globals):
+            return None
+        for name, variable in donor_globals.items():
+            if variable.value_type != current_globals[name].value_type:
+                return None
+        changed: List[str] = []
+        for fn in current.defined_functions():
+            donor_fn = donor_functions[fn.name]
+            if donor_fn.function_type != fn.function_type:
+                return None
+            if print_function(donor_fn) != print_function(fn):
+                changed.append(fn.name)
+        return changed
+
+    # -- queries ---------------------------------------------------------------
+    def _analysis(self, resident: ResidentModule, name: str) -> AliasAnalysis:
+        key = ANALYSIS_KEYS.get(name)
+        if key is None:
+            raise ServiceError(
+                f"unknown analysis {name!r} "
+                f"(expected one of {sorted(ANALYSIS_KEYS)})")
+        return resident.manager.get(key)
+
+    def _memo(self, resident: ResidentModule, analysis_name: str) -> QueryPairMemo:
+        memo = resident.memos.get(analysis_name)
+        if memo is None:
+            memo = QueryPairMemo()
+            resident.memos[analysis_name] = memo
+        elif len(memo) > self.memo_payload_cap:
+            memo.release()
+        return memo
+
+    @staticmethod
+    def _access(resident: ResidentModule, function_name: str,
+                value_name: str, size: Any = _AUTO) -> MemoryAccess:
+        pointer = resident.value(function_name, value_name)
+        if not pointer.is_pointer():
+            raise ServiceError(f"%{value_name} is not a pointer")
+        if size is _AUTO:
+            return MemoryAccess.of(pointer)
+        if size is None or size == UNKNOWN_SIZE:
+            return MemoryAccess.unknown_extent(pointer)
+        return MemoryAccess.of(pointer, int(size))
+
+    def query(self, module: str, analysis: str, function: str,
+              a: str, b: str, size_a: Any = _AUTO,
+              size_b: Any = _AUTO) -> Dict[str, Any]:
+        """One alias query between two named SSA values of one function."""
+        resident = self._resident(module)
+        engine = self._analysis(resident, analysis)
+        access_a = self._access(resident, function, a, size_a)
+        access_b = self._access(resident, function, b, size_b)
+        memo = self._memo(resident, analysis)
+        result = engine.query_many([(access_a, access_b)], memo=memo)[0]
+        return {"module": module, "analysis": analysis, "function": function,
+                "a": a, "b": b, "result": str(result)}
+
+    def query_many(self, module: str, analysis: str, function: str,
+                   pairs: Sequence[Sequence[Any]]) -> Dict[str, Any]:
+        """A batch of queries; each pair is ``[a, b]`` or ``[a, b, sa, sb]``."""
+        resident = self._resident(module)
+        engine = self._analysis(resident, analysis)
+        accesses: List[Tuple[MemoryAccess, MemoryAccess]] = []
+        for pair in pairs:
+            if len(pair) == 2:
+                a, b = pair
+                size_a = size_b = _AUTO
+            elif len(pair) == 4:
+                a, b, size_a, size_b = pair
+            else:
+                raise ServiceError("each pair must be [a, b] or [a, b, sa, sb]")
+            accesses.append((self._access(resident, function, a, size_a),
+                             self._access(resident, function, b, size_b)))
+        memo = self._memo(resident, analysis)
+        results = engine.query_many(accesses, memo=memo)
+        return {"module": module, "analysis": analysis, "function": function,
+                "results": [str(result) for result in results]}
+
+    def query_function(self, module: str, analysis: str,
+                       function: Optional[str] = None,
+                       max_pairs: Optional[int] = None) -> Dict[str, Any]:
+        """Run the harness pair enumeration (one function or the whole
+        module) through the analysis, returning per-function no-alias lists.
+
+        The response is a pure function of the module state — the index
+        lists make warm-vs-cold equivalence checkable byte for byte.
+        """
+        resident = self._resident(module)
+        engine = self._analysis(resident, analysis)
+        targets = None if function is None else [resident.function(function)]
+        pairs = list(enumerate_query_pairs(resident.module, max_pairs,
+                                           functions=targets))
+        memo = self._memo(resident, analysis)
+        results = engine.query_many([(pair.a, pair.b) for pair in pairs],
+                                    memo=memo)
+        no_alias = [index for index, result in enumerate(results)
+                    if result is AliasResult.NO_ALIAS]
+        return {"module": module, "analysis": analysis,
+                "function": function, "queries": len(pairs),
+                "no_alias": len(no_alias), "no_alias_indices": no_alias}
+
+    def values(self, module: str, function: str) -> Dict[str, Any]:
+        """The queryable SSA values of one function (name discovery).
+
+        Source-level variable names do not survive the preparation pipeline
+        (mem2reg renames into SSA), so clients list a function's values —
+        with their defining opcode and pointerness — before addressing
+        queries at them.
+        """
+        resident = self._resident(module)
+        target = resident.function(function)
+        listed: List[Dict[str, Any]] = []
+        for argument in target.args:
+            listed.append({"name": argument.name, "op": "argument",
+                           "pointer": argument.is_pointer()})
+        for inst in target.instructions():
+            if inst.name:
+                listed.append({"name": inst.name, "op": inst.opcode,
+                               "pointer": inst.is_pointer()})
+        return {"module": module, "function": function, "values": listed}
+
+    def range_of(self, module: str, function: str, value: str) -> Dict[str, Any]:
+        """The symbolic interval of one named integer SSA value."""
+        resident = self._resident(module)
+        ranges = resident.manager.get(keys.RANGES)
+        target = resident.value(function, value)
+        interval = ranges.range_of(target)
+        return {"module": module, "function": function, "value": value,
+                "range": repr(interval)}
+
+    # -- statistics ------------------------------------------------------------
+    def stats(self, module: str) -> Dict[str, Any]:
+        """Deterministic cost/result counters for one resident module."""
+        resident = self._resident(module)
+        record: Dict[str, Any] = {
+            "module": module,
+            "edits": resident.edits,
+            "solver_steps": resident.solver_steps(),
+            "engine": resident.manager.statistics.as_dict(),
+            "memos": {name: {"hits": memo.hits, "misses": memo.misses}
+                      for name, memo in sorted(resident.memos.items())},
+        }
+        rbaa = resident.manager.cached(keys.RBAA)
+        if rbaa is not None:
+            statistics = rbaa.statistics
+            record["figure14"] = {
+                "queries": statistics.queries,
+                "no_alias": statistics.no_alias,
+                "answered_by_global": statistics.answered_by_global,
+                "answered_by_local": statistics.answered_by_local,
+                "answered_by_distinct_objects":
+                    statistics.answered_by_distinct_objects,
+            }
+        return record
+
+    def solver_steps(self, module: str) -> int:
+        return self._resident(module).solver_steps()

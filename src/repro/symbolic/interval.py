@@ -177,8 +177,14 @@ class SymbolicInterval:
 
     def narrow(self, other: "SymbolicInterval") -> "SymbolicInterval":
         """Descending-sequence refinement: replace infinite bounds of ``self``
-        by the corresponding bounds of ``other``."""
-        if self._empty or other._empty:
+        by the corresponding bounds of ``other``.
+
+        ``∅`` is the least element, so a state that stabilised at ``∅`` must
+        stay there: narrowing may never enlarge (``self.narrow(other) ⊑ self``).
+        """
+        if self._empty:
+            return self
+        if other._empty:
             return other
         lower = other._lower if self._lower == NEG_INF else self._lower
         upper = other._upper if self._upper == POS_INF else self._upper

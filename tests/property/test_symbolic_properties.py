@@ -68,6 +68,14 @@ def intervals(draw):
     return SymbolicInterval(sym_min(a, b), sym_max(a, b))
 
 
+@st.composite
+def maybe_empty_intervals(draw):
+    """Like :func:`intervals`, but ``∅`` appears with real probability."""
+    if draw(st.integers(0, 4)) == 0:
+        return EMPTY_INTERVAL
+    return draw(intervals())
+
+
 # -- expression properties ----------------------------------------------------
 
 @given(symbolic_expressions(), symbolic_expressions(), environments)
@@ -262,6 +270,24 @@ def test_narrowing_is_monotone_never_widens_bounds(a, b):
 def test_narrowing_is_idempotent(a, b):
     narrowed = a.narrow(b)
     assert narrowed.narrow(b) == narrowed
+
+
+@given(maybe_empty_intervals(), maybe_empty_intervals())
+@settings(max_examples=200, deadline=None)
+def test_narrowing_never_enlarges(a, b):
+    """``a.narrow(b) ⊑ a`` over the *whole* lattice, ∅ included.
+
+    ``narrow(∅, other)`` used to return ``other``, letting a descending
+    sweep grow a state that had stabilised at the least element; the
+    containment check fails on exactly that behaviour."""
+    assert a.contains_interval(a.narrow(b))
+
+
+@given(maybe_empty_intervals())
+@settings(max_examples=50, deadline=None)
+def test_narrowing_keeps_empty_states_empty(a):
+    assert EMPTY_INTERVAL.narrow(a).is_empty
+    assert a.narrow(EMPTY_INTERVAL).is_empty
 
 
 # -- simplification / canonicalisation properties ------------------------------

@@ -9,8 +9,9 @@ flag every one of them on programs whose executions disprove the claim.
 
 from repro.aliases.basic import BasicAliasAnalysis
 from repro.aliases.base import AliasAnalysis
-from repro.aliases.results import AliasResult
+from repro.aliases.results import AliasResult, MemoryAccess
 from repro.benchgen import GeneratedProgram, GeneratorConfig, build_program
+from repro.core import RBAAAliasAnalysis
 from repro.engine import keys
 from repro.engine.manager import AnalysisManager
 from repro.evaluation.soundness import check_program
@@ -69,6 +70,24 @@ class CollapsedRangeOracle:
         return SymbolicInterval.point(0)
 
 
+class UnknownSizeAsByteRBAA(RBAAAliasAnalysis):
+    """RBAA with the pre-fix unknown-size behaviour: ``None`` sizes run the
+    range tests as one-byte accesses.
+
+    This is the exact bug ``MemoryAccess.bounded_size()`` used to bake in:
+    two pointers one byte apart were "provably disjoint" even for queries
+    about accesses of unbounded extent.  The oracle's unknown-size query
+    augmentation must falsify it.
+    """
+
+    name = "rbaa-unknown-as-byte"
+
+    def _run_tests(self, a, b):
+        return super()._run_tests(
+            MemoryAccess(a.pointer, a.size if a.size is not None else 1),
+            MemoryAccess(b.pointer, b.size if b.size is not None else 1))
+
+
 def test_always_no_alias_mutant_is_caught_on_corpus_program():
     check = check_program(build_program("allroots"),
                           factories=[("always-no-alias", AlwaysNoAliasAnalysis)])
@@ -101,6 +120,35 @@ def test_off_by_size_constant_offset_rule_is_caught():
     violations = [v for v in broken.violations if v.kind == "no-alias"]
     assert violations, "off-by-size constant-offset rule escaped the oracle"
     assert any("same base instance" in v.detail for v in violations)
+
+
+def test_unknown_size_as_one_byte_mutant_is_caught():
+    """The registered oracle case for the unknown-size soundness fix.
+
+    ``head`` and ``tail`` are provably 1-byte-disjoint (offsets 0 and 1 of
+    one allocation), and both are concretely held during execution, so any
+    no-alias claim about their *unknown-size* accesses is falsifiable: an
+    unbounded access through ``head`` reaches ``tail``'s byte.
+    """
+    source = """
+    int main(int argc, char** argv) {
+      int n = atoi(argv[1]);
+      char* buf = (char*)malloc(n);
+      char* head = buf;
+      char* tail = buf + 1;
+      *head = 1;
+      *tail = 2;
+      return *head;
+    }
+    """
+    program = crafted("unknown_size", source)
+    healthy = check_program(program, factories=[("rbaa", RBAAAliasAnalysis)])
+    assert healthy.violations == []
+    broken = check_program(
+        program, factories=[("rbaa-unknown-as-byte", UnknownSizeAsByteRBAA)])
+    violations = [v for v in broken.violations if v.kind == "no-alias"]
+    assert violations, "unknown-size-as-1-byte escaped the oracle"
+    assert all(v.analysis == "rbaa-unknown-as-byte" for v in violations)
 
 
 def test_collapsed_range_mutant_is_caught():

@@ -32,7 +32,7 @@ class TestMemoryAccess:
         module = compile_source("void f(int* p) { *p = 0; }")
         p = module.get_function("f").args[0]
         assert MemoryAccess.of(p, 16).size == 16
-        assert MemoryAccess(p, None).bounded_size() == 1
+        assert MemoryAccess.unknown_extent(p).size is None
 
 
 class TestBasicAliasAnalysis:

@@ -1,0 +1,202 @@
+"""Function-granular incremental analysis: IR edits + manager reaction.
+
+Covers the two layers under the analysis service: ``Module
+.replace_function`` (the IR-level graft primitive) and ``AnalysisManager
+.apply_function_edit`` (scope-directed refresh/evict), including the
+refresh hooks of the function-scoped analyses.
+"""
+
+import pytest
+
+from repro.aliases.results import MemoryAccess
+from repro.engine import keys
+from repro.engine.manager import (
+    SCOPE_FUNCTION,
+    AnalysisKey,
+    AnalysisManager,
+)
+from repro.frontend import compile_source
+from repro.ir.instructions import CallInst
+from repro.ir.printer import print_function
+
+SRC_V1 = """
+int shared_table[16];
+
+void fill(char* buf, int n) {
+  int i;
+  for (i = 0; i < n; i++) { buf[i] = 1; }
+}
+int scan(int* xs, int n) {
+  int i;
+  int total = 0;
+  for (i = 0; i < n; i++) { total += xs[i] + shared_table[i % 16]; }
+  return total;
+}
+int main(int argc, char** argv) {
+  int n = atoi(argv[1]);
+  char* bytes = (char*)malloc(n);
+  int* ints = (int*)malloc(n * 4);
+  fill(bytes, n);
+  return scan(ints, n);
+}
+"""
+
+SRC_V2 = SRC_V1.replace("buf[i] = 1;", "buf[i] = 2; buf[i + 3] = 4;")
+
+
+def _compile_pair():
+    module = compile_source(SRC_V1, "prog")
+    donor = compile_source(SRC_V2, "prog")
+    return module, donor
+
+
+class TestReplaceFunction:
+    def test_grafts_body_and_preserves_module_order(self):
+        module, donor = _compile_pair()
+        names_before = [fn.name for fn in module.functions]
+        old = module.replace_function(donor.get_function("fill"))
+        assert old.parent is None
+        assert [fn.name for fn in module.functions] == names_before
+        new = module.get_function("fill")
+        assert new is donor.get_function("fill")
+        assert new.parent is module
+        assert "4" in print_function(new)  # the edited body landed
+
+    def test_call_sites_are_retargeted(self):
+        module, donor = _compile_pair()
+        module.replace_function(donor.get_function("fill"))
+        new = module.get_function("fill")
+        main = module.get_function("main")
+        callees = [inst.callee for inst in main.instructions()
+                   if isinstance(inst, CallInst) and inst.callee_name() == "fill"]
+        assert callees and all(callee is new for callee in callees)
+
+    def test_donor_global_references_are_remapped(self):
+        module, donor = _compile_pair()
+        donor_v3 = compile_source(
+            SRC_V2.replace("xs[i] + shared_table[i % 16]",
+                           "xs[i] + shared_table[(i + 1) % 16]"), "prog")
+        module.replace_function(donor_v3.get_function("scan"))
+        table = module.get_global("shared_table")
+        new = module.get_function("scan")
+        referenced = {operand for inst in new.instructions()
+                      for operand in inst.operands
+                      if operand.name == "shared_table"}
+        assert referenced == {table}
+        # The graft also registered uses on this module's global, so
+        # use-lists stay coherent for escape/address-taken reasoning.
+        assert any(use.user.function is new for use in table.uses)
+
+    def test_old_body_uses_are_detached(self):
+        module, donor = _compile_pair()
+        table = module.get_global("shared_table")
+        old = module.replace_function(donor.get_function("scan"))
+        assert all(use.user.function is not old for use in table.uses)
+
+    def test_signature_change_is_rejected(self):
+        module, _ = _compile_pair()
+        other = compile_source("void fill(char* buf) { *buf = 0; }", "donor")
+        with pytest.raises(ValueError, match="signature"):
+            module.replace_function(other.get_function("fill"))
+
+    def test_unknown_function_is_rejected(self):
+        module, _ = _compile_pair()
+        other = compile_source("void nobody(int x) { }", "donor")
+        with pytest.raises(ValueError, match="no function"):
+            module.replace_function(other.get_function("nobody"))
+
+
+class TestApplyFunctionEdit:
+    def _edit(self, module, donor, name):
+        manager = AnalysisManager(module)
+        rbaa = manager.get(keys.RBAA)
+        ranges = manager.get(keys.RANGES)
+        lr = manager.get(keys.LOCAL_RANGES)
+        gr = manager.get(keys.GLOBAL_RANGES)
+        old = module.replace_function(donor.get_function(name))
+        impact = manager.apply_function_edit(old, module.get_function(name))
+        return manager, impact, (rbaa, ranges, lr, gr)
+
+    def test_function_scoped_entries_refresh_in_place(self):
+        module, donor = _compile_pair()
+        manager, impact, (rbaa, ranges, lr, gr) = self._edit(module, donor, "fill")
+        assert "symbolic-ranges" in impact.refreshed
+        assert "local-ranges" in impact.refreshed
+        assert "rbaa" in impact.refreshed
+        assert manager.get(keys.RANGES) is ranges
+        assert manager.get(keys.LOCAL_RANGES) is lr
+        assert manager.get(keys.RBAA) is rbaa
+
+    def test_callgraph_scoped_entries_are_evicted_and_rebuilt(self):
+        module, donor = _compile_pair()
+        manager, impact, (_, _, _, gr) = self._edit(module, donor, "fill")
+        assert "global-ranges" in impact.evicted
+        rebuilt = manager.get(keys.GLOBAL_RANGES)
+        assert rebuilt is not gr
+        # The rebuilt GR reuses the refreshed function-scoped inputs.
+        assert rebuilt.ranges is manager.get(keys.RANGES)
+
+    def test_cone_covers_callgraph_closure(self):
+        module, donor = _compile_pair()
+        _, impact, _ = self._edit(module, donor, "fill")
+        assert set(impact.cone) == {"fill", "scan", "main"}
+
+    def test_refresh_accumulates_solver_steps(self):
+        module, donor = _compile_pair()
+        manager = AnalysisManager(module)
+        ranges = manager.get(keys.RANGES)
+        before = ranges.solver_statistics.steps
+        old = module.replace_function(donor.get_function("fill"))
+        manager.apply_function_edit(old, module.get_function("fill"))
+        after = ranges.solver_statistics.steps
+        assert after > before
+        # The refresh re-ran only one function: far fewer steps than a
+        # whole-module solve.
+        assert after - before < before
+
+    def test_refresh_counter_and_fallback_eviction(self):
+        module, donor = _compile_pair()
+        manager = AnalysisManager(module)
+        # A function-scoped key whose value has no refresh hook must fall
+        # back to eviction instead of being silently kept stale.
+        hookless = AnalysisKey("hookless", lambda m, mgr: object(),
+                               scope=SCOPE_FUNCTION)
+        manager.get(hookless)
+        manager.get(keys.RANGES)
+        old = module.replace_function(donor.get_function("fill"))
+        impact = manager.apply_function_edit(old, module.get_function("fill"))
+        assert "hookless" in impact.evicted
+        assert manager.statistics.refreshes > 0
+
+    def test_on_evict_callback_sees_retired_values(self):
+        module, donor = _compile_pair()
+        manager = AnalysisManager(module)
+        manager.get(keys.GLOBAL_RANGES)
+        retired = []
+        manager.on_evict = lambda key, value: retired.append(key.name)
+        old = module.replace_function(donor.get_function("fill"))
+        manager.apply_function_edit(old, module.get_function("fill"))
+        assert "global-ranges" in retired
+
+    def test_warm_results_match_cold_rebuild(self):
+        module, donor = _compile_pair()
+        manager, _, _ = self._edit(module, donor, "fill")
+        cold_module = compile_source(SRC_V2, "prog")
+        cold = AnalysisManager(cold_module)
+        for key in (keys.RBAA, keys.BASIC, keys.ANDERSEN, keys.STEENSGAARD):
+            warm_analysis = manager.get(key)
+            cold_analysis = cold.get(key)
+            for fn_name in ("fill", "scan", "main"):
+                warm_fn = module.get_function(fn_name)
+                cold_fn = cold_module.get_function(fn_name)
+                import itertools
+                warm_pairs = [(MemoryAccess.of(a), MemoryAccess.of(b))
+                              for a, b in itertools.combinations(
+                                  warm_fn.pointer_values(), 2)]
+                cold_pairs = [(MemoryAccess.of(a), MemoryAccess.of(b))
+                              for a, b in itertools.combinations(
+                                  cold_fn.pointer_values(), 2)]
+                assert len(warm_pairs) == len(cold_pairs)
+                warm_answers = warm_analysis.query_many(warm_pairs)
+                cold_answers = cold_analysis.query_many(cold_pairs)
+                assert warm_answers == cold_answers, (key.name, fn_name)
