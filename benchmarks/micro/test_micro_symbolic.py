@@ -1,0 +1,88 @@
+"""Microbenchmarks of the symbolic-expression hot paths.
+
+These are the repo's first *operation-level* perf records: expression
+construction through the intern table, memoized partial-order comparison
+and the interval lattice operations — the three kernels every fixpoint
+step exercises.  The asserted properties keep the benchmarks honest
+(hash-consing identity, oracle agreement); the timings land in the
+pytest-benchmark report uploaded by the perf-smoke CI job.
+"""
+
+from repro.symbolic import (
+    EMPTY_INTERVAL,
+    NEG_INF,
+    POS_INF,
+    SymbolicInterval,
+    compare,
+    compare_uncached,
+    sym,
+    sym_add,
+    sym_max,
+    sym_min,
+    sym_mul,
+    sym_sub,
+)
+
+_NAMES = ["N", "M", "k", "len", "cap", "idx"]
+
+
+def _expression_batch():
+    """A deterministic mix of linear forms, folds and opaque min/max atoms."""
+    symbols = [sym(name) for name in _NAMES]
+    out = []
+    for index, symbol in enumerate(symbols):
+        linear = sym_add(sym_mul(symbol, index + 1), index - 3)
+        for other in symbols[:3]:
+            linear = sym_add(linear, other)
+        out.append(linear)
+        out.append(sym_sub(linear, symbols[(index + 1) % len(symbols)]))
+        out.append(sym_min(linear, sym_add(symbols[(index + 2) % len(symbols)], 4)))
+        out.append(sym_max(out[-1], 0))
+    return out
+
+
+def test_expr_construction(benchmark):
+    batch = benchmark.pedantic(_expression_batch, iterations=20, rounds=5)
+    # Hash-consing invariant: re-running the exact construction sequence
+    # yields the identical objects, not equal copies.
+    again = _expression_batch()
+    assert all(a is b for a, b in zip(batch, again))
+
+
+def test_compare_memoized(benchmark):
+    exprs = _expression_batch() + [NEG_INF, POS_INF]
+    pairs = [(a, b) for a in exprs for b in exprs]
+
+    def run():
+        return [compare(a, b) for a, b in pairs]
+
+    orderings = benchmark.pedantic(run, iterations=5, rounds=5)
+    assert len(orderings) == len(pairs)
+    # Spot-check the memo against the oracle on a deterministic slice.
+    for (a, b), ordering in list(zip(pairs, orderings))[::37]:
+        assert ordering is compare_uncached(a, b)
+
+
+def test_interval_join_widen_narrow(benchmark):
+    exprs = _expression_batch()
+    intervals = [SymbolicInterval(sym_min(a, b), sym_max(a, b))
+                 for a, b in zip(exprs, exprs[1:])]
+    intervals.append(SymbolicInterval(NEG_INF, POS_INF))
+
+    def run():
+        joined = EMPTY_INTERVAL
+        for interval in intervals:
+            joined = joined.join(interval)
+        widened = intervals[0]
+        for interval in intervals[1:]:
+            widened = widened.widen(interval)
+        narrowed = widened
+        for interval in intervals:
+            narrowed = narrowed.narrow(interval)
+        return joined, widened, narrowed
+
+    joined, widened, narrowed = benchmark.pedantic(run, iterations=10, rounds=5)
+    assert not joined.is_empty
+    for interval in intervals:
+        assert widened.contains_interval(interval)
+    assert widened.contains_interval(narrowed)

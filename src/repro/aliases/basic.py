@@ -82,17 +82,26 @@ class BasicAliasAnalysis(AliasAnalysis):
         super().__init__(module)
         self._escape_cache: dict = {}
         self._claim_cache: dict = {}
+        #: pointer value -> memoized decomposition results.  Both walks are
+        #: pure functions of the (immutable-between-edits) IR, and the
+        #: quadratic pair enumeration revisits every pointer O(pointers)
+        #: times, so the memo turns repeated walks into dict probes.
+        self._object_cache: dict = {}
+        self._decompose_cache: dict = {}
 
     def refresh_function(self, old_function, new_function) -> None:
         """Function-granular incremental refresh (manager edit hook).
 
-        The analysis is stateless apart from two caches: escape verdicts for
-        the retired body's allocas are dropped, and the claim cache — keyed
-        by pointer identities whose ids may be recycled — is cleared."""
+        The analysis is stateless apart from its caches: escape verdicts for
+        the retired body's allocas are dropped, and the claim/decomposition
+        caches — keyed by pointer identities whose ids may be recycled — are
+        cleared."""
         stale = set(old_function.instructions())
         for value in [value for value in self._escape_cache if value in stale]:
             del self._escape_cache[value]
         self._claim_cache.clear()
+        self._object_cache.clear()
+        self._decompose_cache.clear()
 
     # -- underlying-object decomposition --------------------------------------
     @staticmethod
@@ -100,7 +109,18 @@ class BasicAliasAnalysis(AliasAnalysis):
         return isinstance(value, (MallocInst, AllocaInst, GlobalVariable))
 
     def underlying_objects(self, pointer: Value) -> UnderlyingObject:
-        """All objects ``pointer`` may be based on (through casts, φs, selects, σs)."""
+        """All objects ``pointer`` may be based on (through casts, φs, selects, σs).
+
+        Memoized per pointer: the walk is a pure function of the IR, which
+        only changes through ``refresh_function`` (which clears the memo).
+        """
+        cached = self._object_cache.get(pointer)
+        if cached is None:
+            cached = self._underlying_objects_uncached(pointer)
+            self._object_cache[pointer] = cached
+        return cached
+
+    def _underlying_objects_uncached(self, pointer: Value) -> UnderlyingObject:
         objects: Set[Value] = set()
         includes_null = False
         all_identified = True
@@ -139,7 +159,16 @@ class BasicAliasAnalysis(AliasAnalysis):
         """Strip constant-offset arithmetic: ``(base, constant byte offset)``.
 
         The offset is ``None`` as soon as a variable index is involved.
+        Memoized per pointer (see :meth:`underlying_objects`).
         """
+        cached = self._decompose_cache.get(pointer)
+        if cached is not None:
+            return cached
+        result = self._decompose_uncached(pointer)
+        self._decompose_cache[pointer] = result
+        return result
+
+    def _decompose_uncached(self, pointer: Value) -> Tuple[Value, Optional[int]]:
         offset: Optional[int] = 0
         current = pointer
         for _ in range(_MAX_WALK):

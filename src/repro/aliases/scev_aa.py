@@ -35,12 +35,18 @@ class SCEVAliasAnalysis(AliasAnalysis):
     def __init__(self, module: Module):
         super().__init__(module)
         self._engines: Dict[Function, ScalarEvolution] = {}
+        #: pointer value -> its add recurrence (or None); saves the
+        #: engine-resolution walk on the quadratic pair enumeration, which
+        #: asks about every pointer O(pointers) times.
+        self._evolutions: Dict[Value, Optional[AddRecurrence]] = {}
 
     def refresh_function(self, old_function, new_function) -> None:
         """Function-granular incremental refresh (manager edit hook):
         scalar-evolution engines are built lazily per function, so the edit
-        only needs to retire the old body's engine."""
+        only needs to retire the old body's engine (and the per-pointer
+        memo, whose keys are the retired body's identities)."""
         self._engines.pop(old_function, None)
+        self._evolutions.clear()
 
     def _engine_for(self, value: Value) -> Optional[ScalarEvolution]:
         function: Optional[Function] = None
@@ -57,11 +63,14 @@ class SCEVAliasAnalysis(AliasAnalysis):
         return engine
 
     def evolution_of(self, pointer: Value) -> Optional[AddRecurrence]:
-        """The add recurrence of a pointer value, if the engine can see one."""
+        """The add recurrence of a pointer value, if the engine can see one
+        (memoized per pointer across queries)."""
+        if pointer in self._evolutions:
+            return self._evolutions[pointer]
         engine = self._engine_for(pointer)
-        if engine is None:
-            return None
-        return engine.evolution_of(pointer)
+        recurrence = None if engine is None else engine.evolution_of(pointer)
+        self._evolutions[pointer] = recurrence
+        return recurrence
 
     def alias(self, a: MemoryAccess, b: MemoryAccess) -> AliasResult:
         if a.pointer is b.pointer:

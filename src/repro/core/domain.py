@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, ItemsView, Mapping, Optional, Tuple
 
-from ..symbolic import SymbolicInterval, TOP_INTERVAL
+from ..symbolic import SymbolicInterval, TOP_INTERVAL, sym_add
 from .locations import MemoryLocation
 
 __all__ = ["PointerAbstractValue", "BOTTOM", "TOP"]
@@ -101,7 +101,7 @@ class PointerAbstractValue:
             return TOP
         if self.is_bottom:
             return other
-        if other.is_bottom:
+        if other.is_bottom or self is other:
             return self
         merged: Dict[MemoryLocation, SymbolicInterval] = dict(self._ranges)
         for location, interval in other._ranges.items():
@@ -115,7 +115,7 @@ class PointerAbstractValue:
             return TOP
         if self.is_bottom:
             return other
-        if other.is_bottom:
+        if other.is_bottom or self is other:
             return self
         widened: Dict[MemoryLocation, SymbolicInterval] = {}
         for location in set(self._ranges) | set(other._ranges):
@@ -132,7 +132,7 @@ class PointerAbstractValue:
 
     def narrow(self, other: "PointerAbstractValue") -> "PointerAbstractValue":
         """Descending-sequence refinement applied as ``old.narrow(recomputed)``."""
-        if other._is_top:
+        if other._is_top or self is other:
             return self
         if self._is_top:
             return other
@@ -186,11 +186,9 @@ class PointerAbstractValue:
             if bound_interval is None:
                 continue
             if use_upper:
-                from ..symbolic import sym_add
                 limit = sym_add(bound_interval.upper, adjust)
                 met = interval.clamp_upper(limit)
             else:
-                from ..symbolic import sym_add
                 limit = sym_add(bound_interval.lower, adjust)
                 met = interval.clamp_lower(limit)
             if not met.is_empty:

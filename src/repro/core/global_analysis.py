@@ -191,6 +191,10 @@ class GlobalRangeAnalysis:
         self.statistics = AnalysisStatistics()
         self.solver_statistics = None
         self._gr: Dict[Value, PointerAbstractValue] = {}
+        #: function -> external-visibility verdict; the check walks callgraph
+        #: tables and is re-asked on every evaluation of every argument of
+        #: the function, so it is resolved once per function instead.
+        self._visible: Dict[Function, bool] = {}
         self._trace: List[Tuple[str, Dict[Value, PointerAbstractValue]]] = []
         self._run()
 
@@ -235,11 +239,16 @@ class GlobalRangeAnalysis:
 
     # -- seeding -------------------------------------------------------------------
     def _is_externally_visible(self, function: Function) -> bool:
-        if function.name == "main":
-            return True
-        if self.callgraph.is_address_taken(function):
-            return True
-        return not self.callgraph.sites_calling(function)
+        cached = self._visible.get(function)
+        if cached is None:
+            if function.name == "main":
+                cached = True
+            elif self.callgraph.is_address_taken(function):
+                cached = True
+            else:
+                cached = not self.callgraph.sites_calling(function)
+            self._visible[function] = cached
+        return cached
 
     def _argument_state(self, function: Function, argument: Argument) -> PointerAbstractValue:
         state = BOTTOM

@@ -318,7 +318,7 @@ class LocalRangeAnalysis:
             return base.shifted(SymbolicInterval.point(constant_offset))
         if base is not None and inst.index is not None:
             index_range = self._scalar_range(inst.index)
-            if index_range.is_constant() and index_range.lower == index_range.upper:
+            if index_range.is_constant() and index_range.lower is index_range.upper:
                 delta = index_range.scale(inst.scale).shift(inst.offset)
                 return base.shifted(delta)
             # Varying index: all computations sharing (base, root index, scale)

@@ -22,17 +22,19 @@ pair never needs to run the tests twice.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Optional
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional
 
 from ..aliases.results import MemoryAccess
 from ..symbolic import POS_INF, SymbolicInterval
+from ..symbolic.cache import BoundedMemo
 from .domain import PointerAbstractValue
 from .local_analysis import LocalAbstractValue
 from .locations import MemoryLocation
 
 __all__ = ["QueryOutcome", "DisambiguationReason", "global_test", "local_test",
-           "extend_for_access", "pair_key", "QueryPairMemo"]
+           "extend_for_access", "pair_key", "QueryPairMemo",
+           "DEFAULT_MEMO_PAYLOADS"]
 
 
 class DisambiguationReason(enum.Enum):
@@ -155,37 +157,67 @@ def pair_key(a: MemoryAccess, b: MemoryAccess) -> Hashable:
 #: Distinguishes "nothing remembered" from a remembered ``None`` payload.
 _MISS = object()
 
+#: Default bound on remembered payloads per memo — the size knob.  Large
+#: enough that a batch over the biggest corpus program never evicts, small
+#: enough that a long-lived daemon's per-analysis memos stay bounded.
+DEFAULT_MEMO_PAYLOADS = 1 << 20
 
-@dataclass
+
 class QueryPairMemo:
     """Memoizes per-pair query payloads for one (immutable) analysis.
 
     The payload is whatever the analysis wants to replay on a repeat query —
     RBAA stores the full :class:`QueryOutcome` so its Figure-14 counters can
     be updated even when the tests themselves are skipped.
+
+    The payload table is a :class:`~repro.symbolic.cache.BoundedMemo` LRU
+    bounded by ``max_payloads`` (evictions are counted and surfaced through
+    the service's ``stats`` op), so a memo held by a long-lived
+    :class:`~repro.service.session.AnalysisSession` cannot grow without
+    bound.  Eviction only ever forces a recompute — query answers are pure
+    functions of the analysis — so the bound is invisible to results (RBAA's
+    statistics replay re-runs the tests on an evicted pair rather than
+    skipping the accounting).
     """
 
-    hits: int = 0
-    misses: int = 0
-    _payloads: Dict[Hashable, Any] = field(default_factory=dict)
+    __slots__ = ("_memo",)
+
+    def __init__(self, max_payloads: int = DEFAULT_MEMO_PAYLOADS):
+        self._memo = BoundedMemo(maxsize=max(1, int(max_payloads)))
+
+    @property
+    def max_payloads(self) -> int:
+        return self._memo.maxsize
+
+    @property
+    def hits(self) -> int:
+        return self._memo.hits
+
+    @property
+    def misses(self) -> int:
+        return self._memo.misses
+
+    @property
+    def evictions(self) -> int:
+        return self._memo.evictions
 
     def lookup(self, key: Hashable) -> Optional[Any]:
-        payload = self._payloads.get(key, _MISS)
-        if payload is _MISS:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return payload
+        payload = self._memo.get(key, _MISS)
+        return None if payload is _MISS else payload
 
     def remember(self, key: Hashable, payload: Any) -> None:
-        self._payloads[key] = payload
+        self._memo.put(key, payload)
+
+    def resize(self, max_payloads: int) -> None:
+        """Change the bound, evicting least-recent payloads that overflow."""
+        self._memo.resize(max(1, int(max_payloads)))
 
     def release(self) -> None:
-        """Drop the payloads, keeping the hit/miss counters.
+        """Drop the payloads, keeping the hit/miss/eviction counters.
 
         Batch-scoped memos call this once the batch is answered so an
         uncapped quadratic pair sweep does not stay pinned in memory."""
-        self._payloads = {}
+        self._memo.clear()
 
     def __len__(self) -> int:
-        return len(self._payloads)
+        return len(self._memo)

@@ -28,6 +28,7 @@ from .domain import PointerAbstractValue
 from .global_analysis import GlobalAnalysisOptions
 from .local_analysis import LocalAbstractValue
 from .queries import (
+    DEFAULT_MEMO_PAYLOADS,
     DisambiguationReason,
     QueryOutcome,
     QueryPairMemo,
@@ -49,6 +50,9 @@ class RBAAOptions:
     enable_global_test: bool = True
     #: Run the local test (Section 3.6/3.7).
     enable_local_test: bool = True
+    #: LRU bound (size knob) of the per-pair outcome memo; evictions only
+    #: force recomputes, never different answers.
+    outcome_memo_payloads: int = DEFAULT_MEMO_PAYLOADS
 
 
 @dataclass
@@ -101,7 +105,8 @@ class RBAAAliasAnalysis(AliasAnalysis):
         self.local_analysis = self.manager.get(
             keys.LOCAL_RANGES, range_options=self.options.range_options)
         self.statistics = RBAAStatistics()
-        self._outcomes = QueryPairMemo()
+        self._outcomes = QueryPairMemo(
+            max_payloads=self.options.outcome_memo_payloads)
 
     def refresh_function(self, old_function, new_function) -> None:
         """Function-granular incremental refresh (manager edit hook).
@@ -231,9 +236,16 @@ class RBAAAliasAnalysis(AliasAnalysis):
 
         ``query_many`` answers repeat pairs from its own memo without calling
         :meth:`alias`; without this hook those queries would vanish from the
-        Figure-14 counters."""
+        Figure-14 counters.  The outcome memo is a bounded LRU, so a pair
+        the outer memo still remembers may have been evicted here — in that
+        case the tests are re-run (deterministically) rather than skipping
+        the accounting, keeping warm counters equal to summed cold ones
+        whatever the eviction history."""
         if a.pointer is b.pointer:
             return
-        outcome = self._outcomes.lookup(pair_key(a, b))
-        if outcome is not None:
-            self.statistics.record(outcome)
+        key = pair_key(a, b)
+        outcome = self._outcomes.lookup(key)
+        if outcome is None:
+            outcome = self._run_tests(a, b)
+            self._outcomes.remember(key, outcome)
+        self.statistics.record(outcome)

@@ -27,6 +27,7 @@ reports alongside wall time.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Set
@@ -44,6 +45,12 @@ class SolverStatistics:
     engine's hardware-independent cost measure.  ``max_node_evaluations``
     plays the role the old per-analysis "pass" counters played: it bounds how
     often any single node was re-evaluated during the ascending phase.
+
+    ``transfer_ns`` is the monotonic-clock wall time spent *inside* transfer
+    functions, in nanoseconds — the per-analysis attribution the profiling
+    harness reports next to ``steps``.  Like every other wall-time-derived
+    field it is excluded by ``strip_volatile`` (the ``_ns`` suffix) before
+    determinism diffs.
     """
 
     problem: str = ""
@@ -57,6 +64,7 @@ class SolverStatistics:
     descending_steps: int = 0
     widenings: int = 0
     max_node_evaluations: int = 0
+    transfer_ns: int = 0
 
     def accumulate(self, other: "SolverStatistics") -> None:
         """Fold a later solve's counters into this one.
@@ -77,6 +85,7 @@ class SolverStatistics:
         self.widenings += other.widenings
         self.max_node_evaluations = max(self.max_node_evaluations,
                                         other.max_node_evaluations)
+        self.transfer_ns += other.transfer_ns
 
 
 class SparseProblem:
@@ -243,7 +252,9 @@ class SparseSolver:
         problem = self.problem
         stats = self.statistics
         old = problem.read(node)
+        started = time.perf_counter_ns()
         new = problem.transfer(node)
+        stats.transfer_ns += time.perf_counter_ns() - started
         stats.steps += 1
         seen = self._evaluations.get(node, 0)
         self._evaluations[node] = seen + 1

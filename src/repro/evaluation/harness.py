@@ -24,7 +24,7 @@ from ..ir.function import Function
 from ..ir.module import Module
 
 __all__ = ["QueryPair", "ProgramResult", "enumerate_query_pairs", "run_queries",
-           "AnalysisFactory", "build_analysis"]
+           "AnalysisFactory", "build_analysis", "solver_breakdown"]
 
 #: A callable building an analysis for a module (e.g. ``BasicAliasAnalysis``).
 #: Factories may additionally accept a keyword-only ``manager`` argument to
@@ -81,6 +81,11 @@ class ProgramResult:
     #: engine cache counters of the run's AnalysisManager (hits/misses/
     #: builds/invalidations) — deterministic, hardware-independent.
     engine: Dict[str, int] = field(default_factory=dict)
+    #: solver problem name -> {"steps", "transfer_ns"}: per-analysis cost
+    #: attribution collected from every cached analysis that ran the sparse
+    #: solver.  ``steps`` is deterministic; ``transfer_ns`` is wall-time
+    #: derived and stripped by the determinism diff (``_ns`` suffix).
+    solver: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def percentage(self, analysis_name: str) -> float:
         """Percentage of queries the analysis disambiguated."""
@@ -155,4 +160,26 @@ def run_queries(program_name: str, module: Module,
         if extra:
             result.extra[name] = extra
     result.engine = manager.statistics.as_dict()
+    result.solver = solver_breakdown(manager)
     return result
+
+
+def solver_breakdown(manager: AnalysisManager) -> Dict[str, Dict[str, int]]:
+    """Per-problem solver cost of every analysis cached by ``manager``.
+
+    Keys are the sparse problems' names (``symbolic-ranges``,
+    ``global-ranges``, …); ``steps`` counts transfer applications
+    (deterministic) and ``transfer_ns`` attributes monotonic wall time to
+    the analysis that spent it (volatile, stripped before determinism
+    diffs).
+    """
+    breakdown: Dict[str, Dict[str, int]] = {}
+    for analysis in manager.cached_values():
+        statistics = getattr(analysis, "solver_statistics", None)
+        if statistics is None or not getattr(statistics, "problem", ""):
+            continue
+        entry = breakdown.setdefault(statistics.problem,
+                                     {"steps": 0, "transfer_ns": 0})
+        entry["steps"] += statistics.steps
+        entry["transfer_ns"] += statistics.transfer_ns
+    return breakdown

@@ -193,7 +193,7 @@ def run_parallel_scalability(program_count: int = 50,
 # -- benchmark records --------------------------------------------------------
 
 #: Keys whose values derive from wall time (stripped before determinism diffs).
-_VOLATILE_KEY_SUFFIXES = ("_seconds", "_per_second")
+_VOLATILE_KEY_SUFFIXES = ("_seconds", "_per_second", "_ns")
 _VOLATILE_KEYS = frozenset({"run", "correlations"})
 
 
@@ -206,6 +206,7 @@ def _program_result_record(result: ProgramResult) -> Dict[str, Any]:
         "build_seconds": dict(result.build_seconds),
         "extra": {name: dict(extra) for name, extra in result.extra.items()},
         "engine": dict(result.engine),
+        "solver": {name: dict(entry) for name, entry in result.solver.items()},
     }
 
 
@@ -223,9 +224,15 @@ def bench_record(precision: Optional[PrecisionReport] = None,
     if precision is not None:
         totals = precision.totals()
         engine_totals = ManagerStatistics()
+        solver_totals: Dict[str, Dict[str, int]] = {}
         for result in precision.results:
             if result.engine:
                 engine_totals.merge(ManagerStatistics(**result.engine))
+            for problem, entry in result.solver.items():
+                bucket = solver_totals.setdefault(problem,
+                                                  {"steps": 0, "transfer_ns": 0})
+                bucket["steps"] += entry.get("steps", 0)
+                bucket["transfer_ns"] += entry.get("transfer_ns", 0)
         record["precision"] = {
             "programs": [_program_result_record(result) for result in precision.results],
             "totals": {
@@ -233,6 +240,7 @@ def bench_record(precision: Optional[PrecisionReport] = None,
                 "no_alias": dict(totals.no_alias),
                 "extra": {name: dict(extra) for name, extra in totals.extra.items()},
                 "engine": engine_totals.as_dict(),
+                "solver": solver_totals,
             },
         }
     if scalability is not None:

@@ -1,0 +1,199 @@
+"""Profiling harness: where the evaluation actually spends its time.
+
+The scalability experiment (Figure 15) reports solver steps and wall time,
+but neither says *which layer* the time went to — and a perf-sensitive
+reproduction needs a recorded trajectory, not a one-off profiler session.
+This module runs the evaluation corpus under :mod:`cProfile` and writes
+``BENCH_profile.json``:
+
+* **cProfile hotspots** — the top-N functions by internal and by cumulative
+  time, with repo-relative paths;
+* **per-analysis wall/step breakdown** — build/query seconds per alias
+  analysis (from the harness) and, per sparse-solver problem, the
+  ``steps``/``transfer_ns`` attribution recorded by
+  :class:`~repro.engine.solver.SolverStatistics`;
+* **symbolic-layer cache telemetry** — intern-table size and the
+  hit/miss/eviction counters of the order-layer memo caches.
+
+Everything wall-time-derived lives under ``*_seconds``/``*_ns`` keys (or
+the ``run`` section), matching the volatile-field convention of
+:func:`repro.evaluation.parallel.strip_volatile`; the record is a CI
+artifact, not a gate.
+
+Command line::
+
+    python -m repro.evaluation.profile --quick --out BENCH_profile.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import os
+import pstats
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..symbolic import compare_memo_stats, intern_table_size
+from .parallel import (
+    QUICK_MAX_PAIRS,
+    QUICK_PRECISION_PROGRAMS,
+    QUICK_SCALABILITY_POINTS,
+    write_json,
+)
+from .precision import run_precision_experiment
+from .scalability import run_scalability_experiment
+
+__all__ = ["run_profile", "profile_record", "main"]
+
+#: Repository source roots stripped from profile paths (longest first).
+_PATH_MARKERS = (f"{os.sep}src{os.sep}", f"{os.sep}lib{os.sep}")
+
+
+def _relative_path(path: str) -> str:
+    """Trim an absolute profile path down to a stable, repo-relative tail."""
+    for marker in _PATH_MARKERS:
+        index = path.rfind(marker)
+        if index >= 0:
+            return path[index + 1:]
+    return os.path.basename(path)
+
+
+def _hotspots(stats: pstats.Stats, top: int) -> Dict[str, List[Dict[str, Any]]]:
+    """The top-``top`` rows of a profile, by internal and cumulative time."""
+    rows = []
+    for (filename, line, name), (_cc, ncalls, tottime, cumtime, _callers) \
+            in stats.stats.items():  # type: ignore[attr-defined]
+        rows.append({
+            "function": f"{_relative_path(filename)}:{line}({name})",
+            "calls": ncalls,
+            "internal_seconds": round(tottime, 6),
+            "cumulative_seconds": round(cumtime, 6),
+        })
+    by_internal = sorted(rows, key=lambda row: row["internal_seconds"],
+                         reverse=True)[:top]
+    by_cumulative = sorted(rows, key=lambda row: row["cumulative_seconds"],
+                           reverse=True)[:top]
+    return {"by_internal_seconds": by_internal,
+            "by_cumulative_seconds": by_cumulative}
+
+
+def profile_record(precision, scalability, stats: pstats.Stats, *,
+                   top: int, wall_seconds: float,
+                   precision_seconds: float,
+                   scalability_seconds: float) -> Dict[str, Any]:
+    """Assemble the ``BENCH_profile.json`` payload."""
+    analyses: Dict[str, Dict[str, Any]] = {}
+    solver: Dict[str, Dict[str, int]] = {}
+    for result in precision.results:
+        for name in result.no_alias:
+            entry = analyses.setdefault(name, {
+                "build_seconds": 0.0, "query_seconds": 0.0, "no_alias": 0})
+            entry["build_seconds"] += result.build_seconds.get(name, 0.0)
+            entry["query_seconds"] += result.query_seconds.get(name, 0.0)
+            entry["no_alias"] += result.no_alias.get(name, 0)
+        for problem, cost in result.solver.items():
+            bucket = solver.setdefault(problem, {"steps": 0, "transfer_ns": 0})
+            bucket["steps"] += cost.get("steps", 0)
+            bucket["transfer_ns"] += cost.get("transfer_ns", 0)
+    for entry in analyses.values():
+        entry["build_seconds"] = round(entry["build_seconds"], 6)
+        entry["query_seconds"] = round(entry["query_seconds"], 6)
+    return {
+        "schema": 1,
+        "run": {
+            "python": sys.version.split()[0],
+            "wall_seconds": wall_seconds,
+            "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        },
+        "experiments": {
+            "precision_seconds": round(precision_seconds, 6),
+            "scalability_seconds": round(scalability_seconds, 6),
+            "precision_programs": len(precision.results),
+            "scalability_points": len(scalability.points),
+            "scalability_solver_steps": scalability.total_solver_steps(),
+        },
+        "analyses": analyses,
+        "solver": solver,
+        "symbolic_caches": compare_memo_stats(),
+        "intern_table_size": intern_table_size(),
+        "hotspots": _hotspots(stats, top),
+    }
+
+
+def run_profile(programs: Optional[Sequence[str]] = None,
+                max_pairs: Optional[int] = None,
+                points: int = QUICK_SCALABILITY_POINTS,
+                seed: int = 7,
+                top: int = 30,
+                out: str = "BENCH_profile.json") -> Dict[str, Any]:
+    """Profile one serial evaluation run and write the record to ``out``.
+
+    Runs in-process under a single :class:`cProfile.Profile` (``jobs=1`` by
+    construction — worker processes would escape the profiler).
+    """
+    if programs is None:
+        programs = list(QUICK_PRECISION_PROGRAMS)
+    if max_pairs is None:
+        max_pairs = QUICK_MAX_PAIRS
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    precision_started = time.perf_counter()
+    precision = run_precision_experiment(programs,
+                                         max_pairs_per_function=max_pairs)
+    precision_seconds = time.perf_counter() - precision_started
+    scalability_started = time.perf_counter()
+    scalability = run_scalability_experiment(program_count=points, seed=seed)
+    scalability_seconds = time.perf_counter() - scalability_started
+    profiler.disable()
+    wall_seconds = time.perf_counter() - started
+
+    stats = pstats.Stats(profiler)
+    record = profile_record(
+        precision, scalability, stats, top=top, wall_seconds=wall_seconds,
+        precision_seconds=precision_seconds,
+        scalability_seconds=scalability_seconds)
+    write_json(out, record)
+    return record
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.evaluation.profile",
+        description="cProfile the evaluation and attribute time per analysis.")
+    parser.add_argument("--quick", action="store_true",
+                        help="use the CI quick corpus (the default corpus "
+                             "too — the flag is accepted for symmetry with "
+                             "the parallel runner)")
+    parser.add_argument("--programs", nargs="*", default=None, metavar="NAME",
+                        help="precision programs to profile")
+    parser.add_argument("--max-pairs", type=int, default=None)
+    parser.add_argument("--points", type=int, default=QUICK_SCALABILITY_POINTS,
+                        help="Figure-15 points to include")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--top", type=int, default=30,
+                        help="profile rows to keep per ranking")
+    parser.add_argument("--out", default="BENCH_profile.json")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    record = run_profile(programs=args.programs, max_pairs=args.max_pairs,
+                         points=args.points, seed=args.seed, top=args.top,
+                         out=args.out)
+    run = record["run"]
+    print(f"wrote {args.out} ({run['wall_seconds']:.2f}s profiled wall)")
+    for problem, cost in sorted(record["solver"].items()):
+        print(f"  {problem}: {cost['steps']} steps, "
+              f"{cost['transfer_ns'] / 1e6:.1f}ms in transfers")
+    for row in record["hotspots"]["by_internal_seconds"][:5]:
+        print(f"  hot: {row['function']} "
+              f"({row['internal_seconds']:.3f}s internal)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

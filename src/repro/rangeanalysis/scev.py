@@ -27,6 +27,10 @@ from ..ir.values import Argument, ConstantInt, Value
 
 __all__ = ["AddRecurrence", "ScalarEvolution"]
 
+#: Sentinel distinguishing "never computed" from a cached ``None`` (not
+#: affine) without probing the cache dictionary twice per hit.
+_UNCOMPUTED = object()
+
 
 @dataclass(frozen=True)
 class AddRecurrence:
@@ -73,8 +77,9 @@ class ScalarEvolution:
     # -- public API -------------------------------------------------------------
     def evolution_of(self, value: Value) -> Optional[AddRecurrence]:
         """The add recurrence of ``value`` or ``None`` when not affine."""
-        if value in self._cache:
-            return self._cache[value]
+        cached = self._cache.get(value, _UNCOMPUTED)
+        if cached is not _UNCOMPUTED:
+            return cached
         # Seed with None to cut cycles through φs while we recurse.
         self._cache[value] = None
         result = self._compute(value)

@@ -330,11 +330,11 @@ class SymbolicRangeAnalysis:
         upper_bound = POS_INF
         if inst.lower is not None:
             bound = self._operand_range(inst.lower)
-            if not bound.is_empty and bound.lower != NEG_INF:
+            if not bound.is_empty and bound.lower is not NEG_INF:
                 lower_bound = sym_add(bound.lower, inst.lower_adjust)
         if inst.upper is not None:
             bound = self._operand_range(inst.upper)
-            if not bound.is_empty and bound.upper != POS_INF:
+            if not bound.is_empty and bound.upper is not POS_INF:
                 upper_bound = sym_add(bound.upper, inst.upper_adjust)
         constraint = SymbolicInterval(lower_bound, upper_bound)
         result = source.meet(constraint)

@@ -38,6 +38,7 @@ from ..ir.function import Function
 from ..ir.module import Module
 from ..ir.printer import print_function
 from ..ir.values import Value
+from ..symbolic import compare_memo_stats
 from ..evaluation.harness import enumerate_query_pairs
 
 __all__ = ["ANALYSIS_KEYS", "AnalysisSession", "ResidentModule", "ServiceError"]
@@ -132,12 +133,13 @@ class ResidentModule:
 class AnalysisSession:
     """Holds modules resident and answers queries with warm analysis state."""
 
-    #: Upper bound on remembered payloads per (module, analysis) memo.  The
+    #: Upper bound on remembered payloads per (module, analysis) memo — the
+    #: LRU size knob of :class:`~repro.core.queries.QueryPairMemo`.  The
     #: memos are what make repeat queries free across requests, but a
     #: long-lived daemon must not grow without bound under adversarial or
     #: merely varied traffic (keys include the client-supplied access size),
-    #: so a memo past the cap is released — counters survive, repeats after
-    #: that simply recompute.
+    #: so the least-recent payloads are evicted past the cap — counters
+    #: survive (``stats`` reports evictions), repeats after that recompute.
     memo_payload_cap = 100_000
 
     def __init__(self) -> None:
@@ -256,10 +258,10 @@ class AnalysisSession:
     def _memo(self, resident: ResidentModule, analysis_name: str) -> QueryPairMemo:
         memo = resident.memos.get(analysis_name)
         if memo is None:
-            memo = QueryPairMemo()
+            memo = QueryPairMemo(max_payloads=self.memo_payload_cap)
             resident.memos[analysis_name] = memo
-        elif len(memo) > self.memo_payload_cap:
-            memo.release()
+        elif memo.max_payloads != max(1, self.memo_payload_cap):
+            memo.resize(self.memo_payload_cap)
         return memo
 
     @staticmethod
@@ -369,11 +371,24 @@ class AnalysisSession:
             "edits": resident.edits,
             "solver_steps": resident.solver_steps(),
             "engine": resident.manager.statistics.as_dict(),
-            "memos": {name: {"hits": memo.hits, "misses": memo.misses}
+            "memos": {name: {"hits": memo.hits, "misses": memo.misses,
+                             "evictions": memo.evictions,
+                             "size": len(memo),
+                             "max_payloads": memo.max_payloads}
                       for name, memo in sorted(resident.memos.items())},
+            # The symbolic order-layer memo caches are process-global (they
+            # key on interned expression identities); surfaced here so a
+            # daemon operator can watch their hit rates and evictions.
+            "symbolic_caches": compare_memo_stats(),
         }
         rbaa = resident.manager.cached(keys.RBAA)
         if rbaa is not None:
+            outcomes = rbaa._outcomes
+            record["rbaa_outcome_memo"] = {
+                "hits": outcomes.hits, "misses": outcomes.misses,
+                "evictions": outcomes.evictions, "size": len(outcomes),
+                "max_payloads": outcomes.max_payloads,
+            }
             statistics = rbaa.statistics
             record["figure14"] = {
                 "queries": statistics.queries,

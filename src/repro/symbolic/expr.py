@@ -19,6 +19,16 @@ partial-order queries of :mod:`repro.symbolic.order` decidable in the cases
 the analyses care about, e.g. ``N + 1 > N`` while ``N`` and ``M`` stay
 incomparable.
 
+Expressions are **hash-consed**: every constructor routes through a
+per-process intern table keyed on structural content, so two structurally
+equal expressions are one object.  Structural equality is therefore
+identity (``a == b`` iff ``a is b``), ``__hash__`` is a slot computed once
+at construction, and ``symbols()``/``sort_key()``/``complexity()`` return
+values cached at construction time.  Interned expressions are immortal for
+the lifetime of the process (the table holds strong references), which is
+exactly what lets the derived-operation memos of
+:mod:`repro.symbolic.order` key on ``id()`` without recycling hazards.
+
 Infinities are first-class values (:data:`POS_INF` and :data:`NEG_INF`) with
 saturating arithmetic, because interval bounds live in
 ``S = SE ∪ {-inf, +inf}``.
@@ -55,24 +65,41 @@ __all__ = [
     "sym_max",
     "as_expr",
     "ExprLike",
+    "intern_table_size",
 ]
+
+#: The per-process intern table: structural key → the unique instance.
+#: Never cleared — clearing would let a later structurally-equal expression
+#: coexist with a pre-clear twin, breaking the identity-equality invariant
+#: every consumer (and every ``id``-keyed memo) relies on.
+_INTERN: Dict[tuple, "SymExpr"] = {}
+
+_EMPTY_SYMBOLS: FrozenSet[str] = frozenset()
+
+
+def intern_table_size() -> int:
+    """Number of live interned expressions (monitoring/tests)."""
+    return len(_INTERN)
 
 
 class SymExpr:
     """Base class of all symbolic expressions.
 
-    Instances are immutable and hashable; arithmetic operators build new
-    (canonicalised) expressions.  Subclasses implement the small protocol
-    consisting of :meth:`symbols`, :meth:`substitute`, :meth:`is_infinite`
-    and :meth:`sort_key`.
+    Instances are immutable, interned and hashable; arithmetic operators
+    build new (canonicalised, interned) expressions.  Subclasses implement
+    the small protocol consisting of :meth:`substitute`, :meth:`is_infinite`
+    and the cached :meth:`symbols`/:meth:`sort_key`/:meth:`complexity`.
     """
 
-    __slots__ = ()
+    __slots__ = ("_hash", "_symbols", "_sort_key", "_complexity")
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError(f"{type(self).__name__} is immutable")
 
     # -- protocol ---------------------------------------------------------
     def symbols(self) -> FrozenSet[str]:
-        """Return the set of symbol names occurring in this expression."""
-        raise NotImplementedError
+        """The set of symbol names occurring in this expression (cached)."""
+        return self._symbols
 
     def substitute(self, mapping: Mapping[str, "ExprLike"]) -> "SymExpr":
         """Return a copy with symbols replaced according to ``mapping``."""
@@ -92,11 +119,23 @@ class SymExpr:
 
     def sort_key(self) -> Tuple:
         """A total ordering key used only for canonical printing/hashing."""
-        raise NotImplementedError
+        return self._sort_key
 
     def complexity(self) -> int:
         """Number of nodes; used to bound simplification work."""
-        return 1
+        return self._complexity
+
+    # -- identity semantics -----------------------------------------------
+    # Interning makes structural equality coincide with identity: the
+    # comparisons below are O(1) however deep the expressions are.
+    def __eq__(self, other) -> bool:
+        return self is other
+
+    def __ne__(self, other) -> bool:
+        return self is not other
+
+    def __hash__(self) -> int:
+        return self._hash
 
     # -- operator sugar ---------------------------------------------------
     def __add__(self, other: "ExprLike") -> "SymExpr":
@@ -129,20 +168,31 @@ class SymExpr:
 
 ExprLike = Union[SymExpr, int]
 
+_set = object.__setattr__
+
 
 class Constant(SymExpr):
     """An integer literal."""
 
     __slots__ = ("value",)
 
-    def __init__(self, value: int):
-        object.__setattr__(self, "value", int(value))
+    def __new__(cls, value: int):
+        value = int(value)
+        key = ("n", value)
+        self = _INTERN.get(key)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        _set(self, "value", value)
+        _set(self, "_symbols", _EMPTY_SYMBOLS)
+        _set(self, "_sort_key", (0, value))
+        _set(self, "_complexity", 1)
+        _set(self, "_hash", hash(key))
+        _INTERN[key] = self
+        return self
 
-    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
-        raise AttributeError("Constant is immutable")
-
-    def symbols(self) -> FrozenSet[str]:
-        return frozenset()
+    def __reduce__(self):
+        return (Constant, (self.value,))
 
     def substitute(self, mapping: Mapping[str, ExprLike]) -> SymExpr:
         return self
@@ -153,17 +203,8 @@ class Constant(SymExpr):
     def constant_value(self) -> Optional[int]:
         return self.value
 
-    def sort_key(self) -> Tuple:
-        return (0, self.value)
-
     def __repr__(self) -> str:
         return str(self.value)
-
-    def __eq__(self, other) -> bool:
-        return isinstance(other, Constant) and self.value == other.value
-
-    def __hash__(self) -> int:
-        return hash(("Constant", self.value))
 
 
 class Symbol(SymExpr):
@@ -171,50 +212,62 @@ class Symbol(SymExpr):
 
     __slots__ = ("name",)
 
-    def __init__(self, name: str):
+    def __new__(cls, name: str):
         if not name:
             raise ValueError("symbol name must be non-empty")
-        object.__setattr__(self, "name", name)
+        key = ("s", name)
+        self = _INTERN.get(key)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        _set(self, "name", name)
+        _set(self, "_symbols", frozenset((name,)))
+        _set(self, "_sort_key", (1, name))
+        _set(self, "_complexity", 1)
+        _set(self, "_hash", hash(key))
+        _INTERN[key] = self
+        return self
 
-    def __setattr__(self, name, value):  # pragma: no cover
-        raise AttributeError("Symbol is immutable")
-
-    def symbols(self) -> FrozenSet[str]:
-        return frozenset((self.name,))
+    def __reduce__(self):
+        return (Symbol, (self.name,))
 
     def substitute(self, mapping: Mapping[str, ExprLike]) -> SymExpr:
         if self.name in mapping:
             return as_expr(mapping[self.name])
         return self
 
-    def sort_key(self) -> Tuple:
-        return (1, self.name)
-
     def __repr__(self) -> str:
         return self.name
 
-    def __eq__(self, other) -> bool:
-        return isinstance(other, Symbol) and self.name == other.name
-
-    def __hash__(self) -> int:
-        return hash(("Symbol", self.name))
-
 
 class Infinity(SymExpr):
-    """``+inf`` or ``-inf``; only valid at the ends of symbolic intervals."""
+    """``+inf`` or ``-inf``; only valid at the ends of symbolic intervals.
+
+    The two instances are the interned singletons :data:`POS_INF` and
+    :data:`NEG_INF` — ``Infinity(sign)`` always returns one of them, so
+    ``is`` comparisons against the singletons are valid everywhere.
+    """
 
     __slots__ = ("sign",)
 
-    def __init__(self, sign: int):
+    def __new__(cls, sign: int):
         if sign not in (1, -1):
             raise ValueError("sign must be +1 or -1")
-        object.__setattr__(self, "sign", sign)
+        key = ("inf", sign)
+        self = _INTERN.get(key)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        _set(self, "sign", sign)
+        _set(self, "_symbols", _EMPTY_SYMBOLS)
+        _set(self, "_sort_key", (9, sign))
+        _set(self, "_complexity", 1)
+        _set(self, "_hash", hash(key))
+        _INTERN[key] = self
+        return self
 
-    def __setattr__(self, name, value):  # pragma: no cover
-        raise AttributeError("Infinity is immutable")
-
-    def symbols(self) -> FrozenSet[str]:
-        return frozenset()
+    def __reduce__(self):
+        return (Infinity, (self.sign,))
 
     def substitute(self, mapping: Mapping[str, ExprLike]) -> SymExpr:
         return self
@@ -222,17 +275,8 @@ class Infinity(SymExpr):
     def is_infinite(self) -> bool:
         return True
 
-    def sort_key(self) -> Tuple:
-        return (9, self.sign)
-
     def __repr__(self) -> str:
         return "+inf" if self.sign > 0 else "-inf"
-
-    def __eq__(self, other) -> bool:
-        return isinstance(other, Infinity) and self.sign == other.sign
-
-    def __hash__(self) -> int:
-        return hash(("Infinity", self.sign))
 
     def __neg__(self) -> "SymExpr":
         return NEG_INF if self.sign > 0 else POS_INF
@@ -246,7 +290,7 @@ ONE = Constant(1)
 
 def _freeze_terms(terms: Mapping[SymExpr, int]) -> Tuple[Tuple[SymExpr, int], ...]:
     items = [(t, c) for t, c in terms.items() if c != 0]
-    items.sort(key=lambda tc: tc[0].sort_key())
+    items.sort(key=lambda tc: tc[0]._sort_key)
     return tuple(items)
 
 
@@ -260,30 +304,36 @@ class SumExpr(SymExpr):
 
     __slots__ = ("offset", "terms")
 
-    def __init__(self, offset: int, terms: Tuple[Tuple[SymExpr, int], ...]):
-        object.__setattr__(self, "offset", int(offset))
-        object.__setattr__(self, "terms", terms)
+    def __new__(cls, offset: int, terms: Tuple[Tuple[SymExpr, int], ...]):
+        offset = int(offset)
+        key = ("+", offset, terms)
+        self = _INTERN.get(key)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        _set(self, "offset", offset)
+        _set(self, "terms", terms)
+        symbols = _EMPTY_SYMBOLS
+        complexity = 1
+        for atom, _ in terms:
+            symbols = symbols | atom._symbols
+            complexity += atom._complexity
+        _set(self, "_symbols", symbols)
+        _set(self, "_sort_key",
+             (5, offset, tuple((a._sort_key, c) for a, c in terms)))
+        _set(self, "_complexity", complexity)
+        _set(self, "_hash", hash(key))
+        _INTERN[key] = self
+        return self
 
-    def __setattr__(self, name, value):  # pragma: no cover
-        raise AttributeError("SumExpr is immutable")
-
-    def symbols(self) -> FrozenSet[str]:
-        out: FrozenSet[str] = frozenset()
-        for atom, _ in self.terms:
-            out = out | atom.symbols()
-        return out
+    def __reduce__(self):
+        return (SumExpr, (self.offset, self.terms))
 
     def substitute(self, mapping: Mapping[str, ExprLike]) -> SymExpr:
         result: SymExpr = Constant(self.offset)
         for atom, coeff in self.terms:
             result = sym_add(result, sym_mul(atom.substitute(mapping), coeff))
         return result
-
-    def sort_key(self) -> Tuple:
-        return (5, self.offset, tuple((a.sort_key(), c) for a, c in self.terms))
-
-    def complexity(self) -> int:
-        return 1 + sum(a.complexity() for a, _ in self.terms)
 
     def __repr__(self) -> str:
         parts = []
@@ -299,16 +349,6 @@ class SumExpr(SymExpr):
         text = " + ".join(parts)
         return text.replace("+ -", "- ")
 
-    def __eq__(self, other) -> bool:
-        return (
-            isinstance(other, SumExpr)
-            and self.offset == other.offset
-            and self.terms == other.terms
-        )
-
-    def __hash__(self) -> int:
-        return hash(("SumExpr", self.offset, self.terms))
-
 
 class _BinaryAtom(SymExpr):
     """Common machinery for opaque binary nodes (min, max, div, mod, mul)."""
@@ -317,34 +357,26 @@ class _BinaryAtom(SymExpr):
     _tag = "?"
     _rank = 6
 
-    def __init__(self, lhs: SymExpr, rhs: SymExpr):
-        object.__setattr__(self, "lhs", lhs)
-        object.__setattr__(self, "rhs", rhs)
+    def __new__(cls, lhs: SymExpr, rhs: SymExpr):
+        key = (cls._tag, lhs, rhs)
+        self = _INTERN.get(key)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        _set(self, "lhs", lhs)
+        _set(self, "rhs", rhs)
+        _set(self, "_symbols", lhs._symbols | rhs._symbols)
+        _set(self, "_sort_key", (cls._rank, cls._tag, lhs._sort_key, rhs._sort_key))
+        _set(self, "_complexity", 1 + lhs._complexity + rhs._complexity)
+        _set(self, "_hash", hash(key))
+        _INTERN[key] = self
+        return self
 
-    def __setattr__(self, name, value):  # pragma: no cover
-        raise AttributeError(f"{type(self).__name__} is immutable")
-
-    def symbols(self) -> FrozenSet[str]:
-        return self.lhs.symbols() | self.rhs.symbols()
-
-    def sort_key(self) -> Tuple:
-        return (self._rank, self._tag, self.lhs.sort_key(), self.rhs.sort_key())
-
-    def complexity(self) -> int:
-        return 1 + self.lhs.complexity() + self.rhs.complexity()
+    def __reduce__(self):
+        return (type(self), (self.lhs, self.rhs))
 
     def __repr__(self) -> str:
         return f"{self._tag}({self.lhs!r}, {self.rhs!r})"
-
-    def __eq__(self, other) -> bool:
-        return (
-            type(self) is type(other)
-            and self.lhs == other.lhs
-            and self.rhs == other.rhs
-        )
-
-    def __hash__(self) -> int:
-        return hash((type(self).__name__, self.lhs, self.rhs))
 
 
 class MinExpr(_BinaryAtom):
@@ -424,9 +456,9 @@ def const(value: int) -> Constant:
 
 def _decompose(expr: SymExpr) -> Tuple[int, Dict[SymExpr, int]]:
     """Split a finite expression into ``(constant offset, {atom: coeff})``."""
-    if isinstance(expr, Constant):
+    if type(expr) is Constant:
         return expr.value, {}
-    if isinstance(expr, SumExpr):
+    if type(expr) is SumExpr:
         return expr.offset, dict(expr.terms)
     return 0, {expr: 1}
 
@@ -445,14 +477,21 @@ def _recompose(offset: int, terms: Dict[SymExpr, int]) -> SymExpr:
 def sym_add(a: ExprLike, b: ExprLike) -> SymExpr:
     """Saturating symbolic addition with linear canonicalisation."""
     a, b = as_expr(a), as_expr(b)
+    type_a, type_b = type(a), type(b)
+    if type_a is Constant and type_b is Constant:
+        return Constant(a.value + b.value)
     if a.is_infinite() and b.is_infinite():
-        if a == b:
+        if a is b:
             return a
         raise ArithmeticError("cannot add +inf and -inf")
     if a.is_infinite():
         return a
     if b.is_infinite():
         return b
+    if type_a is Constant and a.value == 0:
+        return b
+    if type_b is Constant and b.value == 0:
+        return a
     off_a, terms_a = _decompose(a)
     off_b, terms_b = _decompose(b)
     terms = dict(terms_a)
@@ -464,8 +503,10 @@ def sym_add(a: ExprLike, b: ExprLike) -> SymExpr:
 def sym_neg(a: ExprLike) -> SymExpr:
     """Negation; flips infinities."""
     a = as_expr(a)
+    if type(a) is Constant:
+        return Constant(-a.value)
     if a.is_infinite():
-        return NEG_INF if a is POS_INF or a == POS_INF else POS_INF
+        return NEG_INF if a is POS_INF else POS_INF
     off, terms = _decompose(a)
     return _recompose(-off, {atom: -coeff for atom, coeff in terms.items()})
 
@@ -474,9 +515,13 @@ def sym_sub(a: ExprLike, b: ExprLike) -> SymExpr:
     """Saturating symbolic subtraction."""
     a, b = as_expr(a), as_expr(b)
     if a.is_infinite() and b.is_infinite():
-        if a != b:
+        if a is not b:
             return a
         raise ArithmeticError("cannot subtract equal infinities")
+    if a is b:
+        # Identical finite expressions cancel exactly (interning makes this
+        # an O(1) test rather than a structural walk).
+        return ZERO
     return sym_add(a, sym_neg(b))
 
 
@@ -509,9 +554,11 @@ def sym_mul(a: ExprLike, b: ExprLike) -> SymExpr:
         assert factor is not None
         if factor == 0:
             return ZERO
+        if factor == 1:
+            return a
         off, terms = _decompose(a)
         return _recompose(off * factor, {atom: coeff * factor for atom, coeff in terms.items()})
-    lhs, rhs = sorted((a, b), key=lambda e: e.sort_key())
+    lhs, rhs = sorted((a, b), key=lambda e: e._sort_key)
     return ProductExpr(lhs, rhs)
 
 
@@ -560,7 +607,7 @@ def _fold_minmax(a: SymExpr, b: SymExpr, want_min: bool) -> Optional[SymExpr]:
         # Provably equal but possibly syntactically different (e.g.
         # ``max(0, N)`` vs ``max(0, max(-1, N))``): pick a canonical
         # representative so folding is order-independent.
-        return min(a, b, key=lambda e: (e.complexity(), e.sort_key()))
+        return min(a, b, key=lambda e: (e._complexity, e._sort_key))
     if ordering is Ordering.LESS or ordering is Ordering.LESS_EQUAL:
         return a if want_min else b
     if ordering is Ordering.GREATER or ordering is Ordering.GREATER_EQUAL:
@@ -571,30 +618,38 @@ def _fold_minmax(a: SymExpr, b: SymExpr, want_min: bool) -> Optional[SymExpr]:
 def sym_min(a: ExprLike, b: ExprLike) -> SymExpr:
     """``min`` over ``S``; resolved eagerly when operands are comparable."""
     a, b = as_expr(a), as_expr(b)
-    if a == NEG_INF or b == NEG_INF:
-        return NEG_INF
-    if a == POS_INF:
-        return b
-    if b == POS_INF:
+    if a is b:
         return a
+    if a is NEG_INF or b is NEG_INF:
+        return NEG_INF
+    if a is POS_INF:
+        return b
+    if b is POS_INF:
+        return a
+    if type(a) is Constant and type(b) is Constant:
+        return a if a.value <= b.value else b
     folded = _fold_minmax(a, b, want_min=True)
     if folded is not None:
         return folded
-    lhs, rhs = sorted((a, b), key=lambda e: e.sort_key())
+    lhs, rhs = sorted((a, b), key=lambda e: e._sort_key)
     return MinExpr(lhs, rhs)
 
 
 def sym_max(a: ExprLike, b: ExprLike) -> SymExpr:
     """``max`` over ``S``; resolved eagerly when operands are comparable."""
     a, b = as_expr(a), as_expr(b)
-    if a == POS_INF or b == POS_INF:
-        return POS_INF
-    if a == NEG_INF:
-        return b
-    if b == NEG_INF:
+    if a is b:
         return a
+    if a is POS_INF or b is POS_INF:
+        return POS_INF
+    if a is NEG_INF:
+        return b
+    if b is NEG_INF:
+        return a
+    if type(a) is Constant and type(b) is Constant:
+        return a if a.value >= b.value else b
     folded = _fold_minmax(a, b, want_min=False)
     if folded is not None:
         return folded
-    lhs, rhs = sorted((a, b), key=lambda e: e.sort_key())
+    lhs, rhs = sorted((a, b), key=lambda e: e._sort_key)
     return MaxExpr(lhs, rhs)

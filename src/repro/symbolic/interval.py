@@ -21,7 +21,7 @@ conservative) result.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Optional
+from typing import Dict, Iterable, Mapping, Optional
 
 from .expr import (
     ExprLike,
@@ -36,18 +36,24 @@ from .expr import (
     sym_neg,
     sym_sub,
 )
-from .order import Ordering, compare, definitely_le, definitely_lt
+from .order import definitely_le, definitely_lt
 
 __all__ = ["SymbolicInterval", "EMPTY_INTERVAL", "TOP_INTERVAL"]
 
 
 class SymbolicInterval:
-    """An element of ``SymbRanges``: ``∅`` or a pair ``[lower, upper]``."""
+    """An element of ``SymbRanges``: ``∅`` or a pair ``[lower, upper]``.
 
-    __slots__ = ("_lower", "_upper", "_empty")
+    Bounds are hash-consed expressions, so bound comparisons inside the
+    lattice operations are identity tests and the interval's hash is a cheap
+    pair-hash memoized on first use.
+    """
+
+    __slots__ = ("_lower", "_upper", "_empty", "_hash")
 
     def __init__(self, lower: Optional[ExprLike] = None, upper: Optional[ExprLike] = None,
                  *, empty: bool = False):
+        object.__setattr__(self, "_hash", None)
         if empty:
             object.__setattr__(self, "_empty", True)
             object.__setattr__(self, "_lower", None)
@@ -75,8 +81,20 @@ class SymbolicInterval:
 
     @classmethod
     def point(cls, value: ExprLike) -> "SymbolicInterval":
-        """The singleton interval ``[value, value]``."""
-        return cls(value, value)
+        """The singleton interval ``[value, value]`` (cached per expression).
+
+        Point intervals are minted constantly — every integer constant and
+        kernel symbol becomes one — and their bounds are interned, so a
+        capped cache keyed on the bound expression cuts the allocation churn
+        without changing any observable value.
+        """
+        expr = as_expr(value)
+        cached = _POINT_CACHE.get(expr)
+        if cached is None:
+            cached = cls(expr, expr)
+            if len(_POINT_CACHE) < _POINT_CACHE_CAP:
+                _POINT_CACHE[expr] = cached
+        return cached
 
     @classmethod
     def from_bounds(cls, lower: ExprLike, upper: ExprLike) -> "SymbolicInterval":
@@ -106,7 +124,7 @@ class SymbolicInterval:
     @property
     def is_top(self) -> bool:
         """True for ``[-inf, +inf]``."""
-        return not self._empty and self._lower == NEG_INF and self._upper == POS_INF
+        return not self._empty and self._lower is NEG_INF and self._upper is POS_INF
 
     def is_constant(self) -> bool:
         """True when both bounds are (finite) integer constants."""
@@ -130,6 +148,10 @@ class SymbolicInterval:
         if self._empty:
             return other
         if other._empty:
+            return self
+        if self._lower is other._lower and self._upper is other._upper:
+            # Identical endpoints (the overwhelmingly common fixpoint case):
+            # the join is this interval itself, no min/max folding needed.
             return self
         return SymbolicInterval(
             sym_min(self._lower, other._lower), sym_max(self._upper, other._upper)
@@ -165,10 +187,12 @@ class SymbolicInterval:
             return other
         if other._empty:
             return self
-        lower_stable = compare(self._lower, other._lower) is Ordering.EQUAL or definitely_le(
+        if self._lower is other._lower and self._upper is other._upper:
+            return self
+        lower_stable = self._lower is other._lower or definitely_le(
             self._lower, other._lower
         )
-        upper_stable = compare(self._upper, other._upper) is Ordering.EQUAL or definitely_le(
+        upper_stable = self._upper is other._upper or definitely_le(
             other._upper, self._upper
         )
         lower = self._lower if lower_stable else NEG_INF
@@ -186,8 +210,10 @@ class SymbolicInterval:
             return self
         if other._empty:
             return other
-        lower = other._lower if self._lower == NEG_INF else self._lower
-        upper = other._upper if self._upper == POS_INF else self._upper
+        lower = other._lower if self._lower is NEG_INF else self._lower
+        upper = other._upper if self._upper is POS_INF else self._upper
+        if lower is self._lower and upper is self._upper:
+            return self
         return SymbolicInterval(lower, upper)
 
     # -- arithmetic ---------------------------------------------------------
@@ -196,15 +222,21 @@ class SymbolicInterval:
         if self._empty:
             return self
         delta = as_expr(delta)
-        return SymbolicInterval(sym_add(self._lower, delta), sym_add(self._upper, delta))
+        lower = sym_add(self._lower, delta)
+        upper = sym_add(self._upper, delta)
+        if lower is self._lower and upper is self._upper:
+            return self  # shift by zero: interning proves nothing changed
+        return SymbolicInterval(lower, upper)
 
     def add(self, other: "SymbolicInterval") -> "SymbolicInterval":
         """Interval addition ``[a+c, b+d]``."""
         if self._empty or other._empty:
             return EMPTY_INTERVAL
-        return SymbolicInterval(
-            sym_add(self._lower, other._lower), sym_add(self._upper, other._upper)
-        )
+        lower = sym_add(self._lower, other._lower)
+        upper = sym_add(self._upper, other._upper)
+        if lower is self._lower and upper is self._upper:
+            return self
+        return SymbolicInterval(lower, upper)
 
     def sub(self, other: "SymbolicInterval") -> "SymbolicInterval":
         """Interval subtraction ``[a-d, b-c]``."""
@@ -284,12 +316,18 @@ class SymbolicInterval:
             return NotImplemented
         if self._empty or other._empty:
             return self._empty and other._empty
-        return self._lower == other._lower and self._upper == other._upper
+        # Bounds are interned: structural equality is identity.
+        return self._lower is other._lower and self._upper is other._upper
 
     def __hash__(self) -> int:
-        if self._empty:
-            return hash("SymbolicInterval.EMPTY")
-        return hash(("SymbolicInterval", self._lower, self._upper))
+        cached = self._hash
+        if cached is None:
+            if self._empty:
+                cached = hash("SymbolicInterval.EMPTY")
+            else:
+                cached = hash(("SymbolicInterval", self._lower, self._upper))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __repr__(self) -> str:
         if self._empty:
@@ -307,3 +345,8 @@ class SymbolicInterval:
 
 EMPTY_INTERVAL = SymbolicInterval(empty=True)
 TOP_INTERVAL = SymbolicInterval(NEG_INF, POS_INF)
+
+#: Cache of point intervals keyed on their (interned, immortal) bound.
+#: Capped: once full, further points are constructed uncached.
+_POINT_CACHE: Dict[SymExpr, SymbolicInterval] = {}
+_POINT_CACHE_CAP = 1 << 16

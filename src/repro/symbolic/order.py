@@ -15,13 +15,22 @@ Two complementary decision procedures are combined:
 * **structural rules** for ``min``/``max`` — e.g. ``min(x, y) ≤ b`` whenever
   one arm is ``≤ b``, and ``a ≤ max(x, y)`` whenever ``a`` is ``≤`` one arm
   (this is what proves ``min(N - 1, …) < max(N, …)``).
+
+Because expressions are hash-consed (structural equality is identity and
+instances are immortal per process), both :func:`compare` and the inner
+difference test memoize on ``(id(a), id(b))`` through bounded LRU caches —
+the same operand pair recurs thousands of times per fixpoint, and a cache
+hit replaces the whole recursive decision procedure with one dict probe.
+The caches are transparent: a memoized answer is exactly what the uncached
+procedure would return.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import Dict, Optional
 
+from .cache import BoundedMemo
 from .expr import (
     Constant,
     ExprLike,
@@ -37,12 +46,15 @@ from .expr import (
 __all__ = [
     "Ordering",
     "compare",
+    "compare_uncached",
     "definitely_lt",
     "definitely_le",
     "definitely_gt",
     "definitely_ge",
     "definitely_eq",
     "definitely_ne",
+    "compare_memo_stats",
+    "resize_compare_memo",
 ]
 
 #: Maximum recursion depth of the structural min/max rules.
@@ -60,8 +72,51 @@ class Ordering(enum.Enum):
     UNKNOWN = "?"
 
 
+#: ``compare(b, a)`` is the mirror of ``compare(a, b)``: one decision
+#: procedure run fills both cache directions.
+_MIRROR: Dict[Ordering, Ordering] = {
+    Ordering.LESS: Ordering.GREATER,
+    Ordering.LESS_EQUAL: Ordering.GREATER_EQUAL,
+    Ordering.EQUAL: Ordering.EQUAL,
+    Ordering.GREATER_EQUAL: Ordering.LESS_EQUAL,
+    Ordering.GREATER: Ordering.LESS,
+    Ordering.UNKNOWN: Ordering.UNKNOWN,
+}
+
+#: Memoized orderings keyed by ``(id(a), id(b))``; safe because interned
+#: expressions are immortal, bounded because a long-lived daemon is not.
+_COMPARE_MEMO = BoundedMemo(maxsize=1 << 17)
+
+#: Memoized difference bounds keyed the same way (``None`` results included).
+_DIFFERENCE_MEMO = BoundedMemo(maxsize=1 << 17)
+
+_MISS = object()
+
+
+def compare_memo_stats() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/eviction counters of the order-layer memo caches."""
+    return {"compare": _COMPARE_MEMO.stats(),
+            "difference": _DIFFERENCE_MEMO.stats()}
+
+
+def resize_compare_memo(maxsize: int) -> None:
+    """The size knob: rebound both order-layer memo caches."""
+    _COMPARE_MEMO.resize(maxsize)
+    _DIFFERENCE_MEMO.resize(maxsize)
+
+
 def _difference_lower_bound(a: SymExpr, b: SymExpr) -> Optional[int]:
     """A constant ``c`` with ``b - a >= c``, when one is syntactically evident."""
+    key = (id(a), id(b))
+    cached = _DIFFERENCE_MEMO.get(key, _MISS)
+    if cached is not _MISS:
+        return cached
+    bound = _difference_lower_bound_uncached(a, b)
+    _DIFFERENCE_MEMO.put(key, bound)
+    return bound
+
+
+def _difference_lower_bound_uncached(a: SymExpr, b: SymExpr) -> Optional[int]:
     try:
         diff = sym_sub(b, a)
     except ArithmeticError:
@@ -82,12 +137,12 @@ def _difference_lower_bound(a: SymExpr, b: SymExpr) -> Optional[int]:
 
 def _le(a: SymExpr, b: SymExpr, depth: int, *, strict: bool) -> bool:
     """Provable ``a <= b`` (or ``a < b`` when ``strict``)."""
-    if a == NEG_INF or b == POS_INF:
+    if a is NEG_INF or b is POS_INF:
         # -inf <= anything and anything <= +inf; strictness holds unless equal.
-        return not (strict and a == b)
-    if a == POS_INF or b == NEG_INF:
+        return not (strict and a is b)
+    if a is POS_INF or b is NEG_INF:
         return False
-    if not strict and a == b:
+    if not strict and a is b:
         return True
     bound = _difference_lower_bound(a, b)
     if bound is not None and (bound > 0 if strict else bound >= 0):
@@ -120,14 +175,34 @@ def compare(a: ExprLike, b: ExprLike) -> Ordering:
     """Compare ``a`` and ``b`` under the symbolic partial order.
 
     Returns :data:`Ordering.UNKNOWN` whenever the relation cannot be proven
-    purely syntactically (after linear canonicalisation).
+    purely syntactically (after linear canonicalisation).  Answers are
+    memoized per identity pair (hash-consing makes that sound) together
+    with the mirrored pair.
     """
     a, b = as_expr(a), as_expr(b)
-    if a == b:
+    if a is b:
         return Ordering.EQUAL
-    if a == NEG_INF or b == POS_INF:
+    key = (id(a), id(b))
+    cached = _COMPARE_MEMO.get(key)
+    if cached is not None:
+        return cached
+    ordering = compare_uncached(a, b)
+    _COMPARE_MEMO.put(key, ordering)
+    _COMPARE_MEMO.put((id(b), id(a)), _MIRROR[ordering])
+    return ordering
+
+
+def compare_uncached(a: ExprLike, b: ExprLike) -> Ordering:
+    """The raw decision procedure behind :func:`compare` (no memo).
+
+    Exposed so tests can check the memoized path against this oracle.
+    """
+    a, b = as_expr(a), as_expr(b)
+    if a is b:
+        return Ordering.EQUAL
+    if a is NEG_INF or b is POS_INF:
         return Ordering.LESS
-    if a == POS_INF or b == NEG_INF:
+    if a is POS_INF or b is NEG_INF:
         return Ordering.GREATER
     if _le(a, b, _MAX_DEPTH, strict=True):
         return Ordering.LESS

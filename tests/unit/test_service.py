@@ -264,3 +264,35 @@ class TestEditScenarios:
         a = edit_scenario(config, edits=2, seed=0)
         b = edit_scenario(config, edits=2, seed=1)
         assert [s.source for s in a.steps] != [s.source for s in b.steps]
+
+
+class TestStatsCacheTelemetry:
+    """The stats op surfaces every bounded cache the daemon depends on."""
+
+    def test_stats_surface_memo_and_cache_counters(self):
+        session = AnalysisSession()
+        session.load_source("m", SRC)
+        base, offset = _main_pointers(session)
+        session.query("m", "rbaa", "main", base, offset)
+        record = session.stats("m")
+        memo = record["memos"]["rbaa"]
+        assert {"hits", "misses", "evictions", "size",
+                "max_payloads"} <= set(memo)
+        assert memo["max_payloads"] == session.memo_payload_cap
+        outcome_memo = record["rbaa_outcome_memo"]
+        assert outcome_memo["misses"] >= 1
+        assert outcome_memo["evictions"] == 0
+        caches = record["symbolic_caches"]
+        assert set(caches) == {"compare", "difference"}
+        for counters in caches.values():
+            assert {"size", "maxsize", "hits", "misses",
+                    "evictions"} == set(counters)
+
+    def test_memo_cap_resize_applies_to_live_memos(self):
+        session = AnalysisSession()
+        session.load_source("m", SRC)
+        base, offset = _main_pointers(session)
+        session.query("m", "rbaa", "main", base, offset)
+        session.memo_payload_cap = 1
+        session.query("m", "rbaa", "main", base, offset)
+        assert len(session._modules["m"].memos["rbaa"]) <= 1

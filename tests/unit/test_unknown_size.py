@@ -173,3 +173,72 @@ class TestQueryPairMemoCounters:
         memo.remember("pair", "payload")
         assert memo.lookup("pair") == "payload"
         assert (memo.hits, memo.misses) == (1, 1)
+
+
+class TestQueryPairMemoBound:
+    """The memo is an LRU bounded by ``max_payloads`` (daemon-safety knob)."""
+
+    def test_eviction_is_lru_and_counted(self):
+        memo = QueryPairMemo(max_payloads=2)
+        memo.remember("a", 1)
+        memo.remember("b", 2)
+        assert memo.lookup("a") == 1       # refresh: "b" is now least recent
+        memo.remember("c", 3)              # evicts "b"
+        assert memo.lookup("b") is None
+        assert memo.lookup("a") == 1
+        assert memo.lookup("c") == 3
+        assert memo.evictions == 1
+        assert len(memo) == 2
+
+    def test_eviction_only_forces_recompute(self):
+        memo = QueryPairMemo(max_payloads=1)
+        memo.remember("a", "payload-a")
+        memo.remember("b", "payload-b")    # evicts "a"
+        assert memo.lookup("a") is None    # recompute path
+        memo.remember("a", "payload-a")    # same deterministic payload again
+        assert memo.lookup("a") == "payload-a"
+
+    def test_resize_trims_and_counts(self):
+        memo = QueryPairMemo(max_payloads=4)
+        for index in range(4):
+            memo.remember(index, index)
+        memo.resize(2)
+        assert memo.evictions == 2
+        assert len(memo) == 2
+        assert memo.lookup(3) == 3         # most recent survived
+
+    def test_bound_never_below_one(self):
+        memo = QueryPairMemo(max_payloads=0)
+        memo.remember("a", 1)
+        assert memo.lookup("a") == 1
+        assert len(memo) == 1
+
+
+class TestBoundedOutcomeMemoStatistics:
+    """Eviction from RBAA's outcome memo must never drop Figure-14 counts."""
+
+    def test_memoized_replay_survives_eviction(self):
+        from repro.core.rbaa import RBAAOptions
+        from repro.evaluation.harness import enumerate_query_pairs
+
+        module = compile_source(ONE_BYTE_DISJOINT, "m")
+        pairs = [(pair.a, pair.b) for pair in enumerate_query_pairs(module)]
+        assert len(pairs) >= 2
+
+        reference = RBAAAliasAnalysis(compile_source(ONE_BYTE_DISJOINT, "m"))
+        memo_ref = QueryPairMemo()
+        reference.query_many(pairs, memo=memo_ref)
+        reference.query_many(pairs, memo=memo_ref)  # replayed batch
+
+        tiny = RBAAAliasAnalysis(
+            compile_source(ONE_BYTE_DISJOINT, "m"),
+            RBAAOptions(outcome_memo_payloads=1))
+        memo_tiny = QueryPairMemo()
+        tiny.query_many(pairs, memo=memo_tiny)
+        tiny.query_many(pairs, memo=memo_tiny)
+        assert tiny._outcomes.evictions > 0  # the bound actually bit
+
+        for field in ("queries", "no_alias", "answered_by_global",
+                      "answered_by_local", "answered_by_distinct_objects"):
+            assert getattr(tiny.statistics, field) \
+                == getattr(reference.statistics, field)
