@@ -5,23 +5,29 @@ Run with::
 
     python examples/query_server.py
 
-The example drives the serving layer both ways:
+The example drives the serving layer three ways — all speaking the one
+versioned protocol defined in :mod:`repro.service.protocol`:
 
 1. through the in-process :class:`repro.service.AnalysisSession` API —
    load a program, ask alias and range queries from warm analysis state,
    apply a single-function edit and watch the incremental path re-run only
    part of the work;
-2. through the stdin/stdout daemon (``python -m repro.service``), speaking
-   the same line-delimited JSON protocol a non-Python client would.
+2. through the stdin/stdout daemon (``python -m repro.service``), using the
+   protocol's client helpers (version stamp, request ids, structured
+   ``error_code`` envelopes) exactly like a non-Python client would;
+3. through the concurrent TCP server (``python -m repro.service.server``) —
+   the sharded, batching front end — showing that socket answers are
+   bit-identical to the in-process session's.
 """
 
 import json
 import os
+import socket
 import subprocess
 import sys
 
 import repro
-from repro.service import AnalysisSession
+from repro.service import AnalysisSession, check_response, make_request
 
 SOURCE = r"""
 void rotate(int* ring, int n) {
@@ -75,38 +81,83 @@ def in_process_walkthrough() -> None:
     print(f"engine counters: {session.stats('demo')['engine']}")
 
 
-def daemon_walkthrough() -> None:
-    print("\n=== Line-delimited JSON daemon ===")
+def _subprocess_env() -> dict:
     env = dict(os.environ)
     package_root = os.path.dirname(os.path.dirname(
         os.path.abspath(repro.__file__)))
     env["PYTHONPATH"] = package_root + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return env
+
+
+def daemon_walkthrough() -> None:
+    print("\n=== Line-delimited JSON daemon ===")
+    # make_request stamps the protocol version; the ids come back verbatim
+    # on each response, so pipelined traffic stays attributable.
     requests = [
-        {"op": "ping"},
-        {"op": "load", "name": "demo", "source": SOURCE},
-        {"op": "query_function", "module": "demo", "analysis": "rbaa",
-         "function": "rotate"},
-        {"op": "edit", "name": "demo", "source": EDITED},
-        {"op": "stats", "module": "demo"},
-        {"op": "shutdown"},
+        make_request("ping", id=1),
+        make_request("load", id=2, name="demo", source=SOURCE),
+        make_request("query_function", id=3, module="demo", analysis="rbaa",
+                     function="rotate"),
+        make_request("edit", id=4, name="demo", source=EDITED),
+        make_request("stats", id=5, module="demo"),
+        make_request("warp", id=6),  # structured error: unknown_op
+        make_request("shutdown", id=7),
     ]
     payload = "".join(json.dumps(request) + "\n" for request in requests)
     result = subprocess.run([sys.executable, "-m", "repro.service"],
                             input=payload, capture_output=True, text=True,
-                            env=env, timeout=300)
+                            env=_subprocess_env(), timeout=300)
     for request, line in zip(requests, result.stdout.strip().splitlines()):
         response = json.loads(line)
-        summary = {key: response[key] for key in ("pong", "functions",
+        summary = {key: response[key] for key in ("id", "pong", "functions",
                                                   "no_alias", "changed",
-                                                  "solver_steps", "shutdown")
+                                                  "solver_steps", "error_code",
+                                                  "shutdown")
                    if key in response}
         print(f"  {request['op']:>14} -> {summary}")
+
+
+def socket_walkthrough() -> None:
+    print("\n=== Concurrent TCP server ===")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.service.server",
+         "--port", "0", "--workers", "2"],
+        stdout=subprocess.PIPE, text=True, env=_subprocess_env())
+    banner = process.stdout.readline()
+    port = int(banner.rsplit(":", 1)[1].split()[0])
+    connection = socket.create_connection(("127.0.0.1", port), timeout=60)
+    stream = connection.makefile("rw", encoding="utf-8", newline="\n")
+
+    def call(payload):
+        stream.write(json.dumps(payload) + "\n")
+        stream.flush()
+        return json.loads(stream.readline())
+
+    loaded = check_response(call(make_request(
+        "load", id="s1", name="demo", source=SOURCE)))
+    sweep = check_response(call(make_request(
+        "query_function", id="s2", module="demo", analysis="rbaa",
+        function="rotate")))
+    print(f"  socket: loaded {loaded['functions']}, rbaa disambiguates "
+          f"{sweep['no_alias']}/{sweep['queries']} pairs in rotate")
+
+    # The exact same request against an in-process session: bit-identical.
+    session = AnalysisSession()
+    session.load_source("demo", SOURCE)
+    serial = session.query_function("demo", "rbaa", "rotate")
+    socket_core = {key: sweep[key] for key in serial}
+    print(f"  socket answer == in-process answer: {socket_core == serial}")
+
+    call(make_request("shutdown", id="s3"))
+    connection.close()
+    process.wait(timeout=30)
 
 
 def main() -> None:
     in_process_walkthrough()
     daemon_walkthrough()
+    socket_walkthrough()
 
 
 if __name__ == "__main__":

@@ -12,7 +12,8 @@ from .generator import (
 )
 from .editscript import EditScenario, EditStep, edit_scenario
 from .idioms import IDIOMS, Idiom, get_idiom, idiom_names
-from .manifest import GENERATOR_VERSION, corpus_manifest, manifest_entry, suite_configs
+from .manifest import (GENERATOR_VERSION, corpus_manifest, digest_index,
+                       manifest_entry, suite_configs)
 from .paper_programs import (
     FIGURE1_SOURCE,
     FIGURE3_SOURCE,
@@ -49,6 +50,7 @@ __all__ = [
     "idiom_names",
     "GENERATOR_VERSION",
     "corpus_manifest",
+    "digest_index",
     "manifest_entry",
     "suite_configs",
     "FIGURE1_SOURCE",

@@ -21,7 +21,8 @@ from .generator import GeneratorConfig, generate_source, source_digest
 from .paper_programs import PAPER_SOURCES
 from .suites import SUITE_PROGRAMS, select_programs
 
-__all__ = ["GENERATOR_VERSION", "manifest_entry", "corpus_manifest", "suite_configs"]
+__all__ = ["GENERATOR_VERSION", "manifest_entry", "corpus_manifest", "suite_configs",
+           "digest_index"]
 
 #: Bump when idiom templates, selection, or seeding change generated shapes.
 GENERATOR_VERSION = 2
@@ -70,3 +71,16 @@ def suite_configs(names: Optional[Sequence[str]] = None,
                   max_programs: Optional[int] = None) -> List[GeneratorConfig]:
     """Generator configs of the (sliced) evaluation suite, in corpus order."""
     return [program.config() for program in select_programs(names, max_programs)]
+
+
+def digest_index(names: Optional[Sequence[str]] = None) -> Dict[str, str]:
+    """``name -> source_sha256`` for (a slice of) the suite corpus.
+
+    These digests are the content addresses the analysis service's
+    persistent result store keys on (together with
+    :data:`GENERATOR_VERSION`); the serving-layer loadtest records them in
+    ``BENCH_service.json`` so a stored answer can be traced back to the
+    exact source it was computed from.
+    """
+    return {config.name: source_digest(generate_source(config))
+            for config in suite_configs(names)}

@@ -1,23 +1,65 @@
 """The analysis service: resident modules, incremental edits, query traffic.
 
+* :mod:`repro.service.protocol` — the one versioned wire contract every
+  transport speaks: typed request dataclasses, the dispatch table,
+  structured ``error_code`` envelopes with request-``id`` echo, the
+  access-size schema, and client helpers.
 * :mod:`repro.service.session` — :class:`AnalysisSession`, the in-process
   API: modules stay resident with warm analysis state and cross-request
-  query memos; single-function edits re-run only the invalidated cone.
+  query memos; single-function edits re-run only the invalidated cone;
+  optionally backed by the persistent result store.
+* :mod:`repro.service.store` — :class:`ResultStore`, the persistent
+  content-addressed result cache keyed by source digest + generator and
+  protocol versions (warm restarts skip compile-and-bootstrap).
 * :mod:`repro.service.daemon` — a stdin/stdout daemon speaking
-  line-delimited JSON over the same session API.
+  line-delimited JSON through the protocol layer.
+* :mod:`repro.service.pool` / :mod:`repro.service.server` — the concurrent
+  serving layer: an asyncio TCP front end batching and multiplexing onto a
+  shared-nothing pool of worker processes sharded by module.
 * :mod:`repro.service.bench` — the cold-build vs warm-incremental
-  benchmark (``BENCH_service.json``) driven by seeded benchgen edit
-  scenarios.
+  benchmark driven by seeded benchgen edit scenarios.
+* :mod:`repro.service.loadtest` — the closed-loop multi-client loadtest
+  (``BENCH_service.json``) gated on answer identity vs a serial session.
 """
 
 from .daemon import handle_request, serve
-from .session import ANALYSIS_KEYS, AnalysisSession, ResidentModule, ServiceError
+from .pool import WorkerPool
+from .protocol import (
+    ERROR_CODES,
+    PROTOCOL_VERSION,
+    ServiceError,
+    check_response,
+    handle_payload,
+    make_request,
+    parse_request,
+)
+from .session import ANALYSIS_KEYS, AnalysisSession, ResidentModule
+from .store import ResultStore
+
+
+def __getattr__(name: str):
+    # Lazy so ``python -m repro.service.server`` does not re-import the
+    # module it is about to execute (runpy would warn about that).
+    if name == "ServiceServer":
+        from .server import ServiceServer
+
+        return ServiceServer
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "ANALYSIS_KEYS",
+    "ERROR_CODES",
+    "PROTOCOL_VERSION",
     "AnalysisSession",
     "ResidentModule",
+    "ResultStore",
     "ServiceError",
+    "ServiceServer",
+    "WorkerPool",
+    "check_response",
+    "handle_payload",
     "handle_request",
+    "make_request",
+    "parse_request",
     "serve",
 ]

@@ -18,6 +18,12 @@ benchmark into a gate: warm and cold answers must be identical at every
 step and the warm path must re-run strictly fewer solver steps than a cold
 rebuild on every edit.
 
+All three clients stamp the protocol version and validate responses with
+:func:`repro.service.protocol.check_response`, so the benchmark exercises
+the same versioned wire contract as every other transport; ``--daemon``
+swaps the warm path onto a real stdin/stdout daemon subprocess and
+``--socket`` onto the concurrent TCP server.
+
 Command line::
 
     python -m repro.service.bench --quick --daemon --check \
@@ -29,6 +35,8 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import re
+import socket
 import subprocess
 import sys
 import time
@@ -37,11 +45,11 @@ from typing import Any, Dict, List, Optional, Sequence
 from ..benchgen import edit_scenario
 from ..benchgen.suites import SUITE_PROGRAMS
 from ..evaluation.reporting import to_canonical_json
-from .daemon import handle_request
+from .protocol import PROTOCOL_VERSION, ServiceError, check_response, handle_payload
 from .session import AnalysisSession
 
-__all__ = ["DaemonClient", "InProcessClient", "bench_program", "run_bench",
-           "main"]
+__all__ = ["DaemonClient", "InProcessClient", "SocketClient", "bench_program",
+           "run_bench", "main"]
 
 #: Analyses swept at every step of every scenario.
 BENCH_ANALYSES = ("rbaa", "basic", "andersen", "steensgaard")
@@ -53,14 +61,33 @@ QUICK_EDITS = 3
 QUICK_MAX_PAIRS = 120
 
 
+def _versioned(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Stamp the protocol version (clients should always send ``v``)."""
+    stamped = dict(payload)
+    stamped.setdefault("v", PROTOCOL_VERSION)
+    return stamped
+
+
+def _subprocess_env() -> Dict[str, str]:
+    import repro
+
+    env = dict(os.environ)
+    package_root = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = package_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return env
+
+
 class InProcessClient:
-    """The session API behind the same request interface the daemon speaks."""
+    """The session API behind the same protocol the remote transports speak."""
 
     def __init__(self) -> None:
         self._session = AnalysisSession()
 
     def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        return handle_request(self._session, payload)
+        return check_response(handle_payload(self._session,
+                                             _versioned(payload)))
 
     def close(self) -> None:
         pass
@@ -70,36 +97,74 @@ class DaemonClient:
     """Drives a real daemon subprocess over line-delimited JSON."""
 
     def __init__(self) -> None:
-        import repro
-
-        env = dict(os.environ)
-        package_root = os.path.dirname(os.path.dirname(
-            os.path.abspath(repro.__file__)))
-        env["PYTHONPATH"] = package_root + (
-            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
         self._process = subprocess.Popen(
             [sys.executable, "-m", "repro.service"],
             stdin=subprocess.PIPE, stdout=subprocess.PIPE,
-            text=True, env=env)
+            text=True, env=_subprocess_env())
 
     def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         assert self._process.stdin is not None and self._process.stdout is not None
-        self._process.stdin.write(json.dumps(payload) + "\n")
+        self._process.stdin.write(json.dumps(_versioned(payload)) + "\n")
         self._process.stdin.flush()
         line = self._process.stdout.readline()
         if not line:
             raise RuntimeError("daemon closed its stdout mid-conversation")
-        response = json.loads(line)
-        if not response.get("ok"):
-            raise RuntimeError(f"daemon error: {response.get('error')}")
-        return response
+        return check_response(json.loads(line))
 
     def close(self) -> None:
         try:
             self.request({"op": "shutdown"})
-        except (RuntimeError, BrokenPipeError, OSError):  # pragma: no cover
-            self._process.kill()
+        except (ServiceError, RuntimeError, BrokenPipeError, OSError):
+            self._process.kill()  # pragma: no cover - shutdown fallback
         self._process.wait(timeout=30)
+
+
+class SocketClient:
+    """Drives the concurrent TCP server (:mod:`repro.service.server`).
+
+    The server subprocess announces its ephemeral port on stdout; the
+    client then speaks the identical line protocol over one connection.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        self._process = subprocess.Popen(
+            [sys.executable, "-m", "repro.service.server",
+             "--port", "0", "--workers", str(workers)],
+            stdout=subprocess.PIPE, text=True, env=_subprocess_env())
+        assert self._process.stdout is not None
+        banner = self._process.stdout.readline()
+        match = re.search(r":(\d+) ", banner)
+        if not match:
+            self._process.kill()
+            raise RuntimeError(f"no port in server banner: {banner!r}")
+        self._socket = socket.create_connection(
+            ("127.0.0.1", int(match.group(1))), timeout=60)
+        self._file = self._socket.makefile("rw", encoding="utf-8", newline="\n")
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        self._file.write(json.dumps(_versioned(payload)) + "\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise RuntimeError("server closed the connection mid-conversation")
+        return check_response(json.loads(line))
+
+    def close(self) -> None:
+        try:
+            self.request({"op": "shutdown"})
+        except (ServiceError, RuntimeError, BrokenPipeError, OSError):
+            self._process.kill()  # pragma: no cover - shutdown fallback
+        finally:
+            self._socket.close()
+        self._process.wait(timeout=30)
+
+
+#: ``--transport`` / ``bench_program(transport=...)`` choices.
+TRANSPORTS = {
+    "inprocess": InProcessClient,
+    "daemon": DaemonClient,
+    "socket": SocketClient,
+}
 
 
 def _sweep(client, module: str, max_pairs: Optional[int]) -> Dict[str, Any]:
@@ -118,12 +183,19 @@ def _sweep(client, module: str, max_pairs: Optional[int]) -> Dict[str, Any]:
 
 
 def bench_program(name: str, edits: int, max_pairs: Optional[int],
-                  seed: int = 0, daemon: bool = False) -> Dict[str, Any]:
-    """Replay one program's edit scenario warm and cold; return the record."""
+                  seed: int = 0, daemon: bool = False,
+                  transport: Optional[str] = None) -> Dict[str, Any]:
+    """Replay one program's edit scenario warm and cold; return the record.
+
+    ``transport`` picks the warm path's client (``inprocess`` / ``daemon``
+    / ``socket``); the legacy ``daemon=True`` flag means ``daemon``.
+    """
     config = next(p for p in SUITE_PROGRAMS if p.name == name).config()
     scenario = edit_scenario(config, edits=edits, seed=seed)
 
-    warm_client = DaemonClient() if daemon else InProcessClient()
+    if transport is None:
+        transport = "daemon" if daemon else "inprocess"
+    warm_client = TRANSPORTS[transport]()
     steps: List[Dict[str, Any]] = []
     try:
         started = time.perf_counter()
@@ -190,8 +262,10 @@ def bench_program(name: str, edits: int, max_pairs: Optional[int],
 
 def run_bench(programs: Sequence[str], edits: int,
               max_pairs: Optional[int], seed: int = 0,
-              daemon: bool = False) -> Dict[str, Any]:
-    records = [bench_program(name, edits, max_pairs, seed=seed, daemon=daemon)
+              daemon: bool = False,
+              transport: Optional[str] = None) -> Dict[str, Any]:
+    records = [bench_program(name, edits, max_pairs, seed=seed, daemon=daemon,
+                             transport=transport)
                for name in programs]
     return {
         "schema": 1,
@@ -238,6 +312,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--daemon", action="store_true",
                         help="drive the warm path through a real daemon "
                              "subprocess (end-to-end)")
+    parser.add_argument("--socket", action="store_true",
+                        help="drive the warm path through the concurrent "
+                             "TCP server subprocess (end-to-end)")
     parser.add_argument("--check", action="store_true",
                         help="exit 1 unless warm ≡ cold everywhere and the "
                              "warm path wins every edit step")
@@ -255,12 +332,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.quick and max_pairs is None:
         max_pairs = QUICK_MAX_PAIRS
 
+    transport = "socket" if args.socket else ("daemon" if args.daemon
+                                              else "inprocess")
     started = time.perf_counter()
     record = run_bench(programs, edits, max_pairs, seed=args.seed,
-                       daemon=args.daemon)
+                       transport=transport)
     elapsed = time.perf_counter() - started
     record["run"] = {
         "daemon": bool(args.daemon),
+        "transport": transport,
         "quick": bool(args.quick),
         "python": sys.version.split()[0],
         "total_wall_seconds": elapsed,

@@ -1,11 +1,13 @@
-"""The analysis daemon: a line-delimited JSON protocol over stdin/stdout.
+"""The analysis daemon: the service protocol over stdin/stdout.
 
 Each request is one JSON object per line; each response is one JSON object
-per line, in request order.  Responses always carry ``"ok"``; successful
-ones embed the operation's result fields, failures carry ``"error"`` (the
-daemon never dies on a bad request — only on EOF or ``shutdown``).
+per line, in request order.  The wire contract — versioning (``"v"``),
+request-``id`` echo, structured ``error_code`` envelopes, the access-size
+schema — is defined once in :mod:`repro.service.protocol`; this module is
+only the stdio transport around :func:`repro.service.protocol.handle_payload`
+(the daemon never dies on a bad request — only on EOF or ``shutdown``).
 
-Operations (``"op"``):
+Operations (``"op"``; request types live in ``protocol.REQUESTS``):
 
 =================  ==========================================================
 ``ping``           liveness check; echoes ``{"pong": true}``
@@ -23,98 +25,78 @@ Operations (``"op"``):
 ``shutdown``       acknowledge and exit
 =================  ==========================================================
 
-Sizes: omit for the pointee-size default; ``null`` or ``"unknown"`` for an
-unknown (unbounded) access size.
+Requests may carry ``"v"`` (protocol version; mismatches are rejected with
+``error_code: "protocol_mismatch"``) and ``"id"`` (an arbitrary correlation
+token echoed verbatim on the response).  Failures are structured::
+
+    {"ok": false, "v": 1, "id": .., "error_code": "unknown_op",
+     "message": "...", "error": "..."}
+
+where ``error_code`` is one of ``protocol.ERROR_CODES`` and ``error`` is
+the deprecated pre-v1 free-form string (kept for one release).
+
+Sizes (``size_a``/``size_b`` and 4-element ``query_many`` pairs): omit or
+``"default"`` for the pointee-size default; ``null`` or ``"unknown"`` for
+an unknown (unbounded) access extent; a non-negative integer for a byte
+count.  :func:`repro.service.protocol.coerce_size` is the single source of
+truth, so the schema round-trips identically through the in-process
+session, this daemon, and the socket server.
 
 Usage::
 
-    python -m repro.service.daemon        # or: python -m repro.service
+    python -m repro.service.daemon [--store DIR]   # or: python -m repro.service
+
+``--store`` backs the session with a persistent content-addressed result
+store (:mod:`repro.service.store`): deterministic answers are reused across
+restarts and module loads stay lazy while the store can answer.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from typing import Any, Dict, IO, Optional
 
-from .session import AnalysisSession, ServiceError
+from .protocol import BAD_REQUEST, error_envelope, handle_payload, request_id_of
+from .session import AnalysisSession
+from .store import ResultStore
 
 __all__ = ["handle_request", "serve", "main"]
-
-#: Marker used instead of the session's keyword-absent default when a size
-#: key is missing from the request.
-_ABSENT = object()
-
-
-def _size(request: Dict[str, Any], key: str) -> Any:
-    return request[key] if key in request else _ABSENT
 
 
 def handle_request(session: AnalysisSession,
                    request: Dict[str, Any]) -> Dict[str, Any]:
-    """Dispatch one decoded request; returns the response payload."""
-    op = request.get("op")
-    if op == "ping":
-        return {"ok": True, "pong": True}
-    if op == "load":
-        return {"ok": True, **session.load_source(request["name"],
-                                                  request["source"])}
-    if op == "load_program":
-        return {"ok": True, **session.load_program(request["name"])}
-    if op == "edit":
-        return {"ok": True, **session.edit_source(request["name"],
-                                                  request["source"])}
-    if op == "query":
-        kwargs: Dict[str, Any] = {}
-        for key in ("size_a", "size_b"):
-            value = _size(request, key)
-            if value is not _ABSENT:
-                kwargs[key] = value
-        return {"ok": True, **session.query(
-            request["module"], request["analysis"], request["function"],
-            request["a"], request["b"], **kwargs)}
-    if op == "query_many":
-        return {"ok": True, **session.query_many(
-            request["module"], request["analysis"], request["function"],
-            request["pairs"])}
-    if op == "query_function":
-        return {"ok": True, **session.query_function(
-            request["module"], request["analysis"],
-            request.get("function"), request.get("max_pairs"))}
-    if op == "values":
-        return {"ok": True, **session.values(request["module"],
-                                             request["function"])}
-    if op == "range":
-        return {"ok": True, **session.range_of(
-            request["module"], request["function"], request["value"])}
-    if op == "stats":
-        return {"ok": True, **session.stats(request["module"])}
-    if op == "modules":
-        return {"ok": True, "modules": session.modules()}
-    if op == "unload":
-        return {"ok": True, **session.unload(request["name"])}
-    if op == "shutdown":
-        return {"ok": True, "shutdown": True}
-    raise ServiceError(f"unknown op {op!r}")
+    """Dispatch one decoded request; returns the response envelope.
+
+    Thin alias of :func:`repro.service.protocol.handle_payload`, kept as
+    the historical in-process entry point (it never raises — errors come
+    back as structured envelopes).
+    """
+    return handle_payload(session, request)
 
 
 def serve(stdin: Optional[IO[str]] = None,
-          stdout: Optional[IO[str]] = None) -> int:
+          stdout: Optional[IO[str]] = None,
+          session: Optional[AnalysisSession] = None) -> int:
     """Run the request loop until EOF or a ``shutdown`` request."""
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
-    session = AnalysisSession()
+    session = session if session is not None else AnalysisSession()
     for line in stdin:
         line = line.strip()
         if not line:
             continue
         try:
-            request = json.loads(line)
-            if not isinstance(request, dict):
-                raise ServiceError("request must be a JSON object")
-            response = handle_request(session, request)
-        except (ServiceError, KeyError, TypeError, ValueError) as error:
-            response = {"ok": False, "error": f"{type(error).__name__}: {error}"}
+            request: Any = json.loads(line)
+        except ValueError as error:
+            response = error_envelope(BAD_REQUEST,
+                                      f"invalid JSON: {error}", None)
+        else:
+            response = handle_payload(session, request)
+            # handle_payload never raises; a failure is already an envelope
+            # with the request id echoed for pipelined correlation.
+            assert "ok" in response, request_id_of(request)
         stdout.write(json.dumps(response, sort_keys=True) + "\n")
         stdout.flush()
         if response.get("shutdown"):
@@ -122,8 +104,16 @@ def serve(stdin: Optional[IO[str]] = None,
     return 0
 
 
-def main() -> int:  # pragma: no cover - exercised via subprocess in CI
-    return serve()
+def main(argv: Optional[list] = None) -> int:  # pragma: no cover - subprocess
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="line-delimited JSON analysis daemon over stdin/stdout")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="back the session with a persistent "
+                             "content-addressed result store at DIR")
+    options = parser.parse_args(argv)
+    store = ResultStore(options.store) if options.store else None
+    return serve(session=AnalysisSession(store=store))
 
 
 if __name__ == "__main__":  # pragma: no cover

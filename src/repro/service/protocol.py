@@ -1,0 +1,742 @@
+"""One service protocol, every transport: typed requests, dispatch, envelopes.
+
+Every entry point into the analysis service — the in-process
+:class:`~repro.service.session.AnalysisSession`, the stdin/stdout daemon
+(:mod:`repro.service.daemon`) and the concurrent socket server
+(:mod:`repro.service.server`) — speaks the contract defined here, so a
+request behaves identically no matter which transport carries it.
+
+Wire shape
+----------
+
+A request is one JSON object: ``{"op": <name>, "v": <version>,
+"id": <any>, ...fields}``.  ``v`` is the protocol version — a request
+carrying a different version is rejected with a structured
+``protocol_mismatch`` error (omitting ``v`` is accepted for pre-versioned
+clients).  ``id`` is an arbitrary client-chosen correlation token echoed
+verbatim on the response, which is what makes pipelined and multiplexed
+traffic attributable.
+
+A response is one JSON object: ``{"ok": true, "v": 1, "id": ..,
+...result}`` on success, and on failure::
+
+    {"ok": false, "v": 1, "id": .., "error_code": "<stable code>",
+     "message": "<human text>", "error": "<legacy string>"}
+
+``error_code`` is machine-readable and stable (see :data:`ERROR_CODES`);
+``error`` is the pre-v1 free-form string, kept for one release so old
+clients that match on it keep working — new clients must switch to
+``error_code`` (deprecated, will be dropped).
+
+Access sizes
+------------
+
+``size_a``/``size_b`` (and the optional third/fourth elements of a
+``query_many`` pair) accept exactly three spellings, normalised in one
+place (:func:`coerce_size`) for every transport:
+
+* omitted or the string ``"default"`` — the access covers the pointee
+  size (:data:`DEFAULT_SIZE`);
+* ``null`` or the string ``"unknown"`` — unbounded access extent;
+* a non-negative integer — that many bytes.
+
+Requests are dataclasses (one per op, registered in :data:`REQUESTS` — the
+dispatch table that replaced the daemon's if/elif chain); responses for the
+common query ops have typed counterparts (:class:`QueryResponse`, …) used
+by the bundled clients.  :func:`handle_payload` is the single entry point
+transports call: parse, dispatch, envelope — it never raises.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Any, ClassVar, Dict, List, Optional, Tuple, Type
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ERROR_CODES",
+    "PROTOCOL_MISMATCH",
+    "BAD_REQUEST",
+    "UNKNOWN_OP",
+    "UNKNOWN_MODULE",
+    "UNKNOWN_FUNCTION",
+    "UNKNOWN_VALUE",
+    "UNKNOWN_ANALYSIS",
+    "EDIT_REJECTED",
+    "INTERNAL_ERROR",
+    "ServiceError",
+    "DEFAULT_SIZE",
+    "UNKNOWN_SIZE",
+    "coerce_size",
+    "encode_size",
+    "Request",
+    "REQUESTS",
+    "parse_request",
+    "handle_payload",
+    "success_envelope",
+    "error_envelope",
+    "make_request",
+    "check_response",
+    "encode_line",
+    "decode_line",
+    "LoadResponse",
+    "QueryResponse",
+    "QueryManyResponse",
+    "QueryFunctionResponse",
+    "ValuesResponse",
+    "RangeResponse",
+]
+
+#: The protocol version every transport speaks.  Bump on wire-incompatible
+#: changes; requests carrying another version are rejected with
+#: ``protocol_mismatch`` instead of being half-understood.
+PROTOCOL_VERSION = 1
+
+# -- stable machine-readable error codes --------------------------------------
+
+PROTOCOL_MISMATCH = "protocol_mismatch"
+BAD_REQUEST = "bad_request"
+UNKNOWN_OP = "unknown_op"
+UNKNOWN_MODULE = "unknown_module"
+UNKNOWN_FUNCTION = "unknown_function"
+UNKNOWN_VALUE = "unknown_value"
+UNKNOWN_ANALYSIS = "unknown_analysis"
+EDIT_REJECTED = "edit_rejected"
+INTERNAL_ERROR = "internal_error"
+
+#: The closed set of error codes clients may match on.  Codes are part of
+#: the protocol contract: adding one is fine, renaming or removing one is a
+#: wire-incompatible change (bump :data:`PROTOCOL_VERSION`).
+ERROR_CODES = frozenset({
+    PROTOCOL_MISMATCH,
+    BAD_REQUEST,
+    UNKNOWN_OP,
+    UNKNOWN_MODULE,
+    UNKNOWN_FUNCTION,
+    UNKNOWN_VALUE,
+    UNKNOWN_ANALYSIS,
+    EDIT_REJECTED,
+    INTERNAL_ERROR,
+})
+
+
+class ServiceError(ValueError):
+    """A request the service cannot serve, carrying its stable error code."""
+
+    def __init__(self, message: str, code: str = BAD_REQUEST):
+        super().__init__(message)
+        self.code = code if code in ERROR_CODES else BAD_REQUEST
+
+
+# -- access-size schema --------------------------------------------------------
+
+class _DefaultSize:
+    """Singleton marker: access size defaults to the pointee size."""
+
+    _instance: ClassVar[Optional["_DefaultSize"]] = None
+
+    def __new__(cls) -> "_DefaultSize":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "DEFAULT_SIZE"
+
+    def __reduce__(self):
+        return (_DefaultSize, ())
+
+
+#: Schema-level default: the access covers the pointee size.
+DEFAULT_SIZE = _DefaultSize()
+
+#: Wire spelling of an unknown (unbounded) access size.
+UNKNOWN_SIZE = "unknown"
+
+#: Wire spelling of the pointee-size default inside ``query_many`` pairs,
+#: where positional encoding cannot express omission.
+_DEFAULT_SIZE_WORD = "default"
+
+
+def coerce_size(raw: Any) -> Any:
+    """Normalise any accepted size spelling to ``DEFAULT_SIZE | None | int``.
+
+    ``None`` is the normalised unknown (unbounded) extent.  Everything else
+    is rejected with ``bad_request`` — this is the one place the size
+    schema is defined, so all transports round-trip identically.
+    """
+    if raw is DEFAULT_SIZE or raw == _DEFAULT_SIZE_WORD:
+        return DEFAULT_SIZE
+    if raw is None or raw == UNKNOWN_SIZE:
+        return None
+    if isinstance(raw, bool) or not isinstance(raw, int):
+        raise ServiceError(
+            f"bad access size {raw!r}: expected a non-negative integer, "
+            f"null/{UNKNOWN_SIZE!r}, or omission/{_DEFAULT_SIZE_WORD!r}")
+    if raw < 0:
+        raise ServiceError(f"bad access size {raw}: must be non-negative")
+    return raw
+
+
+def encode_size(size: Any) -> Any:
+    """The canonical wire spelling of a normalised size."""
+    if size is DEFAULT_SIZE:
+        return _DEFAULT_SIZE_WORD
+    return size  # None (unknown) or int
+
+
+def _parse_size_field(payload: Dict[str, Any], key: str) -> Any:
+    return coerce_size(payload[key]) if key in payload else DEFAULT_SIZE
+
+
+# -- field helpers -------------------------------------------------------------
+
+def _string(payload: Dict[str, Any], key: str) -> str:
+    if key not in payload:
+        raise ServiceError(f"missing required field {key!r}")
+    value = payload[key]
+    if not isinstance(value, str):
+        raise ServiceError(
+            f"field {key!r} must be a string, got {type(value).__name__}")
+    return value
+
+
+def _optional_string(payload: Dict[str, Any], key: str) -> Optional[str]:
+    value = payload.get(key)
+    if value is not None and not isinstance(value, str):
+        raise ServiceError(
+            f"field {key!r} must be a string or null, got {type(value).__name__}")
+    return value
+
+
+def _optional_int(payload: Dict[str, Any], key: str) -> Optional[int]:
+    value = payload.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ServiceError(
+            f"field {key!r} must be an integer or null, got {type(value).__name__}")
+    return value
+
+
+# -- typed requests ------------------------------------------------------------
+
+#: op name -> request type: the dispatch table (replaces the daemon's
+#: if/elif chain).  Populated by :func:`_register`.
+REQUESTS: Dict[str, Type["Request"]] = {}
+
+
+def _register(cls: Type["Request"]) -> Type["Request"]:
+    REQUESTS[cls.op] = cls
+    return cls
+
+
+@dataclass(kw_only=True)
+class Request:
+    """Base of every typed request; ``id`` echoes back on the response."""
+
+    op: ClassVar[str] = ""
+    #: Name of the field that addresses a resident module (``None`` for
+    #: module-less ops) — the socket front end shards on it.
+    route: ClassVar[Optional[str]] = None
+
+    id: Any = None
+
+    def routing_module(self) -> Optional[str]:
+        """The module this request targets (sharding key), if any."""
+        return getattr(self, self.route) if self.route else None
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "Request":
+        return cls(id=payload.get("id"), **cls._parse(payload))
+
+    @classmethod
+    def _parse(cls, payload: Dict[str, Any]) -> Dict[str, Any]:
+        return {}
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The canonical wire form (round-trips through :func:`parse_request`)."""
+        payload: Dict[str, Any] = {"op": self.op, "v": PROTOCOL_VERSION}
+        payload.update(self._encode())
+        if self.id is not None:
+            payload["id"] = self.id
+        return payload
+
+    def _encode(self) -> Dict[str, Any]:
+        return {}
+
+    def apply(self, session: Any) -> Dict[str, Any]:
+        raise NotImplementedError
+
+
+@_register
+@dataclass(kw_only=True)
+class PingRequest(Request):
+    op: ClassVar[str] = "ping"
+
+    def apply(self, session: Any) -> Dict[str, Any]:
+        return {"pong": True}
+
+
+@_register
+@dataclass(kw_only=True)
+class LoadRequest(Request):
+    op: ClassVar[str] = "load"
+    route: ClassVar[str] = "name"
+
+    name: str
+    source: str
+
+    @classmethod
+    def _parse(cls, payload):
+        return {"name": _string(payload, "name"),
+                "source": _string(payload, "source")}
+
+    def _encode(self):
+        return {"name": self.name, "source": self.source}
+
+    def apply(self, session):
+        return session.load_source(self.name, self.source)
+
+
+@_register
+@dataclass(kw_only=True)
+class LoadProgramRequest(Request):
+    op: ClassVar[str] = "load_program"
+    route: ClassVar[str] = "name"
+
+    name: str
+
+    @classmethod
+    def _parse(cls, payload):
+        return {"name": _string(payload, "name")}
+
+    def _encode(self):
+        return {"name": self.name}
+
+    def apply(self, session):
+        return session.load_program(self.name)
+
+
+@_register
+@dataclass(kw_only=True)
+class EditRequest(Request):
+    op: ClassVar[str] = "edit"
+    route: ClassVar[str] = "name"
+
+    name: str
+    source: str
+
+    @classmethod
+    def _parse(cls, payload):
+        return {"name": _string(payload, "name"),
+                "source": _string(payload, "source")}
+
+    def _encode(self):
+        return {"name": self.name, "source": self.source}
+
+    def apply(self, session):
+        return session.edit_source(self.name, self.source)
+
+
+@_register
+@dataclass(kw_only=True)
+class QueryRequest(Request):
+    op: ClassVar[str] = "query"
+    route: ClassVar[str] = "module"
+
+    module: str
+    analysis: str
+    function: str
+    a: str
+    b: str
+    size_a: Any = DEFAULT_SIZE
+    size_b: Any = DEFAULT_SIZE
+
+    @classmethod
+    def _parse(cls, payload):
+        return {"module": _string(payload, "module"),
+                "analysis": _string(payload, "analysis"),
+                "function": _string(payload, "function"),
+                "a": _string(payload, "a"),
+                "b": _string(payload, "b"),
+                "size_a": _parse_size_field(payload, "size_a"),
+                "size_b": _parse_size_field(payload, "size_b")}
+
+    def _encode(self):
+        encoded = {"module": self.module, "analysis": self.analysis,
+                   "function": self.function, "a": self.a, "b": self.b}
+        if self.size_a is not DEFAULT_SIZE:
+            encoded["size_a"] = encode_size(self.size_a)
+        if self.size_b is not DEFAULT_SIZE:
+            encoded["size_b"] = encode_size(self.size_b)
+        return encoded
+
+    def apply(self, session):
+        return session.query(self.module, self.analysis, self.function,
+                             self.a, self.b, self.size_a, self.size_b)
+
+
+def _parse_pairs(payload: Dict[str, Any]) -> List[Tuple[str, str, Any, Any]]:
+    raw = payload.get("pairs")
+    if not isinstance(raw, list):
+        raise ServiceError("field 'pairs' must be a list of [a, b] or "
+                           "[a, b, size_a, size_b] entries")
+    pairs: List[Tuple[str, str, Any, Any]] = []
+    for entry in raw:
+        if not isinstance(entry, (list, tuple)) or len(entry) not in (2, 4):
+            raise ServiceError("each pair must be [a, b] or [a, b, sa, sb]")
+        a, b = entry[0], entry[1]
+        if not isinstance(a, str) or not isinstance(b, str):
+            raise ServiceError("pair value names must be strings")
+        if len(entry) == 2:
+            pairs.append((a, b, DEFAULT_SIZE, DEFAULT_SIZE))
+        else:
+            pairs.append((a, b, coerce_size(entry[2]), coerce_size(entry[3])))
+    return pairs
+
+
+def encode_pair(a: str, b: str, size_a: Any, size_b: Any) -> List[Any]:
+    """The canonical wire form of one normalised query pair."""
+    if size_a is DEFAULT_SIZE and size_b is DEFAULT_SIZE:
+        return [a, b]
+    return [a, b, encode_size(size_a), encode_size(size_b)]
+
+
+@_register
+@dataclass(kw_only=True)
+class QueryManyRequest(Request):
+    op: ClassVar[str] = "query_many"
+    route: ClassVar[str] = "module"
+
+    module: str
+    analysis: str
+    function: str
+    #: Normalised ``(a, b, size_a, size_b)`` tuples.
+    pairs: List[Tuple[str, str, Any, Any]]
+
+    @classmethod
+    def _parse(cls, payload):
+        return {"module": _string(payload, "module"),
+                "analysis": _string(payload, "analysis"),
+                "function": _string(payload, "function"),
+                "pairs": _parse_pairs(payload)}
+
+    def _encode(self):
+        return {"module": self.module, "analysis": self.analysis,
+                "function": self.function,
+                "pairs": [encode_pair(*pair) for pair in self.pairs]}
+
+    def apply(self, session):
+        return session.query_many(self.module, self.analysis, self.function,
+                                  [list(pair) for pair in self.pairs])
+
+
+@_register
+@dataclass(kw_only=True)
+class QueryFunctionRequest(Request):
+    op: ClassVar[str] = "query_function"
+    route: ClassVar[str] = "module"
+
+    module: str
+    analysis: str
+    function: Optional[str] = None
+    max_pairs: Optional[int] = None
+
+    @classmethod
+    def _parse(cls, payload):
+        return {"module": _string(payload, "module"),
+                "analysis": _string(payload, "analysis"),
+                "function": _optional_string(payload, "function"),
+                "max_pairs": _optional_int(payload, "max_pairs")}
+
+    def _encode(self):
+        encoded = {"module": self.module, "analysis": self.analysis}
+        if self.function is not None:
+            encoded["function"] = self.function
+        if self.max_pairs is not None:
+            encoded["max_pairs"] = self.max_pairs
+        return encoded
+
+    def apply(self, session):
+        return session.query_function(self.module, self.analysis,
+                                      self.function, self.max_pairs)
+
+
+@_register
+@dataclass(kw_only=True)
+class ValuesRequest(Request):
+    op: ClassVar[str] = "values"
+    route: ClassVar[str] = "module"
+
+    module: str
+    function: str
+
+    @classmethod
+    def _parse(cls, payload):
+        return {"module": _string(payload, "module"),
+                "function": _string(payload, "function")}
+
+    def _encode(self):
+        return {"module": self.module, "function": self.function}
+
+    def apply(self, session):
+        return session.values(self.module, self.function)
+
+
+@_register
+@dataclass(kw_only=True)
+class RangeRequest(Request):
+    op: ClassVar[str] = "range"
+    route: ClassVar[str] = "module"
+
+    module: str
+    function: str
+    value: str
+
+    @classmethod
+    def _parse(cls, payload):
+        return {"module": _string(payload, "module"),
+                "function": _string(payload, "function"),
+                "value": _string(payload, "value")}
+
+    def _encode(self):
+        return {"module": self.module, "function": self.function,
+                "value": self.value}
+
+    def apply(self, session):
+        return session.range_of(self.module, self.function, self.value)
+
+
+@_register
+@dataclass(kw_only=True)
+class StatsRequest(Request):
+    op: ClassVar[str] = "stats"
+    route: ClassVar[str] = "module"
+
+    module: str
+
+    @classmethod
+    def _parse(cls, payload):
+        return {"module": _string(payload, "module")}
+
+    def _encode(self):
+        return {"module": self.module}
+
+    def apply(self, session):
+        return session.stats(self.module)
+
+
+@_register
+@dataclass(kw_only=True)
+class ModulesRequest(Request):
+    op: ClassVar[str] = "modules"
+
+    def apply(self, session):
+        return {"modules": session.modules()}
+
+
+@_register
+@dataclass(kw_only=True)
+class UnloadRequest(Request):
+    op: ClassVar[str] = "unload"
+    route: ClassVar[str] = "name"
+
+    name: str
+
+    @classmethod
+    def _parse(cls, payload):
+        return {"name": _string(payload, "name")}
+
+    def _encode(self):
+        return {"name": self.name}
+
+    def apply(self, session):
+        return session.unload(self.name)
+
+
+@_register
+@dataclass(kw_only=True)
+class ShutdownRequest(Request):
+    op: ClassVar[str] = "shutdown"
+
+    def apply(self, session):
+        return {"shutdown": True}
+
+
+# -- parsing and dispatch ------------------------------------------------------
+
+def parse_request(payload: Any) -> Request:
+    """Decode one request payload into its typed dataclass.
+
+    Raises :class:`ServiceError` with ``bad_request`` (not an object /
+    malformed fields), ``protocol_mismatch`` (wrong ``v``) or
+    ``unknown_op``.
+    """
+    if not isinstance(payload, dict):
+        raise ServiceError("request must be a JSON object")
+    version = payload.get("v")
+    if version is not None and version != PROTOCOL_VERSION:
+        raise ServiceError(
+            f"protocol version {version!r} is not supported "
+            f"(this service speaks v{PROTOCOL_VERSION})", PROTOCOL_MISMATCH)
+    op = payload.get("op")
+    if not isinstance(op, str):
+        raise ServiceError("request needs a string 'op' field")
+    request_type = REQUESTS.get(op)
+    if request_type is None:
+        raise ServiceError(
+            f"unknown op {op!r} (known: {', '.join(sorted(REQUESTS))})",
+            UNKNOWN_OP)
+    return request_type.from_payload(payload)
+
+
+def request_id_of(payload: Any) -> Any:
+    """The correlation id of a raw payload (``None`` if absent/unreadable)."""
+    return payload.get("id") if isinstance(payload, dict) else None
+
+
+def success_envelope(request_id: Any, result: Dict[str, Any]) -> Dict[str, Any]:
+    envelope: Dict[str, Any] = {"ok": True, "v": PROTOCOL_VERSION}
+    if request_id is not None:
+        envelope["id"] = request_id
+    envelope.update(result)
+    return envelope
+
+
+def error_envelope(code: str, message: str, request_id: Any = None,
+                   legacy: Optional[str] = None) -> Dict[str, Any]:
+    """The structured failure envelope (+ the deprecated legacy string)."""
+    if code not in ERROR_CODES:
+        code = INTERNAL_ERROR
+    envelope: Dict[str, Any] = {
+        "ok": False,
+        "v": PROTOCOL_VERSION,
+        "error_code": code,
+        "message": message,
+        # Deprecated: pre-v1 clients matched on "error"; kept one release.
+        "error": legacy if legacy is not None else f"ServiceError: {message}",
+    }
+    if request_id is not None:
+        envelope["id"] = request_id
+    return envelope
+
+
+def handle_payload(session: Any, payload: Any) -> Dict[str, Any]:
+    """Parse, dispatch and envelope one request.  Never raises.
+
+    This is the single entry point all three transports route through;
+    a malformed request yields the same ``error_code`` envelope (with the
+    request id echoed) no matter which transport carried it.
+    """
+    request_id = request_id_of(payload)
+    try:
+        request = parse_request(payload)
+        return success_envelope(request.id, request.apply(session))
+    except ServiceError as error:
+        return error_envelope(error.code, str(error), request_id,
+                              legacy=f"{type(error).__name__}: {error}")
+    except (KeyError, TypeError, ValueError) as error:
+        return error_envelope(BAD_REQUEST, f"{type(error).__name__}: {error}",
+                              request_id,
+                              legacy=f"{type(error).__name__}: {error}")
+    except Exception as error:  # a request bug must not kill the transport
+        return error_envelope(INTERNAL_ERROR,
+                              f"{type(error).__name__}: {error}", request_id,
+                              legacy=f"{type(error).__name__}: {error}")
+
+
+# -- client-side helpers -------------------------------------------------------
+
+def make_request(op: str, *, id: Any = None, **fields: Any) -> Dict[str, Any]:
+    """A versioned request payload (clients should always stamp ``v``)."""
+    payload: Dict[str, Any] = {"op": op, "v": PROTOCOL_VERSION}
+    payload.update(fields)
+    if id is not None:
+        payload["id"] = id
+    return payload
+
+
+def check_response(envelope: Any) -> Dict[str, Any]:
+    """Return a successful envelope; raise :class:`ServiceError` otherwise."""
+    if not isinstance(envelope, dict):
+        raise ServiceError("response must be a JSON object")
+    if envelope.get("ok"):
+        return envelope
+    raise ServiceError(
+        str(envelope.get("message") or envelope.get("error") or "request failed"),
+        envelope.get("error_code") or BAD_REQUEST)
+
+
+def encode_line(payload: Dict[str, Any]) -> str:
+    """One line-delimited JSON wire frame."""
+    return json.dumps(payload, sort_keys=True) + "\n"
+
+
+def decode_line(line: str) -> Any:
+    return json.loads(line)
+
+
+class _Response:
+    """Mixin: build a typed response from a (successful) envelope."""
+
+    @classmethod
+    def from_envelope(cls, envelope: Dict[str, Any]):
+        check_response(envelope)
+        try:
+            return cls(**{spec.name: envelope[spec.name]
+                          for spec in dataclass_fields(cls)})
+        except KeyError as missing:
+            raise ServiceError(
+                f"response is missing field {missing} for {cls.__name__}")
+
+
+@dataclass(frozen=True)
+class LoadResponse(_Response):
+    module: str
+    functions: List[str]
+    instructions: int
+
+
+@dataclass(frozen=True)
+class QueryResponse(_Response):
+    module: str
+    analysis: str
+    function: str
+    a: str
+    b: str
+    result: str
+
+
+@dataclass(frozen=True)
+class QueryManyResponse(_Response):
+    module: str
+    analysis: str
+    function: str
+    results: List[str]
+
+
+@dataclass(frozen=True)
+class QueryFunctionResponse(_Response):
+    module: str
+    analysis: str
+    function: Optional[str]
+    queries: int
+    no_alias: int
+    no_alias_indices: List[int]
+
+
+@dataclass(frozen=True)
+class ValuesResponse(_Response):
+    module: str
+    function: str
+    values: List[Dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class RangeResponse(_Response):
+    module: str
+    function: str
+    value: str
+    range: str

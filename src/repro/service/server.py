@@ -1,0 +1,330 @@
+"""The concurrent socket front end: asyncio TCP over the sharded pool.
+
+One asyncio process accepts any number of clients speaking the same
+line-delimited JSON protocol as the stdio daemon (one request object per
+line, one response object per line; see :mod:`repro.service.protocol`).
+Requests are parsed *here* — malformed ones are rejected with the standard
+structured envelope without touching a worker — then routed by their
+module to a shard of the shared-nothing :class:`~repro.service.pool.WorkerPool`
+and answered out of that worker's resident session.  Responses are
+correlated by the protocol's request ``id``, so any one connection may
+pipeline freely.
+
+Batching: each shard has a dispatcher coroutine that drains its queue in
+rounds and *coalesces* the round's single ``query`` requests that target
+the same ``(module, analysis, function)`` into one ``query_many`` job —
+one IPC round-trip and one engine batch instead of N.  The dispatcher
+waits for the whole round to be answered before draining again, which is
+what gives concurrent clients a window to pile up coalescable queries.
+Batched answers are split back into per-request envelopes (id echoed), and
+because the persistent result store keys alias answers *per pair*, the
+coalescing a particular traffic interleaving happens to produce never
+changes what a warm store can answer later.
+
+Responses from workers arrive on plain ``multiprocessing`` queues, drained
+by one pump thread per shard that trampolines each envelope back onto the
+event loop via ``call_soon_threadsafe``.
+
+The front end answers ``ping`` itself, fans ``modules`` out to every shard
+and merges the listings, and treats ``shutdown`` as an orderly stop of the
+whole server.  Everything else — including every error a *valid* request
+produces — comes verbatim from a worker's ``handle_payload``, so socket
+answers are bit-identical to the in-process session's.
+
+Usage::
+
+    python -m repro.service.server --port 7411 --workers 4 --store DIR
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import itertools
+import json
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from .pool import WorkerPool
+from .protocol import (
+    BAD_REQUEST,
+    ModulesRequest,
+    PingRequest,
+    QueryManyRequest,
+    QueryRequest,
+    Request,
+    ServiceError,
+    ShutdownRequest,
+    error_envelope,
+    parse_request,
+    request_id_of,
+    success_envelope,
+)
+
+__all__ = ["ServiceServer", "main"]
+
+
+class ServiceServer:
+    """The asyncio TCP front end over one :class:`WorkerPool`."""
+
+    def __init__(self, pool: WorkerPool, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.pool = pool
+        self.host = host
+        self.port: Optional[int] = None
+        self._requested_port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queues: List[asyncio.Queue] = []
+        self._dispatchers: List[asyncio.Task] = []
+        self._pumps: List[threading.Thread] = []
+        self._jobs: Dict[int, asyncio.Future] = {}
+        self._job_ids = itertools.count(1)
+        self._shutdown = asyncio.Event()
+        self._stopped = False
+        #: Telemetry: coalesced query rounds (observable from the loadtest).
+        self.batches = 0
+        self.batched_queries = 0
+
+    # -- lifecycle -------------------------------------------------------------
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.pool.start()
+        for shard in range(self.pool.workers):
+            self._queues.append(asyncio.Queue())
+            self._dispatchers.append(
+                asyncio.create_task(self._dispatch(shard)))
+            pump = threading.Thread(target=self._pump, args=(shard,),
+                                    name=f"repro-service-pump-{shard}",
+                                    daemon=True)
+            pump.start()
+            self._pumps.append(pump)
+        self._server = await asyncio.start_server(
+            self._serve_client, self.host, self._requested_port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def wait_shutdown(self) -> None:
+        """Block until a client sends ``shutdown`` (or :meth:`stop` runs)."""
+        await self._shutdown.wait()
+
+    async def stop(self) -> None:
+        """Orderly stop: close the listener, drain workers, join pumps."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in self._dispatchers:
+            task.cancel()
+        self.pool.close()  # workers answer the sentinel; pumps exit on it
+        for pump in self._pumps:
+            pump.join(timeout=30.0)
+        for future in self._jobs.values():  # pragma: no cover - stop race
+            if not future.done():
+                future.set_exception(ConnectionError("server stopped"))
+        self._jobs.clear()
+        self._shutdown.set()
+
+    # -- worker plumbing -------------------------------------------------------
+    def _pump(self, shard: int) -> None:
+        """Blocking drain of one worker's response queue → event loop."""
+        responses = self.pool.worker(shard).responses
+        while True:
+            item = responses.get()
+            if item is None:
+                return
+            job_id, envelope = item
+            try:
+                self._loop.call_soon_threadsafe(self._resolve, job_id, envelope)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                return
+
+    def _resolve(self, job_id: int, envelope: Dict[str, Any]) -> None:
+        future = self._jobs.pop(job_id, None)
+        if future is not None and not future.done():
+            future.set_result(envelope)
+
+    def _submit(self, shard: int, payload: Dict[str, Any]) -> asyncio.Future:
+        job_id = next(self._job_ids)
+        future = self._loop.create_future()
+        self._jobs[job_id] = future
+        self.pool.submit(shard, job_id, payload)
+        return future
+
+    # -- dispatch + batching ---------------------------------------------------
+    async def _dispatch(self, shard: int) -> None:
+        """One shard's round loop: drain, coalesce, submit, await the round.
+
+        Awaiting the whole round before the next drain is deliberate — it
+        is the window during which concurrent clients' queries accumulate
+        into the next coalescable batch.
+        """
+        queue = self._queues[shard]
+        while True:
+            batch: List[Tuple[Request, Dict[str, Any], asyncio.Future]] = \
+                [await queue.get()]
+            while not queue.empty():
+                batch.append(queue.get_nowait())
+            round_jobs = []
+            groups: Dict[Tuple[str, str, str],
+                         List[Tuple[QueryRequest, asyncio.Future]]] = {}
+            for request, payload, reply in batch:
+                if isinstance(request, QueryRequest):
+                    key = (request.module, request.analysis, request.function)
+                    groups.setdefault(key, []).append((request, reply))
+                else:
+                    round_jobs.append(
+                        self._deliver(self._submit(shard, payload), reply))
+            for key, members in groups.items():
+                if len(members) == 1:
+                    request, reply = members[0]
+                    round_jobs.append(self._deliver(
+                        self._submit(shard, request.to_payload()), reply))
+                    continue
+                module, analysis, function = key
+                combined = QueryManyRequest(
+                    module=module, analysis=analysis, function=function,
+                    pairs=[(r.a, r.b, r.size_a, r.size_b)
+                           for r, _ in members])
+                self.batches += 1
+                self.batched_queries += len(members)
+                round_jobs.append(self._deliver_split(
+                    self._submit(shard, combined.to_payload()), members))
+            await asyncio.gather(*round_jobs)
+
+    @staticmethod
+    async def _deliver(job: asyncio.Future, reply: asyncio.Future) -> None:
+        envelope = await job
+        if not reply.done():
+            reply.set_result(envelope)
+
+    @staticmethod
+    async def _deliver_split(job: asyncio.Future,
+                             members: List[Tuple[QueryRequest,
+                                                 asyncio.Future]]) -> None:
+        """Split one coalesced ``query_many`` answer into per-query envelopes.
+
+        The reconstructed envelopes are field-for-field what the worker
+        would have produced for the individual ``query`` — including, on
+        failure, the error message (module- and analysis-level errors are
+        uniform across a coalesced group, which is the only way a group
+        can fail: membership requires identical module/analysis/function).
+        """
+        envelope = await job
+        if envelope.get("ok"):
+            results = envelope.get("results", [])
+            for (request, reply), result in zip(members, results):
+                if not reply.done():
+                    reply.set_result(success_envelope(request.id, {
+                        "module": request.module,
+                        "analysis": request.analysis,
+                        "function": request.function,
+                        "a": request.a, "b": request.b,
+                        "result": result}))
+            return
+        for request, reply in members:
+            if not reply.done():
+                reply.set_result(error_envelope(
+                    envelope.get("error_code", BAD_REQUEST),
+                    envelope.get("message", "request failed"), request.id,
+                    legacy=envelope.get("error")))
+
+    # -- client handling -------------------------------------------------------
+    async def _serve_client(self, reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                try:
+                    payload: Any = json.loads(text)
+                except ValueError as error:
+                    response = error_envelope(BAD_REQUEST,
+                                              f"invalid JSON: {error}", None)
+                else:
+                    response = await self._handle(payload)
+                writer.write(
+                    (json.dumps(response, sort_keys=True) + "\n").encode())
+                await writer.drain()
+                if response.get("shutdown"):
+                    self._shutdown.set()
+                    return
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            return
+        except asyncio.CancelledError:  # loop teardown with the client open
+            return
+        finally:
+            writer.close()
+
+    async def _handle(self, payload: Any) -> Dict[str, Any]:
+        try:
+            request = parse_request(payload)
+        except ServiceError as error:
+            return error_envelope(error.code, str(error),
+                                  request_id_of(payload),
+                                  legacy=f"{type(error).__name__}: {error}")
+        except (KeyError, TypeError, ValueError) as error:
+            legacy = f"{type(error).__name__}: {error}"
+            return error_envelope(BAD_REQUEST, legacy,
+                                  request_id_of(payload), legacy=legacy)
+        if isinstance(request, PingRequest):
+            return success_envelope(request.id, {"pong": True})
+        if isinstance(request, ShutdownRequest):
+            return success_envelope(request.id, {"shutdown": True})
+        if isinstance(request, ModulesRequest):
+            return await self._merged_modules(request)
+        shard = self.pool.shard_of(request.routing_module())
+        reply = self._loop.create_future()
+        await self._queues[shard].put((request, payload, reply))
+        return await reply
+
+    async def _merged_modules(self, request: ModulesRequest) -> Dict[str, Any]:
+        """Fan ``modules`` out to every shard; merge listings in name order."""
+        jobs = [self._submit(shard, {"op": "modules", "v": 1})
+                for shard in range(len(self._queues))]
+        envelopes = await asyncio.gather(*jobs)
+        merged: List[Dict[str, Any]] = []
+        for envelope in envelopes:
+            merged.extend(envelope.get("modules", []))
+        merged.sort(key=lambda entry: entry["module"])
+        return success_envelope(request.id, {"modules": merged})
+
+
+async def _serve(options: argparse.Namespace) -> int:
+    pool = WorkerPool(workers=options.workers, store_root=options.store)
+    server = ServiceServer(pool, host=options.host, port=options.port)
+    await server.start()
+    print(f"repro analysis service on {server.host}:{server.port} "
+          f"({options.workers} workers)", flush=True)
+    try:
+        await server.wait_shutdown()
+    finally:
+        await server.stop()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - CLI
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.server",
+        description="concurrent TCP analysis service over a sharded "
+                    "worker pool")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 picks an ephemeral one)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="shared-nothing worker processes")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="persistent content-addressed result store")
+    options = parser.parse_args(argv)
+    return asyncio.run(_serve(options))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main(sys.argv[1:]))

@@ -13,13 +13,25 @@ dependency cone the edit touches:
 * the interprocedural fixed points (GR, Andersen, Steensgaard) are evicted
   and rebuilt lazily on the refreshed inputs.
 
+A session may additionally be backed by a persistent content-addressed
+:class:`~repro.service.store.ResultStore`.  Results are then keyed by the
+module's ``source_sha256`` (plus protocol/generator versions), and a
+module whose load metadata is already stored stays **lazy** — source held,
+nothing compiled — until a store miss forces materialisation.  That is
+what lets a restarted server with a warm store answer its first query
+without re-running the compile-and-bootstrap path (its solver-step counter
+stays at zero).
+
 Everything here is deterministic: responses are pure functions of the load
 and edit history, independent of wall time and ``PYTHONHASHSEED``, so a
 replay against a cold rebuild must produce byte-identical outcomes (the
-service determinism test enforces this).
+service determinism test enforces this).  Store hits return exactly the
+bytes a computation would produce — warmth never changes answers.
 
-The stdin/stdout daemon (:mod:`repro.service.daemon`) is a thin
-line-delimited JSON wrapper over this class.
+The session raises :class:`~repro.service.protocol.ServiceError` with the
+protocol's stable error codes; the transports
+(:mod:`repro.service.daemon`, :mod:`repro.service.server`) turn those into
+structured error envelopes via :func:`repro.service.protocol.handle_payload`.
 """
 
 from __future__ import annotations
@@ -29,19 +41,38 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..aliases.base import AliasAnalysis
 from ..aliases.results import AliasResult, MemoryAccess
-from ..benchgen import build_program
+from ..benchgen import build_program, source_digest
 from ..core.queries import QueryPairMemo
 from ..engine import keys
-from ..engine.manager import AnalysisKey, AnalysisManager
+from ..engine.manager import AnalysisKey, AnalysisManager, ManagerStatistics
 from ..frontend import compile_source
+from ..frontend.cparser import ParseError
+from ..frontend.lexer import LexerError
+from ..frontend.lowering import LoweringError
+from ..frontend.sema import SemanticError
 from ..ir.function import Function
 from ..ir.module import Module
 from ..ir.printer import print_function
 from ..ir.values import Value
 from ..symbolic import compare_memo_stats
 from ..evaluation.harness import enumerate_query_pairs
+from .protocol import (
+    BAD_REQUEST,
+    DEFAULT_SIZE,
+    EDIT_REJECTED,
+    UNKNOWN_ANALYSIS,
+    UNKNOWN_FUNCTION,
+    UNKNOWN_MODULE,
+    UNKNOWN_SIZE,
+    UNKNOWN_VALUE,
+    ServiceError,
+    coerce_size,
+    encode_size,
+)
+from .store import ResultStore
 
-__all__ = ["ANALYSIS_KEYS", "AnalysisSession", "ResidentModule", "ServiceError"]
+__all__ = ["ANALYSIS_KEYS", "AnalysisSession", "ResidentModule", "ServiceError",
+           "UNKNOWN_SIZE"]
 
 #: Protocol analysis names → engine keys.
 ANALYSIS_KEYS: Dict[str, AnalysisKey] = {
@@ -52,15 +83,8 @@ ANALYSIS_KEYS: Dict[str, AnalysisKey] = {
     "scev": keys.SCEV,
 }
 
-#: Unknown-access-size marker accepted by the query protocol.
-UNKNOWN_SIZE = "unknown"
-
-#: Sentinel for "size not given" (defaults to the pointee size).
-_AUTO = object()
-
-
-class ServiceError(ValueError):
-    """A request the session cannot serve (unknown module, value, …)."""
+#: Exceptions the frontend raises on malformed sources.
+_COMPILE_ERRORS = (LexerError, ParseError, SemanticError, LoweringError)
 
 
 def _solver_steps_of(analysis: Any) -> int:
@@ -71,12 +95,23 @@ def _solver_steps_of(analysis: Any) -> int:
 
 @dataclass
 class ResidentModule:
-    """One compiled module held resident by a session."""
+    """One module held resident by a session.
+
+    A resident is *lazy* while ``module``/``manager`` are ``None``: the
+    source (and its digest) are held, but nothing has been compiled —
+    store-backed sessions stay in that state for as long as every request
+    is answerable from the content-addressed store.
+    """
 
     name: str
     source: str
-    module: Module
-    manager: AnalysisManager
+    module: Optional[Module] = None
+    manager: Optional[AnalysisManager] = None
+    #: ``sha256`` of ``source`` — the store's content address.
+    digest: str = ""
+    #: Load metadata (function names, instruction count), cached so lazy
+    #: residents can answer ``load``/``modules`` without compiling.
+    meta: Optional[Dict[str, Any]] = None
     #: analysis name -> long-lived cross-request query memo.
     memos: Dict[str, QueryPairMemo] = field(default_factory=dict)
     #: Solver steps of analyses that were evicted (harvested before drop).
@@ -88,24 +123,35 @@ class ResidentModule:
     _value_index: Dict[str, Dict[str, Value]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        self.manager.on_evict = self._on_evict
+        if not self.digest:
+            self.digest = source_digest(self.source)
+        if self.manager is not None:
+            self.manager.on_evict = self._on_evict
 
     def _on_evict(self, key: AnalysisKey, value: Any) -> None:
         self.retired_steps += _solver_steps_of(value)
 
+    @property
+    def materialized(self) -> bool:
+        return self.module is not None
+
     def solver_steps(self) -> int:
         """Total solver steps this module has cost the session so far:
         retired analyses plus everything still cached (whose statistics
-        accumulate across incremental refreshes)."""
-        live = sum(_solver_steps_of(value)
-                   for value in self.manager.cached_values())
+        accumulate across incremental refreshes).  A lazy resident has
+        cost nothing — that zero is the warm-store acceptance signal."""
+        live = 0
+        if self.manager is not None:
+            live = sum(_solver_steps_of(value)
+                       for value in self.manager.cached_values())
         return self.retired_steps + live
 
     # -- name resolution -------------------------------------------------------
     def function(self, name: str) -> Function:
         function = self.module.get_function(name)
         if function is None or function.is_declaration():
-            raise ServiceError(f"no function @{name} in module {self.name!r}")
+            raise ServiceError(f"no function @{name} in module {self.name!r}",
+                               UNKNOWN_FUNCTION)
         return function
 
     def value(self, function_name: str, value_name: str) -> Value:
@@ -123,7 +169,7 @@ class ResidentModule:
         if value is None:
             raise ServiceError(
                 f"no value %{value_name} in @{function_name} "
-                f"of module {self.name!r}")
+                f"of module {self.name!r}", UNKNOWN_VALUE)
         return value
 
     def drop_value_index(self, function_name: str) -> None:
@@ -142,25 +188,63 @@ class AnalysisSession:
     #: survive (``stats`` reports evictions), repeats after that recompute.
     memo_payload_cap = 100_000
 
-    def __init__(self) -> None:
+    def __init__(self, store: Optional[ResultStore] = None) -> None:
         self._modules: Dict[str, ResidentModule] = {}
+        self.store = store
 
     # -- module lifecycle ------------------------------------------------------
     def _resident(self, name: str) -> ResidentModule:
         resident = self._modules.get(name)
         if resident is None:
-            raise ServiceError(f"no resident module {name!r}")
+            raise ServiceError(f"no resident module {name!r}", UNKNOWN_MODULE)
         return resident
 
-    def load_source(self, name: str, source: str) -> Dict[str, Any]:
-        """Compile ``source`` and make it resident (replacing any same name)."""
-        module = compile_source(source, name)
-        resident = ResidentModule(name=name, source=source, module=module,
-                                  manager=AnalysisManager(module))
-        self._modules[name] = resident
-        return {"module": name,
-                "functions": [fn.name for fn in module.defined_functions()],
+    @staticmethod
+    def _compile(source: str, name: str, code: str) -> Module:
+        try:
+            return compile_source(source, name)
+        except _COMPILE_ERRORS as error:
+            raise ServiceError(
+                f"compiling module {name!r} failed: "
+                f"{type(error).__name__}: {error}", code) from error
+
+    def _materialize(self, resident: ResidentModule) -> None:
+        """Compile a lazy resident's held source and warm up its manager."""
+        if resident.module is not None:
+            return
+        resident.module = self._compile(resident.source, resident.name,
+                                        BAD_REQUEST)
+        resident.manager = AnalysisManager(resident.module)
+        resident.manager.on_evict = resident._on_evict
+
+    @staticmethod
+    def _meta_of(module: Module) -> Dict[str, Any]:
+        return {"functions": [fn.name for fn in module.defined_functions()],
                 "instructions": module.instruction_count()}
+
+    def load_source(self, name: str, source: str) -> Dict[str, Any]:
+        """Compile ``source`` and make it resident (replacing any same name).
+
+        With a warm store the compile is skipped entirely: the module stays
+        lazy on its held source until a store miss needs the IR.
+        """
+        digest = source_digest(source)
+        if self.store is not None:
+            meta = self.store.get(self.store.key(digest, "load"))
+            if isinstance(meta, dict):
+                resident = ResidentModule(name=name, source=source,
+                                          digest=digest, meta=dict(meta))
+                self._modules[name] = resident
+                return {"module": name, **meta}
+        module = self._compile(source, name, BAD_REQUEST)
+        meta = self._meta_of(module)
+        resident = ResidentModule(name=name, source=source, module=module,
+                                  manager=AnalysisManager(module),
+                                  digest=digest, meta=dict(meta))
+        self._modules[name] = resident
+        if self.store is not None:
+            self.store.put(self.store.key(digest, "load"), meta)
+        return {"module": name, **meta}
 
     def load_program(self, name: str) -> Dict[str, Any]:
         """Generate, compile and make resident one named suite program."""
@@ -170,14 +254,22 @@ class AnalysisSession:
     def unload(self, name: str) -> Dict[str, Any]:
         self._resident(name)
         del self._modules[name]
+        if self.store is not None:
+            self.store.note_bypass()
         return {"module": name, "unloaded": True}
 
     def modules(self) -> List[Dict[str, Any]]:
-        return [{"module": resident.name,
-                 "functions": len(resident.module.defined_functions()),
-                 "edits": resident.edits,
-                 "solver_steps": resident.solver_steps()}
-                for name, resident in sorted(self._modules.items())]
+        if self.store is not None:
+            self.store.note_bypass()
+        listing = []
+        for name, resident in sorted(self._modules.items()):
+            functions = len(resident.meta["functions"]) if resident.meta \
+                else len(resident.module.defined_functions())
+            listing.append({"module": resident.name,
+                            "functions": functions,
+                            "edits": resident.edits,
+                            "solver_steps": resident.solver_steps()})
+        return listing
 
     # -- incremental edits -----------------------------------------------------
     def edit_source(self, name: str, source: str) -> Dict[str, Any]:
@@ -188,13 +280,17 @@ class AnalysisSession:
         manager re-runs only what the edit invalidated.  Anything the
         function-granular contract cannot express — added/removed functions
         or globals, signature changes — falls back to a full reload (and
-        says so in the response).
+        says so in the response).  A source the frontend rejects yields an
+        ``edit_rejected`` error and leaves the resident module untouched.
         """
         resident = self._resident(name)
+        if self.store is not None:
+            self.store.note_bypass()
         if source == resident.source:
             return {"module": name, "changed": [], "reloaded": False,
                     "impacts": []}
-        donor = compile_source(source, name)
+        donor = self._compile(source, name, EDIT_REJECTED)
+        self._materialize(resident)
         changed = self._diff_functions(resident.module, donor)
         if changed is None:
             result = self.load_source(name, source)
@@ -215,6 +311,8 @@ class AnalysisSession:
         for memo in resident.memos.values():
             memo.release()
         resident.source = source
+        resident.digest = source_digest(source)
+        resident.meta = self._meta_of(resident.module)
         resident.edits += len(changed)
         return {"module": name, "changed": changed, "reloaded": False,
                 "impacts": impacts}
@@ -247,13 +345,16 @@ class AnalysisSession:
         return changed
 
     # -- queries ---------------------------------------------------------------
-    def _analysis(self, resident: ResidentModule, name: str) -> AliasAnalysis:
+    def _require_analysis(self, name: str) -> AnalysisKey:
         key = ANALYSIS_KEYS.get(name)
         if key is None:
             raise ServiceError(
                 f"unknown analysis {name!r} "
-                f"(expected one of {sorted(ANALYSIS_KEYS)})")
-        return resident.manager.get(key)
+                f"(expected one of {sorted(ANALYSIS_KEYS)})", UNKNOWN_ANALYSIS)
+        return key
+
+    def _analysis(self, resident: ResidentModule, name: str) -> AliasAnalysis:
+        return resident.manager.get(self._require_analysis(name))
 
     def _memo(self, resident: ResidentModule, analysis_name: str) -> QueryPairMemo:
         memo = resident.memos.get(analysis_name)
@@ -266,49 +367,101 @@ class AnalysisSession:
 
     @staticmethod
     def _access(resident: ResidentModule, function_name: str,
-                value_name: str, size: Any = _AUTO) -> MemoryAccess:
+                value_name: str, size: Any = DEFAULT_SIZE) -> MemoryAccess:
         pointer = resident.value(function_name, value_name)
         if not pointer.is_pointer():
             raise ServiceError(f"%{value_name} is not a pointer")
-        if size is _AUTO:
+        if size is DEFAULT_SIZE:
             return MemoryAccess.of(pointer)
-        if size is None or size == UNKNOWN_SIZE:
+        if size is None:
             return MemoryAccess.unknown_extent(pointer)
         return MemoryAccess.of(pointer, int(size))
 
+    def _stored(self, resident: ResidentModule, kind: str, parts: Any,
+                compute, expected: type):
+        """Serve one deterministic result through the content-addressed store."""
+        if self.store is None:
+            return compute()
+        key = self.store.key(resident.digest, kind, parts)
+        cached = self.store.get(key)
+        if isinstance(cached, expected):
+            return cached
+        value = compute()
+        self.store.put(key, value)
+        return value
+
+    def _pair_results(self, resident: ResidentModule, analysis: str,
+                      function: str,
+                      pairs: Sequence[Tuple[str, str, Any, Any]]) -> List[str]:
+        """Alias verdicts for normalised ``(a, b, size_a, size_b)`` pairs.
+
+        Pairs are stored *individually* (not per batch), so the socket
+        front end's request coalescing never changes which answers a warm
+        store can address.  Only the missing pairs touch the engine.
+        """
+        results: List[Optional[str]] = [None] * len(pairs)
+        store_keys: List[Optional[str]] = [None] * len(pairs)
+        if self.store is not None:
+            for index, (a, b, size_a, size_b) in enumerate(pairs):
+                key = self.store.key(
+                    resident.digest, "pair",
+                    [analysis, function, a, b,
+                     encode_size(size_a), encode_size(size_b)])
+                store_keys[index] = key
+                cached = self.store.get(key)
+                if isinstance(cached, str):
+                    results[index] = cached
+        missing = [index for index, result in enumerate(results)
+                   if result is None]
+        if missing:
+            self._materialize(resident)
+            engine = self._analysis(resident, analysis)
+            accesses = []
+            for index in missing:
+                a, b, size_a, size_b = pairs[index]
+                accesses.append((self._access(resident, function, a, size_a),
+                                 self._access(resident, function, b, size_b)))
+            memo = self._memo(resident, analysis)
+            answers = engine.query_many(accesses, memo=memo)
+            for index, answer in zip(missing, answers):
+                results[index] = str(answer)
+                if self.store is not None:
+                    self.store.put(store_keys[index], results[index])
+        return results  # type: ignore[return-value]
+
     def query(self, module: str, analysis: str, function: str,
-              a: str, b: str, size_a: Any = _AUTO,
-              size_b: Any = _AUTO) -> Dict[str, Any]:
-        """One alias query between two named SSA values of one function."""
+              a: str, b: str, size_a: Any = DEFAULT_SIZE,
+              size_b: Any = DEFAULT_SIZE) -> Dict[str, Any]:
+        """One alias query between two named SSA values of one function.
+
+        Sizes accept the protocol schema's three spellings (default /
+        unknown / byte count) — see :func:`repro.service.protocol.coerce_size`.
+        """
         resident = self._resident(module)
-        engine = self._analysis(resident, analysis)
-        access_a = self._access(resident, function, a, size_a)
-        access_b = self._access(resident, function, b, size_b)
-        memo = self._memo(resident, analysis)
-        result = engine.query_many([(access_a, access_b)], memo=memo)[0]
+        self._require_analysis(analysis)
+        pair = (a, b, coerce_size(size_a), coerce_size(size_b))
+        result = self._pair_results(resident, analysis, function, [pair])[0]
         return {"module": module, "analysis": analysis, "function": function,
-                "a": a, "b": b, "result": str(result)}
+                "a": a, "b": b, "result": result}
 
     def query_many(self, module: str, analysis: str, function: str,
                    pairs: Sequence[Sequence[Any]]) -> Dict[str, Any]:
         """A batch of queries; each pair is ``[a, b]`` or ``[a, b, sa, sb]``."""
         resident = self._resident(module)
-        engine = self._analysis(resident, analysis)
-        accesses: List[Tuple[MemoryAccess, MemoryAccess]] = []
+        self._require_analysis(analysis)
+        normalised: List[Tuple[str, str, Any, Any]] = []
         for pair in pairs:
             if len(pair) == 2:
                 a, b = pair
-                size_a = size_b = _AUTO
+                size_a = size_b = DEFAULT_SIZE
             elif len(pair) == 4:
                 a, b, size_a, size_b = pair
             else:
                 raise ServiceError("each pair must be [a, b] or [a, b, sa, sb]")
-            accesses.append((self._access(resident, function, a, size_a),
-                             self._access(resident, function, b, size_b)))
-        memo = self._memo(resident, analysis)
-        results = engine.query_many(accesses, memo=memo)
+            normalised.append((a, b, coerce_size(size_a), coerce_size(size_b)))
+        results = self._pair_results(resident, analysis, function, normalised)
         return {"module": module, "analysis": analysis, "function": function,
-                "results": [str(result) for result in results]}
+                "results": results}
 
     def query_function(self, module: str, analysis: str,
                        function: Optional[str] = None,
@@ -320,18 +473,27 @@ class AnalysisSession:
         lists make warm-vs-cold equivalence checkable byte for byte.
         """
         resident = self._resident(module)
-        engine = self._analysis(resident, analysis)
-        targets = None if function is None else [resident.function(function)]
-        pairs = list(enumerate_query_pairs(resident.module, max_pairs,
-                                           functions=targets))
-        memo = self._memo(resident, analysis)
-        results = engine.query_many([(pair.a, pair.b) for pair in pairs],
-                                    memo=memo)
-        no_alias = [index for index, result in enumerate(results)
-                    if result is AliasResult.NO_ALIAS]
+        self._require_analysis(analysis)
+
+        def compute() -> Dict[str, Any]:
+            self._materialize(resident)
+            engine = self._analysis(resident, analysis)
+            targets = None if function is None \
+                else [resident.function(function)]
+            pairs = list(enumerate_query_pairs(resident.module, max_pairs,
+                                               functions=targets))
+            memo = self._memo(resident, analysis)
+            results = engine.query_many([(pair.a, pair.b) for pair in pairs],
+                                        memo=memo)
+            no_alias = [index for index, result in enumerate(results)
+                        if result is AliasResult.NO_ALIAS]
+            return {"queries": len(pairs), "no_alias": len(no_alias),
+                    "no_alias_indices": no_alias}
+
+        core = self._stored(resident, "query_function",
+                            [analysis, function, max_pairs], compute, dict)
         return {"module": module, "analysis": analysis,
-                "function": function, "queries": len(pairs),
-                "no_alias": len(no_alias), "no_alias_indices": no_alias}
+                "function": function, **core}
 
     def values(self, module: str, function: str) -> Dict[str, Any]:
         """The queryable SSA values of one function (name discovery).
@@ -342,35 +504,56 @@ class AnalysisSession:
         queries at them.
         """
         resident = self._resident(module)
-        target = resident.function(function)
-        listed: List[Dict[str, Any]] = []
-        for argument in target.args:
-            listed.append({"name": argument.name, "op": "argument",
-                           "pointer": argument.is_pointer()})
-        for inst in target.instructions():
-            if inst.name:
-                listed.append({"name": inst.name, "op": inst.opcode,
-                               "pointer": inst.is_pointer()})
+
+        def compute() -> List[Dict[str, Any]]:
+            self._materialize(resident)
+            target = resident.function(function)
+            listed: List[Dict[str, Any]] = []
+            for argument in target.args:
+                listed.append({"name": argument.name, "op": "argument",
+                               "pointer": argument.is_pointer()})
+            for inst in target.instructions():
+                if inst.name:
+                    listed.append({"name": inst.name, "op": inst.opcode,
+                                   "pointer": inst.is_pointer()})
+            return listed
+
+        listed = self._stored(resident, "values", [function], compute, list)
         return {"module": module, "function": function, "values": listed}
 
     def range_of(self, module: str, function: str, value: str) -> Dict[str, Any]:
         """The symbolic interval of one named integer SSA value."""
         resident = self._resident(module)
-        ranges = resident.manager.get(keys.RANGES)
-        target = resident.value(function, value)
-        interval = ranges.range_of(target)
+
+        def compute() -> str:
+            self._materialize(resident)
+            ranges = resident.manager.get(keys.RANGES)
+            target = resident.value(function, value)
+            return repr(ranges.range_of(target))
+
+        interval = self._stored(resident, "range", [function, value],
+                                compute, str)
         return {"module": module, "function": function, "value": value,
-                "range": repr(interval)}
+                "range": interval}
 
     # -- statistics ------------------------------------------------------------
     def stats(self, module: str) -> Dict[str, Any]:
-        """Deterministic cost/result counters for one resident module."""
+        """Deterministic cost/result counters for one resident module.
+
+        A lazy (never-materialised) resident reports zero solver steps and
+        empty engine counters — exactly the signal the warm-store
+        acceptance gate reads.
+        """
         resident = self._resident(module)
+        manager = resident.manager
+        engine_stats = manager.statistics.as_dict() if manager is not None \
+            else ManagerStatistics().as_dict()
         record: Dict[str, Any] = {
             "module": module,
             "edits": resident.edits,
+            "materialized": resident.materialized,
             "solver_steps": resident.solver_steps(),
-            "engine": resident.manager.statistics.as_dict(),
+            "engine": engine_stats,
             "memos": {name: {"hits": memo.hits, "misses": memo.misses,
                              "evictions": memo.evictions,
                              "size": len(memo),
@@ -381,7 +564,10 @@ class AnalysisSession:
             # daemon operator can watch their hit rates and evictions.
             "symbolic_caches": compare_memo_stats(),
         }
-        rbaa = resident.manager.cached(keys.RBAA)
+        if self.store is not None:
+            self.store.note_bypass()
+            record["store"] = self.store.stats()
+        rbaa = manager.cached(keys.RBAA) if manager is not None else None
         if rbaa is not None:
             outcomes = rbaa._outcomes
             record["rbaa_outcome_memo"] = {

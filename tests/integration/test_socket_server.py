@@ -1,0 +1,156 @@
+"""The concurrent socket serving layer: identity vs serial, warm restarts."""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.service.loadtest import (
+    build_corpus,
+    check_identity,
+    client_script,
+    run_once,
+    serial_expectations,
+    stats_gate_view,
+)
+from repro.service.protocol import PROTOCOL_VERSION, make_request
+
+PROGRAMS = ("allroots", "fixoutput")
+CLIENTS = 3
+REQUESTS = 6
+WORKERS = 2
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(PROGRAMS)
+
+
+@pytest.fixture(scope="module")
+def scripts(corpus):
+    return [client_script(index, corpus, REQUESTS)
+            for index in range(CLIENTS)]
+
+
+@pytest.fixture(scope="module")
+def oracle(corpus, scripts):
+    return serial_expectations(corpus, scripts)
+
+
+class TestConcurrentIdentity:
+    def test_socket_answers_match_serial_session(self, corpus, scripts,
+                                                 oracle):
+        expected, serial_stats = oracle
+        result = run_once(corpus, scripts, WORKERS, None)
+        identity = check_identity(result, expected)
+        assert identity["mismatches"] == 0, identity["first_mismatches"]
+        # Sanity: the run exercised every client script plus the loads.
+        assert identity["checked"] == \
+            len(corpus) + CLIENTS * REQUESTS
+        # The deterministic stats subset is interleaving-independent: the
+        # sharded, coalescing front end must land on the serial counters.
+        for program in corpus:
+            assert stats_gate_view(result.stats[program.name]) == \
+                stats_gate_view(serial_stats[program.name])
+
+    def test_single_worker_single_client_is_also_identical(self, corpus,
+                                                           oracle):
+        expected, _ = oracle
+        script = client_script(0, corpus, REQUESTS)
+        result = run_once(corpus, [script], 1, None)
+        assert check_identity(result, expected)["mismatches"] == 0
+
+
+class TestWarmRestart:
+    def test_restarted_server_answers_from_the_store(self, corpus, scripts,
+                                                     oracle, tmp_path):
+        expected, _ = oracle
+        root = str(tmp_path / "store")
+        cold = run_once(corpus, scripts, WORKERS, root)
+        assert check_identity(cold, expected)["mismatches"] == 0
+        # A brand-new server (fresh pool, fresh worker sessions) on the
+        # same store: the warmth must never change an answer...
+        warm = run_once(corpus, scripts, WORKERS, root)
+        assert check_identity(warm, expected)["mismatches"] == 0
+        # ...and must fully absorb the work: no module compiled, no solver
+        # step run, no store miss anywhere.
+        for program in corpus:
+            record = warm.stats[program.name]
+            assert record["materialized"] is False, program.name
+            assert record["solver_steps"] == 0
+            assert record["store"]["misses"] == 0
+            assert record["store"]["corrupt_entries"] == 0
+        assert any(warm.stats[p.name]["store"]["hits"] > 0 for p in corpus)
+
+
+class _RawClient:
+    """A line-delimited JSON conversation with a spawned server process."""
+
+    def __init__(self, workers=1):
+        env = dict(os.environ)
+        package_root = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = package_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro.service.server",
+             "--port", "0", "--workers", str(workers)],
+            stdout=subprocess.PIPE, text=True, env=env)
+        banner = self.process.stdout.readline()
+        port = int(banner.rsplit(":", 1)[1].split()[0])
+        self.connection = socket.create_connection(("127.0.0.1", port),
+                                                   timeout=120)
+        self.stream = self.connection.makefile("rw", encoding="utf-8",
+                                               newline="\n")
+
+    def send_raw(self, line):
+        self.stream.write(line + "\n")
+        self.stream.flush()
+        return json.loads(self.stream.readline())
+
+    def call(self, payload):
+        return self.send_raw(json.dumps(payload))
+
+    def close(self):
+        try:
+            self.call(make_request("shutdown"))
+        finally:
+            self.connection.close()
+            self.process.wait(timeout=30)
+
+
+class TestRawSocketEnvelopes:
+    def test_error_envelopes_and_id_echo_over_the_wire(self):
+        client = _RawClient()
+        try:
+            assert client.call(make_request("ping", id="p1"))["pong"] is True
+
+            malformed = client.send_raw("this is { not json")
+            assert malformed["ok"] is False
+            assert malformed["error_code"] == "bad_request"
+            assert malformed["v"] == PROTOCOL_VERSION
+
+            mismatch = client.call({"op": "ping", "v": 99, "id": "v1"})
+            assert mismatch["ok"] is False
+            assert mismatch["error_code"] == "protocol_mismatch"
+            assert mismatch["id"] == "v1"
+
+            unknown = client.call(make_request("frobnicate", id="u1"))
+            assert unknown["error_code"] == "unknown_op"
+            assert unknown["id"] == "u1"
+            assert "error" in unknown  # deprecated legacy string, one release
+
+            ghost = client.call(make_request(
+                "query", id="g1", module="ghost", analysis="rbaa",
+                function="main", a="x", b="y"))
+            assert ghost["error_code"] == "unknown_module"
+            assert ghost["id"] == "g1"
+
+            # The transport survived four failures in a row.
+            assert client.call(make_request("ping", id="p2"))["id"] == "p2"
+        finally:
+            client.close()

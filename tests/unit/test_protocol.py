@@ -1,0 +1,275 @@
+"""The service protocol: golden schemas, error codes, versioning, id echo."""
+
+import io
+import json
+
+import pytest
+
+from repro.service import serve
+from repro.service.protocol import (
+    DEFAULT_SIZE,
+    ERROR_CODES,
+    PROTOCOL_VERSION,
+    REQUESTS,
+    QueryResponse,
+    ServiceError,
+    check_response,
+    coerce_size,
+    encode_size,
+    error_envelope,
+    handle_payload,
+    make_request,
+    parse_request,
+    success_envelope,
+)
+from repro.service.session import AnalysisSession
+
+SRC = """
+int main(int argc, char** argv) {
+  char* a = (char*)malloc(8);
+  char* b = a + 1;
+  *a = 0;
+  *b = 1;
+  return 0;
+}
+"""
+
+
+def _pointers(session, module="m"):
+    values = session.values(module, "main")["values"]
+    base = next(v["name"] for v in values if v["op"] == "malloc")
+    offset = [v["name"] for v in values if v["op"] == "ptradd"][-1]
+    return base, offset
+
+
+class TestGoldenSchemas:
+    """Every op's canonical wire shape, frozen.
+
+    These payloads are the protocol contract: changing any of them in a
+    wire-incompatible way must come with a PROTOCOL_VERSION bump.
+    """
+
+    #: op -> canonical request payload (minus op/v, which to_payload adds).
+    GOLDEN = {
+        "ping": {},
+        "load": {"name": "m", "source": "int main() { return 0; }"},
+        "load_program": {"name": "allroots"},
+        "edit": {"name": "m", "source": "int main() { return 1; }"},
+        "query": {"module": "m", "analysis": "rbaa", "function": "main",
+                  "a": "p1", "b": "p2"},
+        "query_many": {"module": "m", "analysis": "rbaa", "function": "main",
+                       "pairs": [["p1", "p2"],
+                                 ["p1", "p2", "unknown", 4]]},
+        "query_function": {"module": "m", "analysis": "rbaa",
+                           "function": "main", "max_pairs": 10},
+        "values": {"module": "m", "function": "main"},
+        "range": {"module": "m", "function": "main", "value": "n"},
+        "stats": {"module": "m"},
+        "modules": {},
+        "unload": {"name": "m"},
+        "shutdown": {},
+    }
+
+    def test_registry_covers_exactly_the_protocol_ops(self):
+        assert set(REQUESTS) == set(self.GOLDEN)
+
+    def test_requests_round_trip_through_parse_and_encode(self):
+        for op, fields in self.GOLDEN.items():
+            payload = {"op": op, "v": PROTOCOL_VERSION, "id": f"rt-{op}",
+                       **fields}
+            request = parse_request(payload)
+            assert request.op == op
+            assert request.id == f"rt-{op}"
+            encoded = request.to_payload()
+            # The canonical encoding parses back to an equal request.
+            assert parse_request(encoded) == request
+            # query_many normalises size spellings but preserves meaning.
+            if op != "query_many":
+                assert encoded == payload
+
+    def test_routing_module_matches_the_sharding_contract(self):
+        routed = {"load": "m", "load_program": "allroots", "edit": "m",
+                  "query": "m", "query_many": "m", "query_function": "m",
+                  "values": "m", "range": "m", "stats": "m", "unload": "m"}
+        for op, fields in self.GOLDEN.items():
+            request = parse_request({"op": op, **fields})
+            assert request.routing_module() == routed.get(op)
+
+    def test_missing_required_field_is_bad_request(self):
+        with pytest.raises(ServiceError) as caught:
+            parse_request({"op": "query", "module": "m"})
+        assert caught.value.code == "bad_request"
+
+
+class TestErrorCodes:
+    def test_error_code_set_is_stable(self):
+        # Renaming or removing a code is wire-incompatible; this golden
+        # test forces a PROTOCOL_VERSION bump alongside any such change.
+        assert ERROR_CODES == {
+            "protocol_mismatch", "bad_request", "unknown_op",
+            "unknown_module", "unknown_function", "unknown_value",
+            "unknown_analysis", "edit_rejected", "internal_error"}
+
+    def test_session_errors_carry_stable_codes(self):
+        session = AnalysisSession()
+        session.load_source("m", SRC)
+        base, offset = _pointers(session)
+        cases = [
+            ({"op": "warp"}, "unknown_op"),
+            ({"op": "query", "module": "ghost", "analysis": "rbaa",
+              "function": "main", "a": base, "b": offset}, "unknown_module"),
+            ({"op": "query", "module": "m", "analysis": "voodoo",
+              "function": "main", "a": base, "b": offset},
+             "unknown_analysis"),
+            ({"op": "query", "module": "m", "analysis": "rbaa",
+              "function": "nowhere", "a": base, "b": offset},
+             "unknown_function"),
+            ({"op": "query", "module": "m", "analysis": "rbaa",
+              "function": "main", "a": base, "b": "nothing"},
+             "unknown_value"),
+            ({"op": "query", "module": "m", "analysis": "rbaa",
+              "function": "main", "a": base, "b": offset, "size_a": -1},
+             "bad_request"),
+            ({"op": "edit", "name": "m", "source": "int main( {"},
+             "edit_rejected"),
+            ({"op": "load", "name": "bad", "source": "int main( {"},
+             "bad_request"),
+            ({"op": "ping", "v": PROTOCOL_VERSION + 1}, "protocol_mismatch"),
+            ("not an object", "bad_request"),
+        ]
+        for payload, code in cases:
+            envelope = handle_payload(session, payload)
+            assert envelope["ok"] is False, payload
+            assert envelope["error_code"] == code, payload
+            # The legacy string rides along for one release (deprecated).
+            assert isinstance(envelope["error"], str) and envelope["error"]
+            assert envelope["v"] == PROTOCOL_VERSION
+
+    def test_envelope_helpers(self):
+        ok = success_envelope("id-1", {"pong": True})
+        assert ok == {"ok": True, "v": PROTOCOL_VERSION, "id": "id-1",
+                      "pong": True}
+        bad = error_envelope("unknown_op", "nope", "id-2")
+        assert bad["error_code"] == "unknown_op" and bad["id"] == "id-2"
+        assert bad["error"].endswith("nope")
+        # Unlisted codes degrade to internal_error, never leak through.
+        assert error_envelope("made_up", "x")["error_code"] == "internal_error"
+
+    def test_check_response_raises_with_the_structured_code(self):
+        with pytest.raises(ServiceError) as caught:
+            check_response(error_envelope("unknown_module", "gone", None))
+        assert caught.value.code == "unknown_module"
+        assert check_response(success_envelope(None, {"pong": True}))["pong"]
+
+
+class TestVersioning:
+    def test_version_mismatch_is_rejected_with_id_echo(self):
+        session = AnalysisSession()
+        envelope = handle_payload(session, {"op": "ping", "v": 99, "id": 5})
+        assert envelope["ok"] is False
+        assert envelope["error_code"] == "protocol_mismatch"
+        assert envelope["id"] == 5
+
+    def test_unversioned_requests_still_work(self):
+        session = AnalysisSession()
+        assert handle_payload(session, {"op": "ping"})["pong"] is True
+
+    def test_make_request_stamps_the_version(self):
+        payload = make_request("ping", id=3)
+        assert payload == {"op": "ping", "v": PROTOCOL_VERSION, "id": 3}
+
+
+class TestSizeSchema:
+    def test_coerce_size_spellings(self):
+        assert coerce_size(DEFAULT_SIZE) is DEFAULT_SIZE
+        assert coerce_size("default") is DEFAULT_SIZE
+        assert coerce_size(None) is None
+        assert coerce_size("unknown") is None
+        assert coerce_size(0) == 0
+        assert coerce_size(8) == 8
+        for bad in (-1, True, 1.5, "8", [4]):
+            with pytest.raises(ServiceError):
+                coerce_size(bad)
+
+    def test_encode_size_round_trips(self):
+        for size in (DEFAULT_SIZE, None, 0, 16):
+            assert coerce_size(encode_size(size)) == size or \
+                coerce_size(encode_size(size)) is size
+
+    def test_sizes_round_trip_identically_through_both_entry_points(self):
+        # The same size spelling must mean the same thing whether it comes
+        # through the typed session API or a decoded wire payload.
+        session = AnalysisSession()
+        session.load_source("m", SRC)
+        base, offset = _pointers(session)
+        direct_default = session.query("m", "rbaa", "main", base, offset)
+        direct_unknown = session.query("m", "rbaa", "main", base, offset,
+                                       size_a=None, size_b=None)
+        assert direct_default["result"] == "no-alias"
+        assert direct_unknown["result"] == "may-alias"
+        for spelling in ({}, {"size_a": "default", "size_b": "default"}):
+            wire = handle_payload(session, make_request(
+                "query", module="m", analysis="rbaa", function="main",
+                a=base, b=offset, **spelling))
+            assert wire["result"] == direct_default["result"]
+        for spelling in ({"size_a": None, "size_b": None},
+                         {"size_a": "unknown", "size_b": "unknown"}):
+            wire = handle_payload(session, make_request(
+                "query", module="m", analysis="rbaa", function="main",
+                a=base, b=offset, **spelling))
+            assert wire["result"] == direct_unknown["result"]
+        batch = handle_payload(session, make_request(
+            "query_many", module="m", analysis="rbaa", function="main",
+            pairs=[[base, offset], [base, offset, "default", "default"],
+                   [base, offset, "unknown", None]]))
+        assert batch["results"] == ["no-alias", "no-alias", "may-alias"]
+
+
+class TestPipelinedIdEcho:
+    def test_daemon_echoes_ids_on_every_response(self):
+        requests = [
+            make_request("ping", id="a"),
+            make_request("load", id="b", name="m", source=SRC),
+            make_request("warp", id="c"),
+            make_request("query", id="d", module="ghost", analysis="rbaa",
+                         function="main", a="x", b="y"),
+            make_request("stats", id="e", module="m"),
+            make_request("shutdown", id="f"),
+        ]
+        stdin = io.StringIO(
+            "".join(json.dumps(r) + "\n" for r in requests))
+        stdout = io.StringIO()
+        assert serve(stdin, stdout) == 0
+        responses = [json.loads(line)
+                     for line in stdout.getvalue().strip().splitlines()]
+        assert [r["id"] for r in responses] == ["a", "b", "c", "d", "e", "f"]
+        assert [r["ok"] for r in responses] == [True, True, False, False,
+                                                True, True]
+        assert responses[2]["error_code"] == "unknown_op"
+        assert responses[3]["error_code"] == "unknown_module"
+
+    def test_invalid_json_line_gets_a_structured_envelope(self):
+        stdin = io.StringIO("this is not json\n" +
+                            json.dumps(make_request("shutdown", id=9)) + "\n")
+        stdout = io.StringIO()
+        assert serve(stdin, stdout) == 0
+        first, second = [json.loads(line) for line in
+                         stdout.getvalue().strip().splitlines()]
+        assert first["ok"] is False
+        assert first["error_code"] == "bad_request"
+        assert second["id"] == 9 and second["shutdown"] is True
+
+
+class TestTypedResponses:
+    def test_query_response_from_envelope(self):
+        session = AnalysisSession()
+        session.load_source("m", SRC)
+        base, offset = _pointers(session)
+        envelope = handle_payload(session, make_request(
+            "query", id=1, module="m", analysis="rbaa", function="main",
+            a=base, b=offset))
+        typed = QueryResponse.from_envelope(envelope)
+        assert typed.result == "no-alias"
+        assert typed.module == "m"
+        with pytest.raises(ServiceError):
+            QueryResponse.from_envelope(error_envelope("unknown_op", "x", 1))

@@ -190,8 +190,13 @@ class TestDaemonProtocol:
         assert unknown["result"] == "may-alias"
         stats = handle_request(session, {"op": "stats", "module": "m"})
         assert stats["solver_steps"] > 0
-        with pytest.raises(ServiceError):
-            handle_request(session, {"op": "warp"})
+        # Dispatch never raises: unknown ops come back as structured
+        # error envelopes (with the legacy "error" string still present).
+        unknown_op = handle_request(session, {"op": "warp", "id": 41})
+        assert unknown_op["ok"] is False
+        assert unknown_op["error_code"] == "unknown_op"
+        assert unknown_op["id"] == 41
+        assert "error" in unknown_op
 
     def test_daemon_subprocess_end_to_end(self):
         env = dict(os.environ)
@@ -229,6 +234,7 @@ class TestDaemonProtocol:
         assert responses[3]["changed"] == ["fill"]
         assert responses[4]["result"] == "no-alias"
         assert responses[5]["ok"] is False and "error" in responses[5]
+        assert responses[5]["error_code"] == "unknown_op"
         assert responses[6]["shutdown"] is True
 
 

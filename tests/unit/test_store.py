@@ -1,0 +1,194 @@
+"""The persistent content-addressed result store and the lazy warm path."""
+
+import json
+import os
+
+from repro.benchgen import manifest, source_digest
+from repro.service import AnalysisSession, ResultStore
+from repro.service.store import RESULT_SCHEMA_VERSION
+
+SRC = """
+int main(int argc, char** argv) {
+  char* a = (char*)malloc(8);
+  char* b = a + 1;
+  *a = 0;
+  *b = 1;
+  return 0;
+}
+"""
+
+
+def _pointers(session, module="m"):
+    values = session.values(module, "main")["values"]
+    base = next(v["name"] for v in values if v["op"] == "malloc")
+    offset = [v["name"] for v in values if v["op"] == "ptradd"][-1]
+    return base, offset
+
+
+def _entry_files(root):
+    return sorted(os.path.join(directory, name)
+                  for directory, _, names in os.walk(root)
+                  for name in names if name.endswith(".json"))
+
+
+class TestResultStore:
+    def test_put_get_round_trip_and_counters(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        key = store.key("a" * 64, "pair", ["rbaa", "f", "x", "y", 1, 1])
+        assert store.get(key) is None
+        assert store.misses == 1
+        store.put(key, "no-alias")
+        assert store.get(key) == "no-alias"
+        assert (store.hits, store.misses, store.writes) == (1, 1, 1)
+        store.note_bypass()
+        stats = store.stats()
+        assert stats["bypasses"] == 1
+        assert stats["namespace"] == [RESULT_SCHEMA_VERSION,
+                                      stats["namespace"][1],
+                                      manifest.GENERATOR_VERSION]
+
+    def test_keys_separate_kinds_sources_and_parts(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        keys = {store.key("a" * 64, "load"),
+                store.key("b" * 64, "load"),
+                store.key("a" * 64, "values", ["main"]),
+                store.key("a" * 64, "values", ["other"])}
+        assert len(keys) == 4
+
+    def test_corrupt_entry_is_counted_deleted_and_bypassed(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        key = store.key("a" * 64, "load")
+        store.put(key, {"functions": ["main"]})
+        [path] = _entry_files(store.root)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{ truncated")
+        assert store.get(key) is None
+        assert store.corrupt_entries == 1
+        assert not os.path.exists(path)
+        # The next lookup is an ordinary miss; a recompute re-stores it.
+        assert store.get(key) is None
+        assert store.corrupt_entries == 1
+
+    def test_foreign_key_entry_is_treated_as_corrupt(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        key = store.key("a" * 64, "load")
+        path = store._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        # A well-formed entry filed under the wrong address (e.g. a renamed
+        # file) must not be served as if it answered this key.
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"schema": RESULT_SCHEMA_VERSION, "key": "f" * 64,
+                       "value": "stale"}, handle)
+        assert store.get(key) is None
+        assert store.corrupt_entries == 1
+
+    def test_generator_version_bump_invalidates_every_key(self, tmp_path,
+                                                          monkeypatch):
+        store = ResultStore(str(tmp_path / "store"))
+        digest = "a" * 64
+        old_key = store.key(digest, "load")
+        store.put(old_key, {"functions": ["main"]})
+        monkeypatch.setattr(manifest, "GENERATOR_VERSION",
+                            manifest.GENERATOR_VERSION + 1)
+        # The namespace is read at call time: the same logical request now
+        # addresses a different key, so the old entry is silently unreachable.
+        new_key = store.key(digest, "load")
+        assert new_key != old_key
+        assert store.get(new_key) is None
+        assert store.get(old_key) == {"functions": ["main"]}  # still intact
+
+
+class TestStoreBackedSession:
+    def test_warm_session_answers_without_materializing(self, tmp_path):
+        root = str(tmp_path / "store")
+        cold = AnalysisSession(store=ResultStore(root))
+        cold.load_source("m", SRC)
+        base, offset = _pointers(cold)
+        cold_answers = [
+            cold.query("m", "rbaa", "main", base, offset),
+            cold.query("m", "rbaa", "main", base, offset,
+                       size_a=None, size_b=None),
+            cold.query_function("m", "rbaa", "main"),
+            cold.values("m", "main"),
+        ]
+        assert cold.stats("m")["materialized"] is True
+
+        warm = AnalysisSession(store=ResultStore(root))
+        warm.load_source("m", SRC)
+        warm_answers = [
+            warm.query("m", "rbaa", "main", base, offset),
+            warm.query("m", "rbaa", "main", base, offset,
+                       size_a=None, size_b=None),
+            warm.query_function("m", "rbaa", "main"),
+            warm.values("m", "main"),
+        ]
+        assert warm_answers == cold_answers
+        record = warm.stats("m")
+        # The whole conversation was served from the store: the module was
+        # never compiled and the solver never ran — the restart gate.
+        assert record["materialized"] is False
+        assert record["solver_steps"] == 0
+        assert warm.store.misses == 0
+        assert warm.store.hits >= 5  # load + 3 pairs + sweep + values
+
+    def test_pair_keys_are_batch_shape_independent(self, tmp_path):
+        root = str(tmp_path / "store")
+        cold = AnalysisSession(store=ResultStore(root))
+        cold.load_source("m", SRC)
+        base, offset = _pointers(cold)
+        # Stored one-by-one...
+        one = cold.query("m", "rbaa", "main", base, offset)
+        # ...and re-asked inside a batch: the warm session must hit on both
+        # pairs even though the cold traffic never issued this exact batch.
+        warm = AnalysisSession(store=ResultStore(root))
+        warm.load_source("m", SRC)
+        batch = warm.query_many("m", "rbaa", "main",
+                                [[base, offset],
+                                 [base, offset, "default", "default"]])
+        assert batch["results"] == [one["result"], one["result"]]
+        assert warm.stats("m")["materialized"] is False
+        assert warm.store.misses == 0
+
+    def test_corrupt_store_recomputes_identical_answers(self, tmp_path):
+        root = str(tmp_path / "store")
+        cold = AnalysisSession(store=ResultStore(root))
+        cold.load_source("m", SRC)
+        base, offset = _pointers(cold)
+        expected = cold.query("m", "rbaa", "main", base, offset)
+        for path in _entry_files(root):
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write("not json at all")
+        rebuilt = AnalysisSession(store=ResultStore(root))
+        rebuilt.load_source("m", SRC)
+        assert rebuilt.query("m", "rbaa", "main", base, offset) == expected
+        assert rebuilt.store.corrupt_entries >= 2  # load + the pair
+        assert rebuilt.stats("m")["materialized"] is True
+        # The recompute re-populated the store: a third session is warm.
+        warm = AnalysisSession(store=ResultStore(root))
+        warm.load_source("m", SRC)
+        assert warm.query("m", "rbaa", "main", base, offset) == expected
+        assert warm.stats("m")["materialized"] is False
+
+    def test_store_results_match_storeless_session(self, tmp_path):
+        plain = AnalysisSession()
+        plain.load_source("m", SRC)
+        base, offset = _pointers(plain)
+        stored = AnalysisSession(store=ResultStore(str(tmp_path / "store")))
+        stored.load_source("m", SRC)
+        for session in (plain, stored):
+            assert session.query("m", "rbaa", "main", base, offset) == \
+                plain.query("m", "rbaa", "main", base, offset)
+        assert stored.range_of("m", "main", "argc") == \
+            plain.range_of("m", "main", "argc")
+
+    def test_load_digest_tracks_source(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        session = AnalysisSession(store=store)
+        session.load_source("m", SRC)
+        edited = SRC.replace("a + 1", "a + 2")
+        # A different source addresses different keys: no false warm hits.
+        assert store.key(source_digest(SRC), "load") != \
+            store.key(source_digest(edited), "load")
+        other = AnalysisSession(store=ResultStore(store.root))
+        other.load_source("m", edited)
+        assert other.stats("m")["materialized"] is True
