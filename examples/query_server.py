@@ -10,24 +10,20 @@ versioned protocol defined in :mod:`repro.service.protocol`:
 
 1. through the in-process :class:`repro.service.AnalysisSession` API —
    load a program, ask alias and range queries from warm analysis state,
-   apply a single-function edit and watch the incremental path re-run only
-   part of the work;
-2. through the stdin/stdout daemon (``python -m repro.service``), using the
-   protocol's client helpers (version stamp, request ids, structured
+   apply a single-function edit and watch the incremental path re-seed the
+   interprocedural fixed points instead of rebuilding them;
+2. through the stdin/stdout daemon (``python -m repro.service``) via the
+   typed :class:`repro.service.DaemonClient` — every payload is built by
+   the protocol's client helpers (version stamp, request ids, structured
    ``error_code`` envelopes) exactly like a non-Python client would;
-3. through the concurrent TCP server (``python -m repro.service.server``) —
-   the sharded, batching front end — showing that socket answers are
-   bit-identical to the in-process session's.
+3. through the concurrent TCP server (``python -m repro.service.server``)
+   via :class:`repro.service.SocketClient` — the sharded, batching front
+   end — showing that socket answers are bit-identical to the in-process
+   session's.
 """
 
-import json
-import os
-import socket
-import subprocess
-import sys
-
-import repro
-from repro.service import AnalysisSession, check_response, make_request
+from repro.service import AnalysisSession, DaemonClient, SocketClient
+from repro.service.protocol import ServiceError
 
 SOURCE = r"""
 void rotate(int* ring, int n) {
@@ -47,7 +43,7 @@ int main(int argc, char** argv) {
 """
 
 # The same program with one function body edited: the incremental path
-# re-analyses `rotate` and the interprocedural cone, nothing else.
+# re-analyses `rotate` and re-seeds the interprocedural cone, nothing else.
 EDITED = SOURCE.replace("ring[i] = ring[i + 1];",
                         "ring[i] = ring[i + 1] + 1;")
 
@@ -75,83 +71,54 @@ def in_process_walkthrough() -> None:
     edited = session.edit_source("demo", EDITED)
     session.query_function("demo", "rbaa", "rotate")
     steps_warm = session.solver_steps("demo") - steps_cold
+    impact = edited["impacts"][0]
     print(f"edit of {edited['changed']} re-ran {steps_warm} solver steps "
           f"(full build: {steps_cold}); refreshed in place: "
-          f"{edited['impacts'][0]['refreshed']}")
+          f"{impact['refreshed']}")
+    print(f"re-seeded nodes per fixed point: {impact['reseeded']} "
+          f"(retained: {impact['retained']})")
     print(f"engine counters: {session.stats('demo')['engine']}")
-
-
-def _subprocess_env() -> dict:
-    env = dict(os.environ)
-    package_root = os.path.dirname(os.path.dirname(
-        os.path.abspath(repro.__file__)))
-    env["PYTHONPATH"] = package_root + (
-        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
-    return env
 
 
 def daemon_walkthrough() -> None:
     print("\n=== Line-delimited JSON daemon ===")
-    # make_request stamps the protocol version; the ids come back verbatim
-    # on each response, so pipelined traffic stays attributable.
-    requests = [
-        make_request("ping", id=1),
-        make_request("load", id=2, name="demo", source=SOURCE),
-        make_request("query_function", id=3, module="demo", analysis="rbaa",
-                     function="rotate"),
-        make_request("edit", id=4, name="demo", source=EDITED),
-        make_request("stats", id=5, module="demo"),
-        make_request("warp", id=6),  # structured error: unknown_op
-        make_request("shutdown", id=7),
-    ]
-    payload = "".join(json.dumps(request) + "\n" for request in requests)
-    result = subprocess.run([sys.executable, "-m", "repro.service"],
-                            input=payload, capture_output=True, text=True,
-                            env=_subprocess_env(), timeout=300)
-    for request, line in zip(requests, result.stdout.strip().splitlines()):
-        response = json.loads(line)
-        summary = {key: response[key] for key in ("id", "pong", "functions",
-                                                  "no_alias", "changed",
-                                                  "solver_steps", "error_code",
-                                                  "shutdown")
-                   if key in response}
-        print(f"  {request['op']:>14} -> {summary}")
+    # DaemonClient runs a real `python -m repro.service` subprocess; each
+    # typed method stamps the protocol version and validates the envelope.
+    with DaemonClient() as client:
+        print(f"  ping -> {client.ping()}")
+        loaded = client.load("demo", SOURCE)
+        print(f"  load -> functions {loaded.functions}")
+        sweep = client.query_function("demo", "rbaa", function="rotate")
+        print(f"  query_function -> {sweep.no_alias}/{sweep.queries} "
+              f"no-alias in rotate")
+        edited = client.edit("demo", EDITED)
+        print(f"  edit -> changed {edited['changed']}")
+        stats = client.stats("demo")
+        print(f"  stats -> solver_steps {stats['solver_steps']}, "
+              f"by analysis {stats['solver_steps_by_analysis']}")
+        try:
+            client.request("warp")  # structured error: unknown_op
+        except ServiceError as error:
+            print(f"  warp -> error_code {error.code!r} ({error})")
+        # close() sends the shutdown request and reaps the subprocess.
 
 
 def socket_walkthrough() -> None:
     print("\n=== Concurrent TCP server ===")
-    process = subprocess.Popen(
-        [sys.executable, "-m", "repro.service.server",
-         "--port", "0", "--workers", "2"],
-        stdout=subprocess.PIPE, text=True, env=_subprocess_env())
-    banner = process.stdout.readline()
-    port = int(banner.rsplit(":", 1)[1].split()[0])
-    connection = socket.create_connection(("127.0.0.1", port), timeout=60)
-    stream = connection.makefile("rw", encoding="utf-8", newline="\n")
+    with SocketClient(workers=2) as client:
+        loaded = client.load("demo", SOURCE)
+        sweep = client.query_function("demo", "rbaa", function="rotate")
+        print(f"  socket: loaded {loaded.functions}, rbaa disambiguates "
+              f"{sweep.no_alias}/{sweep.queries} pairs in rotate")
 
-    def call(payload):
-        stream.write(json.dumps(payload) + "\n")
-        stream.flush()
-        return json.loads(stream.readline())
-
-    loaded = check_response(call(make_request(
-        "load", id="s1", name="demo", source=SOURCE)))
-    sweep = check_response(call(make_request(
-        "query_function", id="s2", module="demo", analysis="rbaa",
-        function="rotate")))
-    print(f"  socket: loaded {loaded['functions']}, rbaa disambiguates "
-          f"{sweep['no_alias']}/{sweep['queries']} pairs in rotate")
-
-    # The exact same request against an in-process session: bit-identical.
-    session = AnalysisSession()
-    session.load_source("demo", SOURCE)
-    serial = session.query_function("demo", "rbaa", "rotate")
-    socket_core = {key: sweep[key] for key in serial}
-    print(f"  socket answer == in-process answer: {socket_core == serial}")
-
-    call(make_request("shutdown", id="s3"))
-    connection.close()
-    process.wait(timeout=30)
+        # The exact same request against an in-process session: identical.
+        session = AnalysisSession()
+        session.load_source("demo", SOURCE)
+        serial = session.query_function("demo", "rbaa", "rotate")
+        identical = (sweep.no_alias == serial["no_alias"]
+                     and sweep.no_alias_indices == serial["no_alias_indices"]
+                     and sweep.queries == serial["queries"])
+        print(f"  socket answer == in-process answer: {identical}")
 
 
 def main() -> None:

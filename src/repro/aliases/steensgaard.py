@@ -91,6 +91,18 @@ class _UnificationProblem(SparseProblem):
     def nodes(self) -> List[Tuple[str, object]]:
         return self._constraints
 
+    def delta_nodes(self, edit) -> List[Tuple[str, object]]:
+        """Every constraint: unification is not retractable.
+
+        A union-find merge cannot be undone, and the replaced function's old
+        constraints are entangled with live equivalence classes, so there is
+        no sound subset of state to retain.  A function edit therefore
+        re-seeds the entire schedule; routing the rebuild through
+        :meth:`SparseSolver.resolve_from` keeps the step accounting uniform
+        with the genuinely incremental analyses.
+        """
+        return list(self._constraints)
+
     def transfer(self, constraint: Tuple[str, object]) -> bool:
         self._analysis._apply(constraint)
         return True
@@ -177,6 +189,10 @@ class SteensgaardAliasAnalysis(AliasAnalysis):
 
     # -- construction -------------------------------------------------------------
     def _build(self) -> None:
+        solver = SparseSolver(_UnificationProblem(self, self._constraints()))
+        self.solver_statistics = solver.solve()
+
+    def _constraints(self) -> List[Tuple[str, object]]:
         module = self.module
         constraints: List[Tuple[str, object]] = []
         for variable in module.globals:
@@ -194,8 +210,26 @@ class SteensgaardAliasAnalysis(AliasAnalysis):
             for inst in function.instructions():
                 if isinstance(inst, CallInst):
                     constraints.append(("call", inst))
-        solver = SparseSolver(_UnificationProblem(self, constraints))
-        self.solver_statistics = solver.solve()
+        return constraints
+
+    # -- incremental refresh --------------------------------------------------------
+    def refresh_function(self, old_function, new_function, edit) -> Dict[str, int]:
+        """Rebuild the unification fixed point after one function was replaced.
+
+        See :meth:`_UnificationProblem.delta_nodes`: merges cannot be undone,
+        so nothing is retained — the class state is reset and every
+        constraint of the edited module is re-applied through the shared
+        re-seed entry point, accumulating into the same statistics object.
+        """
+        self._uf = _UnionFind()
+        self._objects_of_class = {}
+        self._class_unknown = {}
+        self._pointee_class = {}
+        problem = _UnificationProblem(self, self._constraints())
+        seeds = problem.delta_nodes(edit)
+        solver = SparseSolver(problem)
+        self.solver_statistics.accumulate(solver.resolve_from(problem, seeds))
+        return {"reseeded": len(seeds), "retained": 0}
 
     def _apply(self, constraint: Tuple[str, object]) -> None:
         kind, subject = constraint

@@ -175,6 +175,39 @@ class _GlobalRangeProblem(SparseProblem):
         elif phase.startswith("descending:"):
             analysis._snapshot(f"descending step {phase.split(':', 1)[1]}")
 
+    def delta_nodes(self, edit) -> List[Value]:
+        """Seed set of a re-solve after editing ``edit.function``.
+
+        The edited function's own nodes plus their transitive *dependents*
+        over the static dependence graph — every value whose fixed point the
+        edit can influence (interprocedural influence flows only through the
+        actual→formal and return→call-site edges ``dependencies`` already
+        declares).  Dependence cycles are either entirely inside or entirely
+        outside this closure, so re-solving it with the cold schedule while
+        reading retained values for everything else reproduces the cold
+        fixed point.
+        """
+        analysis = self._analysis
+        edited = analysis.module.get_function(edit.function)
+        known = set(self._nodes)
+        dependents: Dict[Value, List[Value]] = {}
+        seeds = set()
+        for node in self._nodes:
+            owner = node.parent if isinstance(node, Argument) else node.function
+            if owner is edited:
+                seeds.add(node)
+            for dependency in self.dependencies(node):
+                if dependency in known:
+                    dependents.setdefault(dependency, []).append(node)
+        frontier = list(seeds)
+        while frontier:
+            node = frontier.pop()
+            for dependent in dependents.get(node, ()):
+                if dependent not in seeds:
+                    seeds.add(dependent)
+                    frontier.append(dependent)
+        return [node for node in self._nodes if node in seeds]
+
 
 class GlobalRangeAnalysis:
     """Whole-module GR analysis."""
@@ -312,6 +345,44 @@ class GlobalRangeAnalysis:
         self.statistics.fixpoint_steps = self.solver_statistics.steps
         self.statistics.pointer_values = len(self._gr)
         self.statistics.elapsed_seconds = time.perf_counter() - start
+
+    def refresh_function(self, old_function: Function, new_function: Function,
+                         edit) -> Dict[str, int]:
+        """Re-seed the fixed point after a single-function edit.
+
+        The retained ``_gr`` table keeps every value the edit cannot
+        influence; the problem's :meth:`_GlobalRangeProblem.delta_nodes`
+        closure is reset to ⊥ and re-solved with the cold
+        ascending/descending schedule through
+        :meth:`SparseSolver.resolve_from`.  Values flowed out of the edited
+        function (including its pseudo-locations and kernel symbols) only
+        travel along the dependence edges the closure follows, so retained
+        entries — and therefore post-edit answers — match a cold rebuild.
+        """
+        start = time.perf_counter()
+        for value in list(old_function.args) + list(old_function.instructions()):
+            self._gr.pop(value, None)
+        # The new body may add or remove call sites: visibility verdicts and
+        # the callgraph both depend on them and are cheap next to a solve.
+        self.callgraph = CallGraph.compute(self.module)
+        self._visible.clear()
+        problem = _GlobalRangeProblem(self, self._pointer_nodes())
+        seeds = problem.delta_nodes(edit)
+        for node in seeds:
+            self._gr.pop(node, None)
+        retained = len(self._gr)
+        solver = SparseSolver(
+            problem,
+            max_node_evaluations=self.options.max_ascending_passes,
+            descending_passes=self.options.descending_passes,
+        )
+        self.solver_statistics.accumulate(solver.resolve_from(problem, seeds))
+        self.statistics.functions = len(self.module.defined_functions())
+        self.statistics.ascending_passes = self.solver_statistics.max_node_evaluations
+        self.statistics.fixpoint_steps = self.solver_statistics.steps
+        self.statistics.pointer_values = len(self._gr)
+        self.statistics.elapsed_seconds += time.perf_counter() - start
+        return {"reseeded": len(seeds), "retained": retained}
 
     def _snapshot(self, label: str) -> None:
         self._trace.append((label, dict(self._gr)))

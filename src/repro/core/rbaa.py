@@ -111,10 +111,12 @@ class RBAAAliasAnalysis(AliasAnalysis):
     def refresh_function(self, old_function, new_function) -> None:
         """Function-granular incremental refresh (manager edit hook).
 
-        The function-scoped inputs (ranges, locations, LR) were refreshed in
-        place by the manager before this hook runs, so re-requesting them is
-        a cache hit on the same objects; the whole-module GR fixed point was
-        evicted and rebuilds here on those refreshed inputs.  The per-pair
+        The function-scoped inputs (ranges, locations, LR) and the
+        callgraph-scoped GR fixed point were all refreshed in place by the
+        manager before this hook runs (dependencies-first), so every
+        re-request below is a cache hit on the same objects — GR re-seeded
+        its own fixed point from the edit cone rather than rebuilding from
+        scratch.  The per-pair
         outcome memo is released: its keys are pointer identities, and the
         retired body's ids may be recycled, while surviving pairs may sit in
         the edit's interprocedural cone — but the cumulative Figure-14

@@ -31,9 +31,12 @@ SCOPE_MODULE = "module"
 #: ``refresh_function(old, new)``: a function edit refreshes it in place,
 #: re-running only the edited function's nodes.
 SCOPE_FUNCTION = "function"
-#: The analysis is an interprocedural whole-module fixed point whose
-#: dependency cone is the callgraph closure of the edited function: it is
-#: re-run (evicted and lazily rebuilt) on any edit inside that cone.
+#: The analysis is an interprocedural whole-module fixed point.  A function
+#: edit *re-seeds* it in place through ``refresh_function(old, new, edit)``:
+#: the analysis maps the edit to its seed nodes (``SparseProblem
+#: .delta_nodes``) and restarts change-driven propagation against the
+#: retained fixed point (``SparseSolver.resolve_from``).  Entries without
+#: the hook fall back to eviction.
 SCOPE_CALLGRAPH = "callgraph"
 
 
@@ -49,8 +52,8 @@ class AnalysisKey:
     ``scope`` declares how the analysis reacts to a single-function edit
     (see :meth:`AnalysisManager.apply_function_edit`): module-scoped entries
     are evicted, function-scoped entries are refreshed in place through
-    their ``refresh_function`` hook, and callgraph-scoped entries are
-    evicted whenever the edit's dependency cone reaches them.
+    their ``refresh_function(old, new)`` hook, and callgraph-scoped entries
+    are re-seeded in place through ``refresh_function(old, new, edit)``.
     """
 
     name: str
@@ -106,19 +109,28 @@ class EditImpact:
     ``cone`` is the callgraph closure of the edited function (itself plus
     transitive callers and callees) — the set of functions whose
     interprocedural analysis results the edit can influence, and therefore
-    the justification for re-running the callgraph-scoped analyses.
+    the outer bound on any callgraph-scoped re-seed.
+
+    ``reseeded`` and ``retained`` record, per refreshed analysis, how many
+    nodes the edit re-seeded and how much prior state survived it — the
+    per-edit incremental telemetry the service's ``stats`` op surfaces
+    (pure counts: deterministic, and untouched by ``strip_volatile``).
     """
 
     function: str
     refreshed: List[str] = field(default_factory=list)
     evicted: List[str] = field(default_factory=list)
     cone: Tuple[str, ...] = ()
+    reseeded: Dict[str, int] = field(default_factory=dict)
+    retained: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
         return {"function": self.function,
                 "refreshed": sorted(self.refreshed),
                 "evicted": sorted(self.evicted),
-                "cone": sorted(self.cone)}
+                "cone": sorted(self.cone),
+                "reseeded": dict(sorted(self.reseeded.items())),
+                "retained": dict(sorted(self.retained.items()))}
 
 
 def _callgraph_cone(module, function) -> Tuple[str, ...]:
@@ -216,6 +228,15 @@ class AnalysisManager:
                                                          repr(entry[1])))
         return [self._cache[cache_key] for cache_key in ordered]
 
+    def cached_items(self) -> List[Tuple[str, Any]]:
+        """``(key name, analysis)`` pairs for every live cached entry, in the
+        same deterministic order as :meth:`cached_values` (the analysis
+        service attributes per-analysis solver-step totals over these)."""
+        ordered = sorted(self._cache, key=lambda entry: (entry[0].name,
+                                                         repr(entry[1])))
+        return [(cache_key[0].name, self._cache[cache_key])
+                for cache_key in ordered]
+
     def _record_edge(self, cache_key: _CacheKey) -> None:
         if not self._build_stack:
             return
@@ -277,29 +298,30 @@ class AnalysisManager:
         * :data:`SCOPE_FUNCTION` entries whose cached value implements
           ``refresh_function(old, new)`` are *refreshed in place*: the hook
           purges the per-value state of the old function and re-runs only the
-          new function's nodes, accumulating solver statistics.  Entries
-          without the hook fall back to eviction.
-        * :data:`SCOPE_CALLGRAPH` entries are interprocedural whole-module
-          fixed points; the edit always lies inside their dependency cone
-          (the callgraph closure recorded in :attr:`EditImpact.cone`), so
-          they are evicted and rebuilt — on refreshed inputs — at the next
-          request.  (A refresh hook that itself depends on such an entry may
-          re-request it during its refresh: a warm RBAA deliberately
-          rebuilds GR *inside the edit*, keeping the dependency edge
-          recorded and the post-edit query latency flat; Andersen and
-          Steensgaard stay lazy until someone asks for them.)
-        * :data:`SCOPE_MODULE` entries are evicted.
+          new function's nodes, accumulating solver statistics.
+        * :data:`SCOPE_CALLGRAPH` entries whose cached value implements
+          ``refresh_function(old, new, edit)`` are *re-seeded in place*: the
+          hook maps the edit to the nodes it can influence
+          (``SparseProblem.delta_nodes``) and restarts change-driven
+          propagation against the retained fixed point
+          (``SparseSolver.resolve_from``), so the edit pays for its cone
+          rather than the module.  A hook may return a telemetry dict
+          (``reseeded``/``retained`` counts), recorded on the impact.
+        * :data:`SCOPE_MODULE` entries — and any entry without the hook its
+          scope requires — are evicted and rebuilt lazily.
 
         Refreshes run dependencies-first (the recorded edge order), with the
         refreshing entry pushed on the build stack so any nested
-        :meth:`get` — e.g. RBAA re-requesting the rebuilt GR analysis —
-        records fresh dependency edges.
+        :meth:`get` — e.g. RBAA re-requesting the re-seeded GR analysis,
+        now a cache hit on the same object — keeps its dependency edges
+        recorded.
         """
         refresh: List[_CacheKey] = []
         doomed: Set[_CacheKey] = set()
         for cache_key, value in self._cache.items():
             key = cache_key[0]
-            if key.scope == SCOPE_FUNCTION and hasattr(value, "refresh_function"):
+            if (key.scope in (SCOPE_FUNCTION, SCOPE_CALLGRAPH)
+                    and hasattr(value, "refresh_function")):
                 refresh.append(cache_key)
             else:
                 doomed.add(cache_key)
@@ -314,11 +336,22 @@ class AnalysisManager:
             value = self._cache[cache_key]
             self._build_stack.append(cache_key)
             try:
-                value.refresh_function(old_function, new_function)
+                if cache_key[0].scope == SCOPE_CALLGRAPH:
+                    telemetry = value.refresh_function(old_function,
+                                                       new_function, impact)
+                else:
+                    telemetry = value.refresh_function(old_function,
+                                                       new_function)
             finally:
                 self._build_stack.pop()
             self.statistics.refreshes += 1
             impact.refreshed.append(cache_key[0].name)
+            if isinstance(telemetry, dict):
+                name = cache_key[0].name
+                if "reseeded" in telemetry:
+                    impact.reseeded[name] = int(telemetry["reseeded"])
+                if "retained" in telemetry:
+                    impact.retained[name] = int(telemetry["retained"])
         return impact
 
     def _refresh_order(self, entries: List[_CacheKey]) -> List[_CacheKey]:

@@ -136,6 +136,18 @@ class SparseProblem:
         ``"descending:<k>"`` — the GR analysis snapshots its Figure-12 trace
         from here."""
 
+    def delta_nodes(self, edit) -> Sequence[Node]:
+        """Map one function edit to the seed set of a re-solve.
+
+        ``edit`` is the :class:`~repro.engine.manager.EditImpact` of a
+        single-function edit.  The returned nodes are exactly those whose
+        retained abstract value the edit can influence — the inputs to
+        :meth:`SparseSolver.resolve_from`, which recomputes them from
+        scratch against the rest of the retained fixed point.  Problems
+        that do not support incremental re-seeding keep the default.
+        """
+        raise NotImplementedError(f"{self.name} does not support re-seeding")
+
 
 def condense_sccs(nodes: Sequence[Node],
                   dependencies: Callable[[Node], Iterable[Node]]) -> List[List[Node]]:
@@ -306,6 +318,71 @@ class SparseSolver:
                 if dependency in priority:
                     self.add_dependency(node, dependency)
 
+        return self._run_phases()
+
+    def resolve_from(self, state: SparseProblem,
+                     seeds: Iterable[Node]) -> SolverStatistics:
+        """Restart change-driven propagation from ``seeds`` against ``state``.
+
+        ``state`` is the problem holding a previously computed fixed point
+        (problems own their abstract values, so the retained state *is* the
+        problem); ``seeds`` are the nodes an edit can influence, typically
+        the problem's :meth:`SparseProblem.delta_nodes` for that edit.  The
+        schedule mirrors :meth:`solve` restricted to the seed set:
+
+        1. the seed subgraph is condensed and swept dependencies-first,
+           reading retained values for every non-seed dependency (because
+           dependence cycles are either entirely inside or entirely outside
+           a dependent-closed seed set, the relative order matches the cold
+           sweep's);
+        2. the worklist drains changes, which may escape the seed set —
+           non-seed nodes are pre-marked as evaluated so they re-enter the
+           schedule the moment an input of theirs changes;
+        3. descending (narrowing) passes re-run over the seeds only.
+
+        Widening re-arms on the seeds alone: their evaluation counters start
+        at zero, so ``max_node_evaluations`` bounds the re-seeded region
+        exactly as a cold solve would, while retained nodes keep their prior
+        fixed point unless propagation actually reaches them.  The returned
+        statistics cover only this run — callers fold them into a long-lived
+        counter with :meth:`SolverStatistics.accumulate`.
+        """
+        self.problem = problem = state
+        stats = self.statistics
+        bind = getattr(problem, "bind", None)
+        if bind is not None:
+            bind(self)
+        ordered_nodes = list(problem.nodes())
+        priority = {node: position for position, node in enumerate(ordered_nodes)}
+        # Seeds in sweep-priority order, deduplicated, unknown nodes dropped
+        # (an edit's seed map may mention values that no longer exist).
+        seed_list = sorted({node for node in seeds if node in priority},
+                           key=priority.__getitem__)
+        seed_set = set(seed_list)
+        stats.nodes = len(seed_list)
+
+        # The full dependence graph is registered — change propagation must
+        # be able to leave the seed set — but only transfer applications
+        # count as steps, so the edit pays O(edit cone) evaluations.
+        for node in ordered_nodes:
+            for dependency in problem.dependencies(node):
+                if dependency in priority:
+                    self.add_dependency(node, dependency)
+        for node in ordered_nodes:
+            if node not in seed_set:
+                self._evaluations[node] = 1
+
+        components = condense_sccs(seed_list, problem.dependencies)
+        stats.sccs = len(components)
+        stats.largest_scc = max((len(c) for c in components), default=0)
+        self._order = [node for component in components
+                       for node in sorted(component, key=priority.__getitem__)]
+
+        return self._run_phases()
+
+    def _run_phases(self) -> SolverStatistics:
+        problem = self.problem
+
         # Phase 1: one topological sweep (dependencies before dependents).
         for node in self._order:
             self._evaluate(node, phase="sweep")
@@ -323,4 +400,4 @@ class SparseSolver:
             for node in self._order:
                 self._evaluate(node, phase="descending")
             problem.on_phase(f"descending:{step + 1}")
-        return stats
+        return self.statistics

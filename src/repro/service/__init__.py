@@ -11,6 +11,9 @@
 * :mod:`repro.service.store` — :class:`ResultStore`, the persistent
   content-addressed result cache keyed by source digest + generator and
   protocol versions (warm restarts skip compile-and-bootstrap).
+* :mod:`repro.service.client` — :class:`ServiceClient`, the typed client
+  facade with one implementation per transport (in-process, stdio daemon,
+  TCP socket).
 * :mod:`repro.service.daemon` — a stdin/stdout daemon speaking
   line-delimited JSON through the protocol layer.
 * :mod:`repro.service.pool` / :mod:`repro.service.server` — the concurrent
@@ -22,6 +25,7 @@
   (``BENCH_service.json``) gated on answer identity vs a serial session.
 """
 
+from .client import DaemonClient, InProcessClient, ServiceClient, SocketClient
 from .daemon import handle_request, serve
 from .pool import WorkerPool
 from .protocol import (
@@ -51,9 +55,13 @@ __all__ = [
     "ERROR_CODES",
     "PROTOCOL_VERSION",
     "AnalysisSession",
+    "DaemonClient",
+    "InProcessClient",
     "ResidentModule",
     "ResultStore",
+    "ServiceClient",
     "ServiceError",
+    "SocketClient",
     "ServiceServer",
     "WorkerPool",
     "check_response",

@@ -13,16 +13,21 @@ For each benchmark program an edit scenario
 Per step the record carries both paths' *solver steps* (the deterministic,
 hardware-independent cost measure reported next to wall time everywhere
 else in the repository) plus wall seconds under ``*_seconds`` keys, which
-``strip_volatile`` removes for determinism diffs.  ``--check`` turns the
-benchmark into a gate: warm and cold answers must be identical at every
-step and the warm path must re-run strictly fewer solver steps than a cold
-rebuild on every edit.
+``strip_volatile`` removes for determinism diffs.  The step records also
+split out the **callgraph-scoped** steps (GR + Andersen + Steensgaard) and
+carry each edit's incremental-impact telemetry (re-seeded node counts,
+retained-state sizes), so the re-seed path is auditable per edit.
 
-All three clients stamp the protocol version and validate responses with
-:func:`repro.service.protocol.check_response`, so the benchmark exercises
-the same versioned wire contract as every other transport; ``--daemon``
-swaps the warm path onto a real stdin/stdout daemon subprocess and
-``--socket`` onto the concurrent TCP server.
+``--check`` turns the benchmark into a gate: warm and cold answers must be
+identical at every step, the warm path must re-run strictly fewer solver
+steps than a cold rebuild on every edit, and — the incremental
+interprocedural gate — every edit step must re-solve strictly fewer
+*callgraph* solver steps than the cold interprocedural fixed points cost.
+
+All transports go through the typed :mod:`repro.service.client` API, so
+the benchmark exercises the same versioned wire contract as every other
+consumer; ``--daemon`` swaps the warm path onto a real stdin/stdout daemon
+subprocess and ``--socket`` onto the concurrent TCP server.
 
 Command line::
 
@@ -33,11 +38,6 @@ Command line::
 from __future__ import annotations
 
 import argparse
-import json
-import os
-import re
-import socket
-import subprocess
 import sys
 import time
 from typing import Any, Dict, List, Optional, Sequence
@@ -45,8 +45,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from ..benchgen import edit_scenario
 from ..benchgen.suites import SUITE_PROGRAMS
 from ..evaluation.reporting import to_canonical_json
-from .protocol import PROTOCOL_VERSION, ServiceError, check_response, handle_payload
-from .session import AnalysisSession
+from .client import DaemonClient, InProcessClient, ServiceClient, SocketClient
 
 __all__ = ["DaemonClient", "InProcessClient", "SocketClient", "bench_program",
            "run_bench", "main"]
@@ -54,110 +53,15 @@ __all__ = ["DaemonClient", "InProcessClient", "SocketClient", "bench_program",
 #: Analyses swept at every step of every scenario.
 BENCH_ANALYSES = ("rbaa", "basic", "andersen", "steensgaard")
 
+#: The callgraph-scoped (interprocedural) fixed points, by engine-key name —
+#: the analyses whose per-edit re-seed the incremental gate measures.
+CALLGRAPH_ANALYSES = ("global-ranges", "andersen", "steensgaard")
+
 #: Quick-mode corpus: small enough for a CI smoke job, big enough that the
 #: warm/cold gap is unambiguous.
 QUICK_PROGRAMS = ("allroots", "fixoutput", "anagram", "ft")
 QUICK_EDITS = 3
 QUICK_MAX_PAIRS = 120
-
-
-def _versioned(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Stamp the protocol version (clients should always send ``v``)."""
-    stamped = dict(payload)
-    stamped.setdefault("v", PROTOCOL_VERSION)
-    return stamped
-
-
-def _subprocess_env() -> Dict[str, str]:
-    import repro
-
-    env = dict(os.environ)
-    package_root = os.path.dirname(os.path.dirname(
-        os.path.abspath(repro.__file__)))
-    env["PYTHONPATH"] = package_root + (
-        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
-    return env
-
-
-class InProcessClient:
-    """The session API behind the same protocol the remote transports speak."""
-
-    def __init__(self) -> None:
-        self._session = AnalysisSession()
-
-    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        return check_response(handle_payload(self._session,
-                                             _versioned(payload)))
-
-    def close(self) -> None:
-        pass
-
-
-class DaemonClient:
-    """Drives a real daemon subprocess over line-delimited JSON."""
-
-    def __init__(self) -> None:
-        self._process = subprocess.Popen(
-            [sys.executable, "-m", "repro.service"],
-            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
-            text=True, env=_subprocess_env())
-
-    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        assert self._process.stdin is not None and self._process.stdout is not None
-        self._process.stdin.write(json.dumps(_versioned(payload)) + "\n")
-        self._process.stdin.flush()
-        line = self._process.stdout.readline()
-        if not line:
-            raise RuntimeError("daemon closed its stdout mid-conversation")
-        return check_response(json.loads(line))
-
-    def close(self) -> None:
-        try:
-            self.request({"op": "shutdown"})
-        except (ServiceError, RuntimeError, BrokenPipeError, OSError):
-            self._process.kill()  # pragma: no cover - shutdown fallback
-        self._process.wait(timeout=30)
-
-
-class SocketClient:
-    """Drives the concurrent TCP server (:mod:`repro.service.server`).
-
-    The server subprocess announces its ephemeral port on stdout; the
-    client then speaks the identical line protocol over one connection.
-    """
-
-    def __init__(self, workers: int = 1) -> None:
-        self._process = subprocess.Popen(
-            [sys.executable, "-m", "repro.service.server",
-             "--port", "0", "--workers", str(workers)],
-            stdout=subprocess.PIPE, text=True, env=_subprocess_env())
-        assert self._process.stdout is not None
-        banner = self._process.stdout.readline()
-        match = re.search(r":(\d+) ", banner)
-        if not match:
-            self._process.kill()
-            raise RuntimeError(f"no port in server banner: {banner!r}")
-        self._socket = socket.create_connection(
-            ("127.0.0.1", int(match.group(1))), timeout=60)
-        self._file = self._socket.makefile("rw", encoding="utf-8", newline="\n")
-
-    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        self._file.write(json.dumps(_versioned(payload)) + "\n")
-        self._file.flush()
-        line = self._file.readline()
-        if not line:
-            raise RuntimeError("server closed the connection mid-conversation")
-        return check_response(json.loads(line))
-
-    def close(self) -> None:
-        try:
-            self.request({"op": "shutdown"})
-        except (ServiceError, RuntimeError, BrokenPipeError, OSError):
-            self._process.kill()  # pragma: no cover - shutdown fallback
-        finally:
-            self._socket.close()
-        self._process.wait(timeout=30)
-
 
 #: ``--transport`` / ``bench_program(transport=...)`` choices.
 TRANSPORTS = {
@@ -167,19 +71,24 @@ TRANSPORTS = {
 }
 
 
-def _sweep(client, module: str, max_pairs: Optional[int]) -> Dict[str, Any]:
+def _sweep(client: ServiceClient, module: str,
+           max_pairs: Optional[int]) -> Dict[str, Any]:
     """The per-step query sweep: every analysis over every enumerated pair."""
     queries = 0
     no_alias: Dict[str, int] = {}
     outcomes: Dict[str, List[int]] = {}
     for analysis in BENCH_ANALYSES:
-        response = client.request({"op": "query_function", "module": module,
-                                   "analysis": analysis,
-                                   "max_pairs": max_pairs})
-        queries = response["queries"]
-        no_alias[analysis] = response["no_alias"]
-        outcomes[analysis] = response["no_alias_indices"]
+        response = client.query_function(module, analysis, max_pairs=max_pairs)
+        queries = response.queries
+        no_alias[analysis] = response.no_alias
+        outcomes[analysis] = response.no_alias_indices
     return {"queries": queries, "no_alias": no_alias, "outcomes": outcomes}
+
+
+def _callgraph_steps(stats: Dict[str, Any]) -> int:
+    """Solver steps spent on the interprocedural fixed points so far."""
+    by_analysis = stats.get("solver_steps_by_analysis", {})
+    return sum(by_analysis.get(name, 0) for name in CALLGRAPH_ANALYSES)
 
 
 def bench_program(name: str, edits: int, max_pairs: Optional[int],
@@ -199,33 +108,35 @@ def bench_program(name: str, edits: int, max_pairs: Optional[int],
     steps: List[Dict[str, Any]] = []
     try:
         started = time.perf_counter()
-        warm_client.request({"op": "load", "name": name,
-                             "source": scenario.steps[0].source})
+        warm_client.load(name, scenario.steps[0].source)
         load_seconds = time.perf_counter() - started
         previous_steps = 0
+        previous_callgraph = 0
         for step in scenario.steps:
+            impacts: List[Dict[str, Any]] = []
             warm_started = time.perf_counter()
             if step.index > 0:
-                edited = warm_client.request({"op": "edit", "name": name,
-                                              "source": step.source})
+                edited = warm_client.edit(name, step.source)
                 if edited["reloaded"] or edited["changed"] != [step.function]:
                     raise RuntimeError(
                         f"scenario step {step.index} of {name!r} did not take "
                         f"the incremental path: {edited}")
+                impacts = edited["impacts"]
             warm_sweep = _sweep(warm_client, name, max_pairs)
             warm_seconds = time.perf_counter() - warm_started
-            total = warm_client.request({"op": "stats",
-                                         "module": name})["solver_steps"]
+            warm_stats = warm_client.stats(name)
+            total = warm_stats["solver_steps"]
             warm_steps = total - previous_steps
             previous_steps = total
+            callgraph_total = _callgraph_steps(warm_stats)
+            warm_callgraph = callgraph_total - previous_callgraph
+            previous_callgraph = callgraph_total
 
             cold_started = time.perf_counter()
             cold_client = InProcessClient()
-            cold_client.request({"op": "load", "name": name,
-                                 "source": step.source})
+            cold_client.load(name, step.source)
             cold_sweep = _sweep(cold_client, name, max_pairs)
-            cold_steps = cold_client.request({"op": "stats",
-                                              "module": name})["solver_steps"]
+            cold_stats = cold_client.stats(name)
             cold_seconds = time.perf_counter() - cold_started
 
             steps.append({
@@ -235,7 +146,10 @@ def bench_program(name: str, edits: int, max_pairs: Optional[int],
                 "no_alias": warm_sweep["no_alias"],
                 "identical": warm_sweep["outcomes"] == cold_sweep["outcomes"],
                 "warm_solver_steps": warm_steps,
-                "cold_solver_steps": cold_steps,
+                "cold_solver_steps": cold_stats["solver_steps"],
+                "warm_callgraph_steps": warm_callgraph,
+                "cold_callgraph_steps": _callgraph_steps(cold_stats),
+                "impacts": impacts,
                 "warm_seconds": warm_seconds,
                 "cold_seconds": cold_seconds,
             })
@@ -255,6 +169,10 @@ def bench_program(name: str, edits: int, max_pairs: Optional[int],
                                           for s in edit_steps),
             "cold_edit_solver_steps": sum(s["cold_solver_steps"]
                                           for s in edit_steps),
+            "warm_edit_callgraph_steps": sum(s["warm_callgraph_steps"]
+                                             for s in edit_steps),
+            "cold_edit_callgraph_steps": sum(s["cold_callgraph_steps"]
+                                             for s in edit_steps),
             "load_seconds": load_seconds,
         },
     }
@@ -268,7 +186,7 @@ def run_bench(programs: Sequence[str], edits: int,
                              transport=transport)
                for name in programs]
     return {
-        "schema": 1,
+        "schema": 2,
         "programs": records,
         "totals": {
             "identical": all(r["totals"]["identical"] for r in records),
@@ -276,23 +194,39 @@ def run_bench(programs: Sequence[str], edits: int,
                                      for r in records),
             "cold_solver_steps": sum(r["totals"]["cold_solver_steps"]
                                      for r in records),
+            "warm_edit_callgraph_steps": sum(
+                r["totals"]["warm_edit_callgraph_steps"] for r in records),
+            "cold_edit_callgraph_steps": sum(
+                r["totals"]["cold_edit_callgraph_steps"] for r in records),
         },
     }
 
 
 def check_record(record: Dict[str, Any]) -> List[str]:
-    """Gate violations: outcome mismatches and non-wins on edit steps."""
+    """Gate violations: outcome mismatches and non-wins on edit steps.
+
+    Two step-cost gates per edit step: the warm path overall, and the
+    callgraph-scoped (interprocedural) subset — the latter is what the
+    re-seed API must win, since before it every edit paid full GR /
+    Andersen / Steensgaard rebuilds.
+    """
     problems: List[str] = []
     for program in record["programs"]:
         for step in program["steps"]:
             where = f"{program['program']} step {step['index']}"
             if not step["identical"]:
                 problems.append(f"{where}: warm and cold answers differ")
-            if step["index"] > 0 and \
-                    step["warm_solver_steps"] >= step["cold_solver_steps"]:
+            if step["index"] == 0:
+                continue
+            if step["warm_solver_steps"] >= step["cold_solver_steps"]:
                 problems.append(
                     f"{where}: warm path re-ran {step['warm_solver_steps']} "
                     f"solver steps, cold rebuild {step['cold_solver_steps']}")
+            if step["warm_callgraph_steps"] >= step["cold_callgraph_steps"]:
+                problems.append(
+                    f"{where}: incremental interprocedural path re-ran "
+                    f"{step['warm_callgraph_steps']} callgraph solver steps, "
+                    f"cold fixed points {step['cold_callgraph_steps']}")
     return problems
 
 
@@ -317,7 +251,8 @@ def _build_parser() -> argparse.ArgumentParser:
                              "TCP server subprocess (end-to-end)")
     parser.add_argument("--check", action="store_true",
                         help="exit 1 unless warm ≡ cold everywhere and the "
-                             "warm path wins every edit step")
+                             "warm path (overall and callgraph-scoped) wins "
+                             "every edit step")
     parser.add_argument("--out", default="BENCH_service.json")
     return parser
 
@@ -350,7 +285,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     totals = record["totals"]
     print(f"wrote {args.out}: {len(record['programs'])} programs, "
           f"warm {totals['warm_solver_steps']} vs cold "
-          f"{totals['cold_solver_steps']} solver steps, "
+          f"{totals['cold_solver_steps']} solver steps "
+          f"(callgraph on edits: warm {totals['warm_edit_callgraph_steps']} "
+          f"vs cold {totals['cold_edit_callgraph_steps']}), "
           f"identical={totals['identical']} ({elapsed:.2f}s wall)")
 
     if args.check:

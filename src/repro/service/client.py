@@ -1,0 +1,230 @@
+"""Typed client API over the analysis-service protocol.
+
+One :class:`ServiceClient` facade, one implementation per transport:
+
+* :class:`InProcessClient` — an :class:`~repro.service.session.AnalysisSession`
+  behind the exact same versioned wire contract the remote transports speak
+  (every payload still round-trips through
+  :func:`repro.service.protocol.handle_payload`);
+* :class:`DaemonClient` — a real ``python -m repro.service`` stdin/stdout
+  subprocess, line-delimited JSON;
+* :class:`SocketClient` — the concurrent TCP server
+  (``python -m repro.service.server``) over one connection.
+
+Every typed method builds its payload with
+:func:`repro.service.protocol.make_request` (stamping the mandatory ``"v"``)
+and validates the envelope with
+:func:`repro.service.protocol.check_response`, so client code never touches
+raw request dicts; the query-shaped ops return the protocol's typed response
+dataclasses.  Transports only implement :meth:`ServiceClient.call` — send
+one payload, return one decoded envelope.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socket
+import subprocess
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from .protocol import (
+    DEFAULT_SIZE,
+    LoadResponse,
+    QueryFunctionResponse,
+    QueryManyResponse,
+    QueryResponse,
+    RangeResponse,
+    ServiceError,
+    ValuesResponse,
+    check_response,
+    encode_size,
+    handle_payload,
+    make_request,
+)
+
+__all__ = ["ServiceClient", "InProcessClient", "DaemonClient", "SocketClient",
+           "subprocess_env"]
+
+
+def subprocess_env() -> Dict[str, str]:
+    """An environment in which service subprocesses can import ``repro``."""
+    import repro
+
+    env = dict(os.environ)
+    package_root = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = package_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return env
+
+
+class ServiceClient:
+    """Transport-agnostic typed facade over the versioned wire protocol."""
+
+    # -- transport hook ---------------------------------------------------------
+    def call(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request payload, return the decoded response envelope."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release the transport (terminate subprocesses, close sockets)."""
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- generic checked request ------------------------------------------------
+    def request(self, op: str, *, id: Any = None,
+                **fields: Any) -> Dict[str, Any]:
+        """One checked request; returns the successful envelope or raises
+        :class:`~repro.service.protocol.ServiceError` with its stable code."""
+        return check_response(self.call(make_request(op, id=id, **fields)))
+
+    # -- typed operations --------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self.request("ping")["pong"])
+
+    def load(self, name: str, source: str) -> LoadResponse:
+        return LoadResponse.from_envelope(
+            self.call(make_request("load", name=name, source=source)))
+
+    def load_program(self, name: str) -> LoadResponse:
+        return LoadResponse.from_envelope(
+            self.call(make_request("load_program", name=name)))
+
+    def edit(self, name: str, source: str) -> Dict[str, Any]:
+        """Apply an edited source; the envelope carries ``changed`` /
+        ``reloaded`` and the per-function incremental ``impacts``."""
+        return self.request("edit", name=name, source=source)
+
+    def query(self, module: str, analysis: str, function: str, a: str, b: str,
+              size_a: Any = DEFAULT_SIZE,
+              size_b: Any = DEFAULT_SIZE) -> QueryResponse:
+        fields: Dict[str, Any] = {"module": module, "analysis": analysis,
+                                  "function": function, "a": a, "b": b}
+        if size_a is not DEFAULT_SIZE:
+            fields["size_a"] = encode_size(size_a)
+        if size_b is not DEFAULT_SIZE:
+            fields["size_b"] = encode_size(size_b)
+        return QueryResponse.from_envelope(
+            self.call(make_request("query", **fields)))
+
+    def query_many(self, module: str, analysis: str, function: str,
+                   pairs: Sequence[Sequence[Any]]) -> QueryManyResponse:
+        return QueryManyResponse.from_envelope(self.call(make_request(
+            "query_many", module=module, analysis=analysis, function=function,
+            pairs=[list(pair) for pair in pairs])))
+
+    def query_function(self, module: str, analysis: str,
+                       function: Optional[str] = None,
+                       max_pairs: Optional[int] = None) -> QueryFunctionResponse:
+        fields: Dict[str, Any] = {"module": module, "analysis": analysis}
+        if function is not None:
+            fields["function"] = function
+        if max_pairs is not None:
+            fields["max_pairs"] = max_pairs
+        return QueryFunctionResponse.from_envelope(
+            self.call(make_request("query_function", **fields)))
+
+    def values(self, module: str, function: str) -> ValuesResponse:
+        return ValuesResponse.from_envelope(self.call(
+            make_request("values", module=module, function=function)))
+
+    def range_of(self, module: str, function: str, value: str) -> RangeResponse:
+        return RangeResponse.from_envelope(self.call(make_request(
+            "range", module=module, function=function, value=value)))
+
+    def stats(self, module: str) -> Dict[str, Any]:
+        return self.request("stats", module=module)
+
+    def modules(self) -> List[Dict[str, Any]]:
+        return self.request("modules")["modules"]
+
+    def unload(self, name: str) -> Dict[str, Any]:
+        return self.request("unload", name=name)
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request("shutdown")
+
+
+class InProcessClient(ServiceClient):
+    """The session API behind the same protocol the remote transports speak."""
+
+    def __init__(self, store: Any = None) -> None:
+        from .session import AnalysisSession
+
+        self._session = AnalysisSession(store)
+
+    def call(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        return handle_payload(self._session, payload)
+
+
+class DaemonClient(ServiceClient):
+    """Drives a real daemon subprocess over line-delimited JSON."""
+
+    def __init__(self) -> None:
+        self._process = subprocess.Popen(
+            [sys.executable, "-m", "repro.service"],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            text=True, env=subprocess_env())
+
+    def call(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        assert self._process.stdin is not None and self._process.stdout is not None
+        self._process.stdin.write(json.dumps(payload) + "\n")
+        self._process.stdin.flush()
+        line = self._process.stdout.readline()
+        if not line:
+            raise RuntimeError("daemon closed its stdout mid-conversation")
+        return json.loads(line)
+
+    def close(self) -> None:
+        try:
+            self.shutdown()
+        except (ServiceError, RuntimeError, BrokenPipeError, OSError):
+            self._process.kill()  # pragma: no cover - shutdown fallback
+        self._process.wait(timeout=30)
+
+
+class SocketClient(ServiceClient):
+    """Drives the concurrent TCP server (:mod:`repro.service.server`).
+
+    The server subprocess announces its ephemeral port on stdout; the
+    client then speaks the identical line protocol over one connection.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        self._process = subprocess.Popen(
+            [sys.executable, "-m", "repro.service.server",
+             "--port", "0", "--workers", str(workers)],
+            stdout=subprocess.PIPE, text=True, env=subprocess_env())
+        assert self._process.stdout is not None
+        banner = self._process.stdout.readline()
+        match = re.search(r":(\d+) ", banner)
+        if not match:
+            self._process.kill()
+            raise RuntimeError(f"no port in server banner: {banner!r}")
+        self._socket = socket.create_connection(
+            ("127.0.0.1", int(match.group(1))), timeout=60)
+        self._file = self._socket.makefile("rw", encoding="utf-8", newline="\n")
+
+    def call(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        self._file.write(json.dumps(payload) + "\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise RuntimeError("server closed the connection mid-conversation")
+        return json.loads(line)
+
+    def close(self) -> None:
+        try:
+            self.shutdown()
+        except (ServiceError, RuntimeError, BrokenPipeError, OSError):
+            self._process.kill()  # pragma: no cover - shutdown fallback
+        finally:
+            self._socket.close()
+        self._process.wait(timeout=30)

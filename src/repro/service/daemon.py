@@ -25,15 +25,16 @@ Operations (``"op"``; request types live in ``protocol.REQUESTS``):
 ``shutdown``       acknowledge and exit
 =================  ==========================================================
 
-Requests may carry ``"v"`` (protocol version; mismatches are rejected with
-``error_code: "protocol_mismatch"``) and ``"id"`` (an arbitrary correlation
-token echoed verbatim on the response).  Failures are structured::
+Requests must carry ``"v"`` (protocol version; omissions and mismatches
+are rejected with ``error_code: "protocol_mismatch"``) and may carry
+``"id"`` (an arbitrary correlation token echoed verbatim on the
+response).  Failures are structured::
 
     {"ok": false, "v": 1, "id": .., "error_code": "unknown_op",
-     "message": "...", "error": "..."}
+     "message": "..."}
 
-where ``error_code`` is one of ``protocol.ERROR_CODES`` and ``error`` is
-the deprecated pre-v1 free-form string (kept for one release).
+where ``error_code`` is one of ``protocol.ERROR_CODES`` (the deprecated
+pre-v1 free-form ``"error"`` string has completed its removal cycle).
 
 Sizes (``size_a``/``size_b`` and 4-element ``query_many`` pairs): omit or
 ``"default"`` for the pointee-size default; ``null`` or ``"unknown"`` for

@@ -54,6 +54,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..benchgen import build_program, digest_index, stable_seed
 from ..benchgen.manifest import GENERATOR_VERSION
 from ..evaluation.reporting import to_canonical_json
+from .client import InProcessClient
 from .pool import WorkerPool
 from .protocol import PROTOCOL_VERSION, handle_payload, make_request
 from .server import ServiceServer
@@ -95,16 +96,16 @@ class _Program:
 
 
 def build_corpus(programs: Sequence[str]) -> List[_Program]:
-    """Generate the corpus and scout its queryable names (a helper session
+    """Generate the corpus and scout its queryable names (a helper client
     compiles each program once so scripts can address real SSA values)."""
-    scout = AnalysisSession()
+    scout = InProcessClient()
     corpus: List[_Program] = []
     for name in programs:
         source = build_program(name).source
-        loaded = scout.load_source(name, source)
+        loaded = scout.load(name, source)
         functions = []
-        for fn_name in loaded["functions"]:
-            values = scout.values(name, fn_name)["values"]
+        for fn_name in loaded.functions:
+            values = scout.values(name, fn_name).values
             functions.append(_Function(
                 name=fn_name,
                 pointers=[v["name"] for v in values if v["pointer"]],

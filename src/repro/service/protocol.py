@@ -10,23 +10,22 @@ Wire shape
 ----------
 
 A request is one JSON object: ``{"op": <name>, "v": <version>,
-"id": <any>, ...fields}``.  ``v`` is the protocol version — a request
-carrying a different version is rejected with a structured
-``protocol_mismatch`` error (omitting ``v`` is accepted for pre-versioned
-clients).  ``id`` is an arbitrary client-chosen correlation token echoed
-verbatim on the response, which is what makes pipelined and multiplexed
-traffic attributable.
+"id": <any>, ...fields}``.  ``v`` is the protocol version and is
+**required**: a request omitting it or carrying a different version is
+rejected with a structured ``protocol_mismatch`` error (the pre-versioned
+grace period ended after one release).  ``id`` is an arbitrary
+client-chosen correlation token echoed verbatim on the response, which is
+what makes pipelined and multiplexed traffic attributable.
 
 A response is one JSON object: ``{"ok": true, "v": 1, "id": ..,
 ...result}`` on success, and on failure::
 
     {"ok": false, "v": 1, "id": .., "error_code": "<stable code>",
-     "message": "<human text>", "error": "<legacy string>"}
+     "message": "<human text>"}
 
-``error_code`` is machine-readable and stable (see :data:`ERROR_CODES`);
-``error`` is the pre-v1 free-form string, kept for one release so old
-clients that match on it keep working — new clients must switch to
-``error_code`` (deprecated, will be dropped).
+``error_code`` is machine-readable and stable (see :data:`ERROR_CODES`).
+The pre-v1 free-form ``"error"`` string rode along for one deprecation
+release and is gone — clients match on ``error_code``.
 
 Access sizes
 ------------
@@ -571,13 +570,17 @@ def parse_request(payload: Any) -> Request:
     """Decode one request payload into its typed dataclass.
 
     Raises :class:`ServiceError` with ``bad_request`` (not an object /
-    malformed fields), ``protocol_mismatch`` (wrong ``v``) or
+    malformed fields), ``protocol_mismatch`` (missing or wrong ``v``) or
     ``unknown_op``.
     """
     if not isinstance(payload, dict):
         raise ServiceError("request must be a JSON object")
-    version = payload.get("v")
-    if version is not None and version != PROTOCOL_VERSION:
+    if "v" not in payload:
+        raise ServiceError(
+            f"request is missing the protocol version field 'v' "
+            f"(this service speaks v{PROTOCOL_VERSION})", PROTOCOL_MISMATCH)
+    version = payload["v"]
+    if version != PROTOCOL_VERSION:
         raise ServiceError(
             f"protocol version {version!r} is not supported "
             f"(this service speaks v{PROTOCOL_VERSION})", PROTOCOL_MISMATCH)
@@ -605,9 +608,9 @@ def success_envelope(request_id: Any, result: Dict[str, Any]) -> Dict[str, Any]:
     return envelope
 
 
-def error_envelope(code: str, message: str, request_id: Any = None,
-                   legacy: Optional[str] = None) -> Dict[str, Any]:
-    """The structured failure envelope (+ the deprecated legacy string)."""
+def error_envelope(code: str, message: str,
+                   request_id: Any = None) -> Dict[str, Any]:
+    """The structured failure envelope."""
     if code not in ERROR_CODES:
         code = INTERNAL_ERROR
     envelope: Dict[str, Any] = {
@@ -615,8 +618,6 @@ def error_envelope(code: str, message: str, request_id: Any = None,
         "v": PROTOCOL_VERSION,
         "error_code": code,
         "message": message,
-        # Deprecated: pre-v1 clients matched on "error"; kept one release.
-        "error": legacy if legacy is not None else f"ServiceError: {message}",
     }
     if request_id is not None:
         envelope["id"] = request_id
@@ -635,16 +636,13 @@ def handle_payload(session: Any, payload: Any) -> Dict[str, Any]:
         request = parse_request(payload)
         return success_envelope(request.id, request.apply(session))
     except ServiceError as error:
-        return error_envelope(error.code, str(error), request_id,
-                              legacy=f"{type(error).__name__}: {error}")
+        return error_envelope(error.code, str(error), request_id)
     except (KeyError, TypeError, ValueError) as error:
         return error_envelope(BAD_REQUEST, f"{type(error).__name__}: {error}",
-                              request_id,
-                              legacy=f"{type(error).__name__}: {error}")
+                              request_id)
     except Exception as error:  # a request bug must not kill the transport
         return error_envelope(INTERNAL_ERROR,
-                              f"{type(error).__name__}: {error}", request_id,
-                              legacy=f"{type(error).__name__}: {error}")
+                              f"{type(error).__name__}: {error}", request_id)
 
 
 # -- client-side helpers -------------------------------------------------------
@@ -664,9 +662,8 @@ def check_response(envelope: Any) -> Dict[str, Any]:
         raise ServiceError("response must be a JSON object")
     if envelope.get("ok"):
         return envelope
-    raise ServiceError(
-        str(envelope.get("message") or envelope.get("error") or "request failed"),
-        envelope.get("error_code") or BAD_REQUEST)
+    raise ServiceError(str(envelope.get("message") or "request failed"),
+                       envelope.get("error_code") or BAD_REQUEST)
 
 
 def encode_line(payload: Dict[str, Any]) -> str:

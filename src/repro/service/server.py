@@ -227,8 +227,7 @@ class ServiceServer:
             if not reply.done():
                 reply.set_result(error_envelope(
                     envelope.get("error_code", BAD_REQUEST),
-                    envelope.get("message", "request failed"), request.id,
-                    legacy=envelope.get("error")))
+                    envelope.get("message", "request failed"), request.id))
 
     # -- client handling -------------------------------------------------------
     async def _serve_client(self, reader: asyncio.StreamReader,
@@ -266,12 +265,11 @@ class ServiceServer:
             request = parse_request(payload)
         except ServiceError as error:
             return error_envelope(error.code, str(error),
-                                  request_id_of(payload),
-                                  legacy=f"{type(error).__name__}: {error}")
+                                  request_id_of(payload))
         except (KeyError, TypeError, ValueError) as error:
-            legacy = f"{type(error).__name__}: {error}"
-            return error_envelope(BAD_REQUEST, legacy,
-                                  request_id_of(payload), legacy=legacy)
+            return error_envelope(BAD_REQUEST,
+                                  f"{type(error).__name__}: {error}",
+                                  request_id_of(payload))
         if isinstance(request, PingRequest):
             return success_envelope(request.id, {"pong": True})
         if isinstance(request, ShutdownRequest):

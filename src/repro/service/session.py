@@ -10,8 +10,13 @@ dependency cone the edit touches:
 * the function-scoped analyses (symbolic ranges, LR, locations, basicaa
   caches, SCEV engines, RBAA's memo) are refreshed in place, re-solving
   only the edited function's nodes;
-* the interprocedural fixed points (GR, Andersen, Steensgaard) are evicted
-  and rebuilt lazily on the refreshed inputs.
+* the interprocedural fixed points (GR, Andersen, Steensgaard) are
+  *re-seeded* in place through :meth:`SparseSolver.resolve_from`: the
+  retained fixed point survives and only the edit's dependent cone is
+  re-solved (Steensgaard, whose unification is not retractable, re-applies
+  every constraint but still routes through the same entry point);
+* only structural edits (function/global set or signature changes) fall
+  back to a full reload.
 
 A session may additionally be backed by a persistent content-addressed
 :class:`~repro.service.store.ResultStore`.  Results are then keyed by the
@@ -116,6 +121,9 @@ class ResidentModule:
     memos: Dict[str, QueryPairMemo] = field(default_factory=dict)
     #: Solver steps of analyses that were evicted (harvested before drop).
     retired_steps: int = 0
+    #: Same, attributed per analysis-key name (feeds the per-analysis
+    #: telemetry the incremental-interprocedural gate reads).
+    retired_by_analysis: Dict[str, int] = field(default_factory=dict)
     edits: int = 0
     #: ``EditImpact.as_dict()`` records, newest last.
     impacts: List[Dict[str, Any]] = field(default_factory=list)
@@ -129,7 +137,11 @@ class ResidentModule:
             self.manager.on_evict = self._on_evict
 
     def _on_evict(self, key: AnalysisKey, value: Any) -> None:
-        self.retired_steps += _solver_steps_of(value)
+        steps = _solver_steps_of(value)
+        self.retired_steps += steps
+        if steps:
+            self.retired_by_analysis[key.name] = \
+                self.retired_by_analysis.get(key.name, 0) + steps
 
     @property
     def materialized(self) -> bool:
@@ -145,6 +157,21 @@ class ResidentModule:
             live = sum(_solver_steps_of(value)
                        for value in self.manager.cached_values())
         return self.retired_steps + live
+
+    def solver_steps_by_analysis(self) -> Dict[str, int]:
+        """Per-analysis solver-step totals (retired + live), name-sorted.
+
+        The service bench sums the callgraph-scoped names out of this to
+        gate the incremental-interprocedural path: after an edit, the GR /
+        Andersen / Steensgaard re-seeds must have cost strictly fewer steps
+        than the cold fixed points they replaced."""
+        totals = dict(self.retired_by_analysis)
+        if self.manager is not None:
+            for name, value in self.manager.cached_items():
+                steps = _solver_steps_of(value)
+                if steps:
+                    totals[name] = totals.get(name, 0) + steps
+        return dict(sorted(totals.items()))
 
     # -- name resolution -------------------------------------------------------
     def function(self, name: str) -> Function:
@@ -313,6 +340,11 @@ class AnalysisSession:
         resident.source = source
         resident.digest = source_digest(source)
         resident.meta = self._meta_of(resident.module)
+        if self.store is not None:
+            # Register the new content address: a restarted server loading
+            # the edited source stays lazy, exactly like a fresh load would.
+            self.store.put(self.store.key(resident.digest, "load"),
+                           resident.meta)
         resident.edits += len(changed)
         return {"module": name, "changed": changed, "reloaded": False,
                 "impacts": impacts}
@@ -553,6 +585,12 @@ class AnalysisSession:
             "edits": resident.edits,
             "materialized": resident.materialized,
             "solver_steps": resident.solver_steps(),
+            "solver_steps_by_analysis": resident.solver_steps_by_analysis(),
+            # Per-edit incremental telemetry: every applied edit's impact
+            # record (refresh-vs-evict decision per analysis, re-seeded node
+            # counts, retained-state sizes).  Counts and names only — the
+            # records are deterministic and survive strip_volatile.
+            "incremental": {"impacts": list(resident.impacts)},
             "engine": engine_stats,
             "memos": {name: {"hits": memo.hits, "misses": memo.misses,
                              "evictions": memo.evictions,

@@ -9,6 +9,8 @@ import sys
 import pytest
 
 import repro
+from repro.benchgen import build_program, edit_scenario, stable_seed
+from repro.benchgen.suites import SUITE_PROGRAMS
 from repro.service.loadtest import (
     build_corpus,
     check_identity,
@@ -17,7 +19,12 @@ from repro.service.loadtest import (
     serial_expectations,
     stats_gate_view,
 )
-from repro.service.protocol import PROTOCOL_VERSION, make_request
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    handle_payload,
+    make_request,
+)
+from repro.service.session import AnalysisSession
 
 PROGRAMS = ("allroots", "fixoutput")
 CLIENTS = 3
@@ -90,16 +97,18 @@ class TestWarmRestart:
 class _RawClient:
     """A line-delimited JSON conversation with a spawned server process."""
 
-    def __init__(self, workers=1):
+    def __init__(self, workers=1, store=None):
         env = dict(os.environ)
         package_root = os.path.dirname(os.path.dirname(
             os.path.abspath(repro.__file__)))
         env["PYTHONPATH"] = package_root + (
             os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        command = [sys.executable, "-m", "repro.service.server",
+                   "--port", "0", "--workers", str(workers)]
+        if store is not None:
+            command += ["--store", str(store)]
         self.process = subprocess.Popen(
-            [sys.executable, "-m", "repro.service.server",
-             "--port", "0", "--workers", str(workers)],
-            stdout=subprocess.PIPE, text=True, env=env)
+            command, stdout=subprocess.PIPE, text=True, env=env)
         banner = self.process.stdout.readline()
         port = int(banner.rsplit(":", 1)[1].split()[0])
         self.connection = socket.create_connection(("127.0.0.1", port),
@@ -139,10 +148,15 @@ class TestRawSocketEnvelopes:
             assert mismatch["error_code"] == "protocol_mismatch"
             assert mismatch["id"] == "v1"
 
+            unversioned = client.call({"op": "ping", "id": "v2"})
+            assert unversioned["ok"] is False
+            assert unversioned["error_code"] == "protocol_mismatch"
+            assert unversioned["id"] == "v2"
+
             unknown = client.call(make_request("frobnicate", id="u1"))
             assert unknown["error_code"] == "unknown_op"
             assert unknown["id"] == "u1"
-            assert "error" in unknown  # deprecated legacy string, one release
+            assert "error" not in unknown  # pre-v1 legacy string is gone
 
             ghost = client.call(make_request(
                 "query", id="g1", module="ghost", analysis="rbaa",
@@ -150,7 +164,110 @@ class TestRawSocketEnvelopes:
             assert ghost["error_code"] == "unknown_module"
             assert ghost["id"] == "g1"
 
-            # The transport survived four failures in a row.
+            # The transport survived five failures in a row.
             assert client.call(make_request("ping", id="p2"))["id"] == "p2"
         finally:
             client.close()
+
+
+def _names_on_distinct_shards(workers):
+    """Two module names the unpinned name-hash places on different shards."""
+    picked = {}
+    for index in range(64):
+        name = f"edit-shard-{index}"
+        picked.setdefault(stable_seed(f"service/shard/{name}", workers), name)
+        if len(picked) == workers:
+            return picked[0], picked[1]
+    raise AssertionError("hash never covered both shards")
+
+
+class TestSocketEdits:
+    """Function-granular edits through the concurrent server + store."""
+
+    def test_edit_invalidates_one_shard_and_keeps_others_warm(self, tmp_path):
+        config = next(p for p in SUITE_PROGRAMS
+                      if p.name == "allroots").config()
+        scenario = edit_scenario(config, edits=1, seed=0)
+        before, after = scenario.steps
+        other_source = build_program("fixoutput").source
+        name_a, name_b = _names_on_distinct_shards(WORKERS)
+
+        def script(source_a):
+            return [
+                make_request("load", id="load.a", name=name_a,
+                             source=source_a),
+                make_request("load", id="load.b", name=name_b,
+                             source=other_source),
+                make_request("query_function", id="sweep.a", module=name_a,
+                             analysis="rbaa", max_pairs=60),
+                make_request("query_function", id="sweep.b", module=name_b,
+                             analysis="rbaa", max_pairs=60),
+            ]
+        edit_payload = make_request("edit", id="edit.a", name=name_a,
+                                    source=after.source)
+
+        root = str(tmp_path / "store")
+        client = _RawClient(workers=WORKERS, store=root)
+        transcript = {}
+        try:
+            for payload in script(before.source):
+                transcript[payload["id"]] = client.call(payload)
+            stats_before = {name: client.call(make_request("stats",
+                                                           module=name))
+                            for name in (name_a, name_b)}
+
+            edited = client.call(edit_payload)
+            assert edited["ok"] is True
+            assert edited["reloaded"] is False
+            assert edited["changed"] == [after.function]
+            assert edited["impacts"], "edit produced no incremental impacts"
+            transcript["edit.a"] = edited
+
+            for payload in script(before.source)[2:]:  # re-run both sweeps
+                transcript[payload["id"] + ".post"] = client.call(payload)
+            stats_after = {name: client.call(make_request("stats",
+                                                          module=name))
+                          for name in (name_a, name_b)}
+        finally:
+            client.close()
+
+        # The edited module took the incremental path on its own shard...
+        assert stats_after[name_a]["edits"] == 1
+        assert stats_after[name_a]["solver_steps"] > \
+            stats_before[name_a]["solver_steps"]
+        # ...and wrote the post-edit answers under the new source digest.
+        assert stats_after[name_a]["store"]["writes"] > \
+            stats_before[name_a]["store"]["writes"]
+        # The other shard never saw the edit: no new analysis work at all.
+        assert stats_after[name_b]["edits"] == 0
+        assert stats_after[name_b]["solver_steps"] == \
+            stats_before[name_b]["solver_steps"]
+
+        # Answer identity vs a serial in-process session, through the edit.
+        session = AnalysisSession()
+        for payload in script(before.source):
+            expected = handle_payload(session, payload)
+            assert transcript[payload["id"]] == expected, payload["id"]
+        assert handle_payload(session, edit_payload) == transcript["edit.a"]
+        for payload in script(before.source)[2:]:
+            expected = handle_payload(session, payload)
+            assert transcript[payload["id"] + ".post"] == expected, \
+                payload["id"]
+
+        # A restarted server on the same store serves the *edited* module
+        # warm — proof the post-edit entries are keyed by the new digest.
+        warm = _RawClient(workers=WORKERS, store=root)
+        try:
+            for payload in script(after.source):
+                response = warm.call(payload)
+                if payload["id"].startswith("sweep"):
+                    key = payload["id"] + ".post"
+                    assert response == transcript[key], payload["id"]
+            for name in (name_a, name_b):
+                record = warm.call(make_request("stats", module=name))
+                assert record["materialized"] is False, name
+                assert record["solver_steps"] == 0
+                assert record["store"]["misses"] == 0
+                assert record["store"]["hits"] > 0
+        finally:
+            warm.close()

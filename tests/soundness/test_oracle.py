@@ -92,3 +92,43 @@ def test_cli_writes_report_and_enforces_min_programs(tmp_path):
 
 def test_default_max_pairs_is_bounded():
     assert 0 < DEFAULT_MAX_PAIRS <= 500
+
+
+@pytest.mark.parametrize("name", ("fixoutput", "anagram"))
+def test_warm_edited_module_replays_clean_through_the_oracle(name):
+    """Post-edit verdicts from *re-seeded* fixed points are oracle-clean.
+
+    The warm analyses are pulled straight out of an edited session's
+    manager — the exact objects whose interprocedural state was re-seeded
+    via ``resolve_from`` rather than rebuilt — and fed through the full
+    differential oracle against concrete executions of the edited module.
+    """
+    from types import SimpleNamespace
+
+    from repro.benchgen import edit_scenario
+    from repro.service.session import ANALYSIS_KEYS, AnalysisSession
+
+    config = next(c for c in suite_configs() if c.name == name)
+    scenario = edit_scenario(config, edits=2, seed=0)
+    session = AnalysisSession()
+    session.load_source(name, scenario.steps[0].source)
+    session.query_function(name, "rbaa")
+    for step in scenario.steps[1:]:
+        edited = session.edit_source(name, step.source)
+        assert edited["reloaded"] is False
+        assert edited["changed"] == [step.function]
+        session.query_function(name, "rbaa")
+        resident = session._modules[name]
+        warm = [(analysis_name,
+                 resident.manager.get(ANALYSIS_KEYS[analysis_name]))
+                for analysis_name in ("rbaa", "basic", "andersen",
+                                      "steensgaard")]
+        factories = [(analysis_name, (lambda module, _warm=analysis: _warm))
+                     for analysis_name, analysis in warm]
+        check = check_program(
+            SimpleNamespace(config=config, module=resident.module),
+            factories=factories)
+        assert check.executed, check.stop_reason
+        assert check.violations == [], check.violations
+        assert sum(check.no_alias_claims.values()) > 0
+        assert check.claims_checked > 0

@@ -113,6 +113,10 @@ class TestApplyFunctionEdit:
         ranges = manager.get(keys.RANGES)
         lr = manager.get(keys.LOCAL_RANGES)
         gr = manager.get(keys.GLOBAL_RANGES)
+        # Build the callgraph-scoped aliasing fixed points too so the edit
+        # exercises their re-seed paths rather than lazy cold builds.
+        manager.get(keys.ANDERSEN)
+        manager.get(keys.STEENSGAARD)
         old = module.replace_function(donor.get_function(name))
         impact = manager.apply_function_edit(old, module.get_function(name))
         return manager, impact, (rbaa, ranges, lr, gr)
@@ -127,14 +131,25 @@ class TestApplyFunctionEdit:
         assert manager.get(keys.LOCAL_RANGES) is lr
         assert manager.get(keys.RBAA) is rbaa
 
-    def test_callgraph_scoped_entries_are_evicted_and_rebuilt(self):
+    def test_callgraph_scoped_entries_reseed_in_place(self):
         module, donor = _compile_pair()
         manager, impact, (_, _, _, gr) = self._edit(module, donor, "fill")
-        assert "global-ranges" in impact.evicted
-        rebuilt = manager.get(keys.GLOBAL_RANGES)
-        assert rebuilt is not gr
-        # The rebuilt GR reuses the refreshed function-scoped inputs.
-        assert rebuilt.ranges is manager.get(keys.RANGES)
+        assert "global-ranges" in impact.refreshed
+        assert "global-ranges" not in impact.evicted
+        # Same object, re-seeded: no eviction, and the telemetry records how
+        # much of the fixed point survived.
+        assert manager.get(keys.GLOBAL_RANGES) is gr
+        assert impact.reseeded["global-ranges"] > 0
+        assert impact.retained["global-ranges"] > 0
+
+    def test_module_scoped_entries_still_evict(self):
+        module, donor = _compile_pair()
+        manager = AnalysisManager(module)
+        callgraph = manager.get(keys.CALLGRAPH)
+        old = module.replace_function(donor.get_function("fill"))
+        impact = manager.apply_function_edit(old, module.get_function("fill"))
+        assert "callgraph" in impact.evicted
+        assert manager.get(keys.CALLGRAPH) is not callgraph
 
     def test_cone_covers_callgraph_closure(self):
         module, donor = _compile_pair()
@@ -171,12 +186,64 @@ class TestApplyFunctionEdit:
     def test_on_evict_callback_sees_retired_values(self):
         module, donor = _compile_pair()
         manager = AnalysisManager(module)
-        manager.get(keys.GLOBAL_RANGES)
+        manager.get(keys.CALLGRAPH)
         retired = []
         manager.on_evict = lambda key, value: retired.append(key.name)
         old = module.replace_function(donor.get_function("fill"))
         manager.apply_function_edit(old, module.get_function("fill"))
-        assert "global-ranges" in retired
+        assert "callgraph" in retired
+
+    def test_reseed_is_cheaper_than_cold_rebuild(self):
+        module, donor = _compile_pair()
+        manager, impact, _ = self._edit(module, donor, "fill")
+        cold = AnalysisManager(compile_source(SRC_V2, "prog"))
+        warm_gr = manager.get(keys.GLOBAL_RANGES)
+        cold_gr = cold.get(keys.GLOBAL_RANGES)
+        warm_andersen = manager.get(keys.ANDERSEN)
+        cold_andersen = cold.get(keys.ANDERSEN)
+        # Warm totals cover the original solve PLUS the refresh; the refresh
+        # alone (total minus one cold-equivalent solve) must be strictly
+        # cheaper than solving the edited module from scratch.
+        gr_refresh = warm_gr.solver_statistics.steps - cold_gr.solver_statistics.steps
+        assert 0 < gr_refresh < cold_gr.solver_statistics.steps
+        andersen_refresh = (warm_andersen.solver_statistics.steps
+                            - cold_andersen.solver_statistics.steps)
+        assert 0 < andersen_refresh < cold_andersen.solver_statistics.steps
+        assert impact.reseeded["andersen"] > 0
+
+    def test_gr_state_matches_cold_rebuild(self):
+        module, donor = _compile_pair()
+        manager, _, _ = self._edit(module, donor, "fill")
+        cold_module = compile_source(SRC_V2, "prog")
+        cold = AnalysisManager(cold_module)
+        warm_gr = manager.get(keys.GLOBAL_RANGES)
+        cold_gr = cold.get(keys.GLOBAL_RANGES)
+        for fn_name in ("fill", "scan", "main"):
+            warm_fn = module.get_function(fn_name)
+            cold_fn = cold_module.get_function(fn_name)
+            for warm_v, cold_v in zip(warm_fn.pointer_values(),
+                                      cold_fn.pointer_values()):
+                assert repr(warm_gr.value_of(warm_v)) \
+                    == repr(cold_gr.value_of(cold_v)), (fn_name, warm_v)
+
+    def test_andersen_state_matches_cold_rebuild(self):
+        module, donor = _compile_pair()
+        manager, _, _ = self._edit(module, donor, "fill")
+        cold_module = compile_source(SRC_V2, "prog")
+        cold = AnalysisManager(cold_module)
+        warm = manager.get(keys.ANDERSEN)
+        cold_andersen = cold.get(keys.ANDERSEN)
+
+        def shape(analysis, fn):
+            out = []
+            for value in fn.pointer_values():
+                pts = analysis.points_to_set(value)
+                out.append(sorted(str(obj) for obj in pts))
+            return out
+
+        for fn_name in ("fill", "scan", "main"):
+            assert shape(warm, module.get_function(fn_name)) \
+                == shape(cold_andersen, cold_module.get_function(fn_name)), fn_name
 
     def test_warm_results_match_cold_rebuild(self):
         module, donor = _compile_pair()

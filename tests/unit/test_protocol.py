@@ -92,12 +92,14 @@ class TestGoldenSchemas:
                   "query": "m", "query_many": "m", "query_function": "m",
                   "values": "m", "range": "m", "stats": "m", "unload": "m"}
         for op, fields in self.GOLDEN.items():
-            request = parse_request({"op": op, **fields})
+            request = parse_request({"op": op, "v": PROTOCOL_VERSION,
+                                     **fields})
             assert request.routing_module() == routed.get(op)
 
     def test_missing_required_field_is_bad_request(self):
         with pytest.raises(ServiceError) as caught:
-            parse_request({"op": "query", "module": "m"})
+            parse_request({"op": "query", "v": PROTOCOL_VERSION,
+                           "module": "m"})
         assert caught.value.code == "bad_request"
 
 
@@ -114,35 +116,38 @@ class TestErrorCodes:
         session = AnalysisSession()
         session.load_source("m", SRC)
         base, offset = _pointers(session)
+        v = PROTOCOL_VERSION
         cases = [
-            ({"op": "warp"}, "unknown_op"),
-            ({"op": "query", "module": "ghost", "analysis": "rbaa",
+            ({"op": "warp", "v": v}, "unknown_op"),
+            ({"op": "query", "v": v, "module": "ghost", "analysis": "rbaa",
               "function": "main", "a": base, "b": offset}, "unknown_module"),
-            ({"op": "query", "module": "m", "analysis": "voodoo",
+            ({"op": "query", "v": v, "module": "m", "analysis": "voodoo",
               "function": "main", "a": base, "b": offset},
              "unknown_analysis"),
-            ({"op": "query", "module": "m", "analysis": "rbaa",
+            ({"op": "query", "v": v, "module": "m", "analysis": "rbaa",
               "function": "nowhere", "a": base, "b": offset},
              "unknown_function"),
-            ({"op": "query", "module": "m", "analysis": "rbaa",
+            ({"op": "query", "v": v, "module": "m", "analysis": "rbaa",
               "function": "main", "a": base, "b": "nothing"},
              "unknown_value"),
-            ({"op": "query", "module": "m", "analysis": "rbaa",
+            ({"op": "query", "v": v, "module": "m", "analysis": "rbaa",
               "function": "main", "a": base, "b": offset, "size_a": -1},
              "bad_request"),
-            ({"op": "edit", "name": "m", "source": "int main( {"},
+            ({"op": "edit", "v": v, "name": "m", "source": "int main( {"},
              "edit_rejected"),
-            ({"op": "load", "name": "bad", "source": "int main( {"},
+            ({"op": "load", "v": v, "name": "bad", "source": "int main( {"},
              "bad_request"),
-            ({"op": "ping", "v": PROTOCOL_VERSION + 1}, "protocol_mismatch"),
+            ({"op": "ping", "v": v + 1}, "protocol_mismatch"),
+            ({"op": "ping"}, "protocol_mismatch"),
             ("not an object", "bad_request"),
         ]
         for payload, code in cases:
             envelope = handle_payload(session, payload)
             assert envelope["ok"] is False, payload
             assert envelope["error_code"] == code, payload
-            # The legacy string rides along for one release (deprecated).
-            assert isinstance(envelope["error"], str) and envelope["error"]
+            # The pre-v1 free-form "error" string is gone from the wire.
+            assert "error" not in envelope, payload
+            assert isinstance(envelope["message"], str) and envelope["message"]
             assert envelope["v"] == PROTOCOL_VERSION
 
     def test_envelope_helpers(self):
@@ -151,7 +156,8 @@ class TestErrorCodes:
                       "pong": True}
         bad = error_envelope("unknown_op", "nope", "id-2")
         assert bad["error_code"] == "unknown_op" and bad["id"] == "id-2"
-        assert bad["error"].endswith("nope")
+        assert bad["message"] == "nope"
+        assert "error" not in bad  # the deprecated field is gone
         # Unlisted codes degrade to internal_error, never leak through.
         assert error_envelope("made_up", "x")["error_code"] == "internal_error"
 
@@ -170,9 +176,15 @@ class TestVersioning:
         assert envelope["error_code"] == "protocol_mismatch"
         assert envelope["id"] == 5
 
-    def test_unversioned_requests_still_work(self):
+    def test_unversioned_requests_are_rejected(self):
+        # The unversioned grace period (PR 6's deprecation window) is over:
+        # a request without "v" is a protocol mismatch, with the id echoed.
         session = AnalysisSession()
-        assert handle_payload(session, {"op": "ping"})["pong"] is True
+        envelope = handle_payload(session, {"op": "ping", "id": "old"})
+        assert envelope["ok"] is False
+        assert envelope["error_code"] == "protocol_mismatch"
+        assert envelope["id"] == "old"
+        assert "'v'" in envelope["message"]
 
     def test_make_request_stamps_the_version(self):
         payload = make_request("ping", id=3)

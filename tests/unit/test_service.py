@@ -170,33 +170,34 @@ class TestAnalysisSession:
 class TestDaemonProtocol:
     def test_handle_request_round_trip(self):
         session = AnalysisSession()
-        assert handle_request(session, {"op": "ping"})["pong"] is True
-        loaded = handle_request(session, {"op": "load", "name": "m",
+        assert handle_request(session, {"op": "ping", "v": 1})["pong"] is True
+        loaded = handle_request(session, {"op": "load", "v": 1, "name": "m",
                                           "source": SRC})
         assert loaded["ok"] is True
-        listed = handle_request(session, {"op": "values", "module": "m",
-                                          "function": "main"})
+        listed = handle_request(session, {"op": "values", "v": 1,
+                                          "module": "m", "function": "main"})
         base = next(v["name"] for v in listed["values"] if v["op"] == "malloc")
         offset = [v["name"] for v in listed["values"]
                   if v["op"] == "ptradd"][-1]
         answer = handle_request(session, {
-            "op": "query", "module": "m", "analysis": "rbaa",
+            "op": "query", "v": 1, "module": "m", "analysis": "rbaa",
             "function": "main", "a": base, "b": offset})
         assert answer["result"] == "no-alias"
         unknown = handle_request(session, {
-            "op": "query", "module": "m", "analysis": "rbaa",
+            "op": "query", "v": 1, "module": "m", "analysis": "rbaa",
             "function": "main", "a": base, "b": offset,
             "size_a": "unknown", "size_b": "unknown"})
         assert unknown["result"] == "may-alias"
-        stats = handle_request(session, {"op": "stats", "module": "m"})
+        stats = handle_request(session, {"op": "stats", "v": 1,
+                                         "module": "m"})
         assert stats["solver_steps"] > 0
         # Dispatch never raises: unknown ops come back as structured
-        # error envelopes (with the legacy "error" string still present).
-        unknown_op = handle_request(session, {"op": "warp", "id": 41})
+        # error envelopes (the pre-v1 "error" string is gone for good).
+        unknown_op = handle_request(session, {"op": "warp", "v": 1, "id": 41})
         assert unknown_op["ok"] is False
         assert unknown_op["error_code"] == "unknown_op"
         assert unknown_op["id"] == 41
-        assert "error" in unknown_op
+        assert "error" not in unknown_op
 
     def test_daemon_subprocess_end_to_end(self):
         env = dict(os.environ)
@@ -210,15 +211,15 @@ class TestDaemonProtocol:
         scout.load_source("m", SRC)
         base, offset = _main_pointers(scout)
         requests = [
-            {"op": "ping"},
-            {"op": "load", "name": "m", "source": SRC},
-            {"op": "query", "module": "m", "analysis": "rbaa",
+            {"op": "ping", "v": 1},
+            {"op": "load", "v": 1, "name": "m", "source": SRC},
+            {"op": "query", "v": 1, "module": "m", "analysis": "rbaa",
              "function": "main", "a": base, "b": offset},
-            {"op": "edit", "name": "m", "source": SRC_EDITED},
-            {"op": "query", "module": "m", "analysis": "rbaa",
+            {"op": "edit", "v": 1, "name": "m", "source": SRC_EDITED},
+            {"op": "query", "v": 1, "module": "m", "analysis": "rbaa",
              "function": "main", "a": base, "b": offset},
-            {"op": "nonsense"},
-            {"op": "shutdown"},
+            {"op": "nonsense", "v": 1},
+            {"op": "shutdown", "v": 1},
         ]
         payload = "".join(json.dumps(r) + "\n" for r in requests)
         result = subprocess.run(
@@ -233,7 +234,7 @@ class TestDaemonProtocol:
         assert responses[2]["result"] == "no-alias"
         assert responses[3]["changed"] == ["fill"]
         assert responses[4]["result"] == "no-alias"
-        assert responses[5]["ok"] is False and "error" in responses[5]
+        assert responses[5]["ok"] is False and "error" not in responses[5]
         assert responses[5]["error_code"] == "unknown_op"
         assert responses[6]["shutdown"] is True
 
