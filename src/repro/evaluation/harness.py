@@ -20,11 +20,13 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 from ..aliases.base import AliasAnalysis
 from ..aliases.results import AliasResult, MemoryAccess
 from ..engine.manager import AnalysisManager
+from ..frontend import module_digest, token_stream_digest, tokenize
 from ..ir.function import Function
 from ..ir.module import Module
 
 __all__ = ["QueryPair", "ProgramResult", "enumerate_query_pairs", "run_queries",
-           "AnalysisFactory", "build_analysis", "solver_breakdown"]
+           "AnalysisFactory", "build_analysis", "solver_breakdown",
+           "frontend_fingerprint"]
 
 #: A callable building an analysis for a module (e.g. ``BasicAliasAnalysis``).
 #: Factories may additionally accept a keyword-only ``manager`` argument to
@@ -86,12 +88,34 @@ class ProgramResult:
     #: solver.  ``steps`` is deterministic; ``transfer_ns`` is wall-time
     #: derived and stripped by the determinism diff (``_ns`` suffix).
     solver: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: frontend determinism fingerprint (token count, token-stream digest,
+    #: printed-IR digest) — see :func:`frontend_fingerprint`.  Deterministic
+    #: and gated by the CI determinism/perf-smoke compare.
+    frontend: Dict[str, object] = field(default_factory=dict)
 
     def percentage(self, analysis_name: str) -> float:
         """Percentage of queries the analysis disambiguated."""
         if not self.queries:
             return 0.0
         return 100.0 * self.no_alias.get(analysis_name, 0) / self.queries
+
+
+def frontend_fingerprint(source: str, module: Module) -> Dict[str, object]:
+    """Deterministic frontend fingerprint of a compiled program.
+
+    Re-lexes ``source`` (cheap after the scanner rewrite) and hashes the
+    token stream plus the printed IR.  The digests ride along in the bench
+    record under non-volatile keys, so the CI determinism and perf-smoke
+    compares gate on them: any frontend change that alters the token stream
+    or the produced IR shows up as a digest mismatch, not as a silent
+    precision drift.
+    """
+    tokens = tokenize(source)
+    return {
+        "tokens": len(tokens),
+        "token_digest": token_stream_digest(tokens),
+        "ir_digest": module_digest(module),
+    }
 
 
 def enumerate_query_pairs(module: Module,

@@ -38,7 +38,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from ..benchgen import build_program, corpus_manifest, select_programs, suite_configs
 from ..engine.manager import AnalysisManager, ManagerStatistics
-from .harness import ProgramResult, run_queries
+from .harness import ProgramResult, frontend_fingerprint, run_queries
 from .precision import (
     PrecisionReport,
     run_precision_experiment,
@@ -143,6 +143,7 @@ def _precision_shard_worker(
         manager = AnalysisManager(program.module)
         result = run_queries(name, program.module, factories,
                              max_pairs_per_function, manager=manager)
+        result.frontend = frontend_fingerprint(program.source, program.module)
         results.append((corpus_index, result))
     return results
 
@@ -207,6 +208,9 @@ def _program_result_record(result: ProgramResult) -> Dict[str, Any]:
         "extra": {name: dict(extra) for name, extra in result.extra.items()},
         "engine": dict(result.engine),
         "solver": {name: dict(entry) for name, entry in result.solver.items()},
+        # Token/IR digests: non-volatile by design, so the determinism gate
+        # and the perf-smoke compare fail on any frontend output change.
+        "frontend": dict(result.frontend),
     }
 
 

@@ -20,7 +20,7 @@ from ..aliases import BasicAliasAnalysis, CombinedAliasAnalysis, SCEVAliasAnalys
 from ..benchgen import build_suite
 from ..core import RBAAAliasAnalysis
 from ..ir.module import Module
-from .harness import AnalysisFactory, ProgramResult, run_queries
+from .harness import AnalysisFactory, ProgramResult, frontend_fingerprint, run_queries
 from .reporting import format_table
 
 __all__ = ["PrecisionReport", "standard_factories", "run_precision_experiment",
@@ -108,8 +108,9 @@ def run_precision_experiment(program_names: Optional[Sequence[str]] = None,
     factories = standard_factories()
     report = PrecisionReport()
     for name, program in suite.items():
-        report.results.append(
-            run_queries(name, program.module, factories, max_pairs_per_function))
+        result = run_queries(name, program.module, factories, max_pairs_per_function)
+        result.frontend = frontend_fingerprint(program.source, program.module)
+        report.results.append(result)
     return report
 
 

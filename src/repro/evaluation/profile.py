@@ -13,16 +13,22 @@ This module runs the evaluation corpus under :mod:`cProfile` and writes
   ``steps``/``transfer_ns`` attribution recorded by
   :class:`~repro.engine.solver.SolverStatistics`;
 * **symbolic-layer cache telemetry** — intern-table size and the
-  hit/miss/eviction counters of the order-layer memo caches.
+  hit/miss/eviction counters of the order-layer memo caches;
+* **compile-phase breakdown** — per-module lex/parse/sema/lower/prepare
+  wall time plus token/instruction counts and token-stream/IR digests,
+  collected by recompiling the corpus under
+  :func:`repro.frontend.stages.collect_phases`.
 
 Everything wall-time-derived lives under ``*_seconds``/``*_ns`` keys (or
 the ``run`` section), matching the volatile-field convention of
 :func:`repro.evaluation.parallel.strip_volatile`; the record is a CI
-artifact, not a gate.
+artifact, not a gate — except for the *presence* of the compile-phase
+breakdown, which ``--check-phases`` asserts in the perf-smoke job.
 
 Command line::
 
     python -m repro.evaluation.profile --quick --out BENCH_profile.json
+    python -m repro.evaluation.profile --check-phases BENCH_profile.json
 """
 
 from __future__ import annotations
@@ -35,6 +41,8 @@ import sys
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..benchgen import generate_source, select_programs
+from ..frontend import collect_phases, compile_source
 from ..symbolic import compare_memo_stats, intern_table_size
 from .parallel import (
     QUICK_MAX_PAIRS,
@@ -45,7 +53,70 @@ from .parallel import (
 from .precision import run_precision_experiment
 from .scalability import run_scalability_experiment
 
-__all__ = ["run_profile", "profile_record", "main"]
+__all__ = ["run_profile", "profile_record", "compile_phase_breakdown",
+           "check_phases", "main"]
+
+#: Fields every per-module compile-phase entry must carry (``--check-phases``).
+_PHASE_WALL_FIELDS = ("lex_seconds", "parse_seconds", "sema_seconds",
+                      "lower_seconds", "prepare_seconds")
+_PHASE_COUNT_FIELDS = ("tokens", "instructions")
+_PHASE_DIGEST_FIELDS = ("token_digest", "ir_digest")
+
+
+def compile_phase_breakdown(program_names: Sequence[str]) -> Dict[str, Any]:
+    """Per-module compile-phase telemetry for the given corpus slice.
+
+    Each program is regenerated and recompiled once under
+    :func:`repro.frontend.stages.collect_phases`, yielding lex / parse /
+    sema / lower / prepare wall seconds (volatile, reported only) plus
+    token/instruction counts and token-stream/IR digests (deterministic).
+    """
+    per_module: Dict[str, Dict[str, Any]] = {}
+    totals: Dict[str, Any] = {field: 0.0 for field in _PHASE_WALL_FIELDS}
+    for field in _PHASE_COUNT_FIELDS:
+        totals[field] = 0
+    for program in select_programs(program_names):
+        source = generate_source(program.config())
+        with collect_phases() as phases:
+            compile_source(source, program.name)
+        entry = phases.as_dict()
+        for field in _PHASE_WALL_FIELDS:
+            entry[field] = round(entry[field], 6)
+            totals[field] = round(totals[field] + entry[field], 6)
+        for field in _PHASE_COUNT_FIELDS:
+            totals[field] += entry[field]
+        per_module[program.name] = entry
+    totals["frontend_seconds"] = round(
+        totals["lex_seconds"] + totals["parse_seconds"] + totals["lower_seconds"], 6)
+    return {"per_module": per_module, "totals": totals}
+
+
+def check_phases(record: Dict[str, Any]) -> List[str]:
+    """Validate a profile record's compile-phase breakdown.
+
+    Returns a list of human-readable problems (empty when the record is
+    well-formed): the section must exist, cover at least one module, and
+    every module entry must carry all wall/count/digest fields with
+    non-empty digests.
+    """
+    problems: List[str] = []
+    section = record.get("compile_phases")
+    if not isinstance(section, dict):
+        return ["missing compile_phases section"]
+    per_module = section.get("per_module")
+    if not isinstance(per_module, dict) or not per_module:
+        problems.append("compile_phases.per_module is missing or empty")
+        per_module = {}
+    for name, entry in sorted(per_module.items()):
+        for field in _PHASE_WALL_FIELDS + _PHASE_COUNT_FIELDS:
+            if not isinstance(entry.get(field), (int, float)):
+                problems.append(f"{name}: missing phase field {field!r}")
+        for field in _PHASE_DIGEST_FIELDS:
+            if not entry.get(field):
+                problems.append(f"{name}: missing or empty digest {field!r}")
+    if "totals" not in section:
+        problems.append("compile_phases.totals is missing")
+    return problems
 
 #: Repository source roots stripped from profile paths (longest first).
 _PATH_MARKERS = (f"{os.sep}src{os.sep}", f"{os.sep}lib{os.sep}")
@@ -82,7 +153,8 @@ def _hotspots(stats: pstats.Stats, top: int) -> Dict[str, List[Dict[str, Any]]]:
 def profile_record(precision, scalability, stats: pstats.Stats, *,
                    top: int, wall_seconds: float,
                    precision_seconds: float,
-                   scalability_seconds: float) -> Dict[str, Any]:
+                   scalability_seconds: float,
+                   compile_phases: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """Assemble the ``BENCH_profile.json`` payload."""
     analyses: Dict[str, Dict[str, Any]] = {}
     solver: Dict[str, Dict[str, int]] = {}
@@ -118,6 +190,7 @@ def profile_record(precision, scalability, stats: pstats.Stats, *,
         "solver": solver,
         "symbolic_caches": compare_memo_stats(),
         "intern_table_size": intern_table_size(),
+        "compile_phases": compile_phases or {},
         "hotspots": _hotspots(stats, top),
     }
 
@@ -148,13 +221,17 @@ def run_profile(programs: Optional[Sequence[str]] = None,
     scalability = run_scalability_experiment(program_count=points, seed=seed)
     scalability_seconds = time.perf_counter() - scalability_started
     profiler.disable()
+    # Outside the cProfile scope: the phase collector's perf_counter calls
+    # would otherwise show up as profiler-inflated hotspots of their own.
+    phases = compile_phase_breakdown(programs)
     wall_seconds = time.perf_counter() - started
 
     stats = pstats.Stats(profiler)
     record = profile_record(
         precision, scalability, stats, top=top, wall_seconds=wall_seconds,
         precision_seconds=precision_seconds,
-        scalability_seconds=scalability_seconds)
+        scalability_seconds=scalability_seconds,
+        compile_phases=phases)
     write_json(out, record)
     return record
 
@@ -176,11 +253,29 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--top", type=int, default=30,
                         help="profile rows to keep per ranking")
     parser.add_argument("--out", default="BENCH_profile.json")
+    parser.add_argument("--check-phases", metavar="RECORD", default=None,
+                        help="validate the compile-phase breakdown of an "
+                             "existing profile record and exit (used by the "
+                             "perf-smoke CI gate)")
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.check_phases:
+        import json
+        with open(args.check_phases, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+        problems = check_phases(record)
+        if problems:
+            for problem in problems:
+                print(f"check-phases: {problem}", file=sys.stderr)
+            return 1
+        totals = record["compile_phases"]["totals"]
+        print(f"check-phases OK: {len(record['compile_phases']['per_module'])} "
+              f"modules, frontend {totals.get('frontend_seconds', 0.0) * 1e3:.1f}ms "
+              "(wall reported, never gated)")
+        return 0
     record = run_profile(programs=args.programs, max_pairs=args.max_pairs,
                          points=args.points, seed=args.seed, top=args.top,
                          out=args.out)
@@ -189,6 +284,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for problem, cost in sorted(record["solver"].items()):
         print(f"  {problem}: {cost['steps']} steps, "
               f"{cost['transfer_ns'] / 1e6:.1f}ms in transfers")
+    totals = record.get("compile_phases", {}).get("totals", {})
+    if totals:
+        print("  compile: "
+              f"lex {totals['lex_seconds'] * 1e3:.1f}ms, "
+              f"parse {totals['parse_seconds'] * 1e3:.1f}ms, "
+              f"lower {totals['lower_seconds'] * 1e3:.1f}ms, "
+              f"prepare {totals['prepare_seconds'] * 1e3:.1f}ms")
     for row in record["hotspots"]["by_internal_seconds"][:5]:
         print(f"  hot: {row['function']} "
               f"({row['internal_seconds']:.3f}s internal)")

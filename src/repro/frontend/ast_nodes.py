@@ -1,7 +1,9 @@
 """Abstract syntax tree of the mini-C frontend.
 
-Nodes are plain dataclasses; type information is attached later by the
-semantic analysis (:mod:`repro.frontend.sema`) and consumed during lowering.
+Nodes are slotted dataclasses (ASTs dominate cold-compile allocation, and
+slots keep them compact and typo-proof); type information is attached to the
+side tables of the semantic analysis (:mod:`repro.frontend.sema`), never to
+the nodes themselves, and consumed during lowering.
 """
 
 from __future__ import annotations
@@ -31,29 +33,31 @@ __all__ = [
 class TypeSpec:
     """Base class for syntactic type specifications."""
 
+    __slots__ = ()
 
-@dataclass
+
+@dataclass(slots=True)
 class NamedTypeSpec(TypeSpec):
     """A builtin scalar type name: ``int``, ``char``, ``float``, ``double``, ``void``."""
 
     name: str
 
 
-@dataclass
+@dataclass(slots=True)
 class StructTypeSpec(TypeSpec):
     """A reference to a struct type by name: ``struct point``."""
 
     name: str
 
 
-@dataclass
+@dataclass(slots=True)
 class PointerTypeSpec(TypeSpec):
     """A pointer to another type specification."""
 
     pointee: TypeSpec
 
 
-@dataclass
+@dataclass(slots=True)
 class ArrayTypeSpec(TypeSpec):
     """An array with an optionally known constant size."""
 
@@ -68,45 +72,47 @@ class ArrayTypeSpec(TypeSpec):
 class Expr:
     """Base class of expressions; ``line`` supports diagnostics."""
 
+    __slots__ = ()
+
     line: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class IntLiteral(Expr):
     value: int
     line: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class FloatLiteral(Expr):
     value: float
     line: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class CharLiteral(Expr):
     value: int
     line: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class StringLiteral(Expr):
     value: str
     line: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class NullLiteral(Expr):
     line: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Identifier(Expr):
     name: str
     line: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class UnaryOp(Expr):
     """``op operand`` where op ∈ {-, !, ~, *, &, ++, --, p++, p--}.
 
@@ -120,7 +126,7 @@ class UnaryOp(Expr):
     line: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class BinaryOp(Expr):
     op: str
     lhs: Expr
@@ -128,7 +134,7 @@ class BinaryOp(Expr):
     line: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Assignment(Expr):
     """``target op= value`` with ``op`` empty for plain assignment."""
 
@@ -138,7 +144,7 @@ class Assignment(Expr):
     line: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Conditional(Expr):
     condition: Expr
     true_value: Expr
@@ -146,21 +152,21 @@ class Conditional(Expr):
     line: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Call(Expr):
     callee: str
     args: List[Expr] = field(default_factory=list)
     line: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class ArrayIndex(Expr):
     base: Expr
     index: Expr
     line: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Member(Expr):
     """``base.field`` (``is_arrow=False``) or ``base->field`` (``is_arrow=True``)."""
 
@@ -170,14 +176,14 @@ class Member(Expr):
     line: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Cast(Expr):
     target_type: TypeSpec
     operand: Expr
     line: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class SizeOf(Expr):
     target_type: Optional[TypeSpec]
     operand: Optional[Expr] = None
@@ -191,8 +197,10 @@ class SizeOf(Expr):
 class Stmt:
     """Base class of statements."""
 
+    __slots__ = ()
 
-@dataclass
+
+@dataclass(slots=True)
 class VarDecl:
     """One declarator of a declaration statement (or a global variable)."""
 
@@ -202,41 +210,41 @@ class VarDecl:
     line: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class DeclStmt(Stmt):
     declarations: List[VarDecl]
 
 
-@dataclass
+@dataclass(slots=True)
 class ExprStmt(Stmt):
     expression: Expr
 
 
-@dataclass
+@dataclass(slots=True)
 class CompoundStmt(Stmt):
     statements: List[Stmt] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class IfStmt(Stmt):
     condition: Expr
     then_branch: Stmt
     else_branch: Optional[Stmt] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class WhileStmt(Stmt):
     condition: Expr
     body: Stmt
 
 
-@dataclass
+@dataclass(slots=True)
 class DoWhileStmt(Stmt):
     body: Stmt
     condition: Expr
 
 
-@dataclass
+@dataclass(slots=True)
 class ForStmt(Stmt):
     init: Optional[Stmt]
     condition: Optional[Expr]
@@ -244,22 +252,22 @@ class ForStmt(Stmt):
     body: Stmt
 
 
-@dataclass
+@dataclass(slots=True)
 class ReturnStmt(Stmt):
     value: Optional[Expr] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class BreakStmt(Stmt):
     pass
 
 
-@dataclass
+@dataclass(slots=True)
 class ContinueStmt(Stmt):
     pass
 
 
-@dataclass
+@dataclass(slots=True)
 class EmptyStmt(Stmt):
     pass
 
@@ -268,25 +276,25 @@ class EmptyStmt(Stmt):
 # Top-level declarations
 # ---------------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class ParamDecl:
     name: str
     type_spec: TypeSpec
 
 
-@dataclass
+@dataclass(slots=True)
 class FieldDecl:
     name: str
     type_spec: TypeSpec
 
 
-@dataclass
+@dataclass(slots=True)
 class StructDecl:
     name: str
     fields: List[FieldDecl]
 
 
-@dataclass
+@dataclass(slots=True)
 class FunctionDecl:
     name: str
     return_type: TypeSpec
@@ -295,7 +303,7 @@ class FunctionDecl:
     is_vararg: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class TranslationUnit:
     """A whole source file."""
 

@@ -93,10 +93,18 @@ class Parser:
     def __init__(self, tokens: List[Token]):
         self._tokens = tokens
         self._position = 0
+        self._last = len(tokens) - 1  # index of the terminating EOF token
 
     # -- token helpers ------------------------------------------------------
+    # The token list is EOF-terminated and ``_advance`` never moves past the
+    # EOF token, so ``self._position`` always indexes a real token.  The hot
+    # helpers below read ``kind``/``text`` directly instead of chaining
+    # through ``_peek().is_punct(...)`` — this path runs once per token per
+    # grammar decision and dominated parse time before being flattened.
     def _peek(self, offset: int = 0) -> Token:
-        index = min(self._position + offset, len(self._tokens) - 1)
+        index = self._position + offset
+        if index > self._last:
+            index = self._last
         return self._tokens[index]
 
     def _advance(self) -> Token:
@@ -106,33 +114,40 @@ class Parser:
         return token
 
     def _check_punct(self, text: str) -> bool:
-        return self._peek().is_punct(text)
+        token = self._tokens[self._position]
+        return token.kind == TokenKind.PUNCT and token.text == text
 
     def _check_keyword(self, text: str) -> bool:
-        return self._peek().is_keyword(text)
+        token = self._tokens[self._position]
+        return token.kind == TokenKind.KEYWORD and token.text == text
 
     def _accept_punct(self, text: str) -> bool:
-        if self._check_punct(text):
-            self._advance()
+        token = self._tokens[self._position]
+        if token.kind == TokenKind.PUNCT and token.text == text:
+            self._position += 1
             return True
         return False
 
     def _accept_keyword(self, text: str) -> bool:
-        if self._check_keyword(text):
-            self._advance()
+        token = self._tokens[self._position]
+        if token.kind == TokenKind.KEYWORD and token.text == text:
+            self._position += 1
             return True
         return False
 
     def _expect_punct(self, text: str) -> Token:
-        if not self._check_punct(text):
-            raise ParseError(f"expected {text!r}", self._peek())
-        return self._advance()
+        token = self._tokens[self._position]
+        if token.kind != TokenKind.PUNCT or token.text != text:
+            raise ParseError(f"expected {text!r}", token)
+        self._position += 1
+        return token
 
     def _expect_ident(self) -> Token:
-        token = self._peek()
+        token = self._tokens[self._position]
         if token.kind != TokenKind.IDENT:
             raise ParseError("expected identifier", token)
-        return self._advance()
+        self._position += 1
+        return token
 
     # -- types ----------------------------------------------------------------
     def _at_type_start(self, offset: int = 0) -> bool:

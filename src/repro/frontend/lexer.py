@@ -2,13 +2,28 @@
 
 The frontend accepts the C subset the paper's benchmarks exercise: scalar
 and pointer types, arrays, structs, pointer arithmetic, loops and calls to a
-handful of library routines.  The lexer is a straightforward hand-written
-scanner producing a flat token list consumed by the recursive-descent parser.
+handful of library routines.  The lexer is a single-pass hand-written scanner
+producing a flat token list consumed by the recursive-descent parser.
+
+Scanner shape (the cold-load hot path, so it is written for speed):
+
+* one position loop with ``line``/``line_start`` bookkeeping — a column is
+  ``position - line_start + 1``, so nothing recounts characters;
+* punctuators dispatch through 3/2/1-character tables (maximal munch without
+  a longest-first linear scan);
+* token texts are interned, so keyword checks and parser punctuator
+  comparisons degenerate to pointer comparisons.
+
+Every rejection — malformed literal, unknown escape, unterminated construct,
+stray character — raises :class:`LexerError` carrying line/column.  Bare
+``ValueError`` must never escape ``tokenize``: the serving layer maps
+``LexerError`` to a ``bad_request`` envelope and anything else to
+``internal_error``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from sys import intern
 from typing import List, Optional
 
 __all__ = ["Token", "TokenKind", "LexerError", "tokenize", "KEYWORDS"]
@@ -34,14 +49,22 @@ KEYWORDS = frozenset({
     "const", "static", "extern", "NULL",
 })
 
-# Multi-character punctuators, longest first so maximal munch works.
-_PUNCTUATORS = [
-    "<<=", ">>=", "...",
+# Punctuator dispatch tables: maximal munch tries the 3-char slice, then the
+# 2-char slice, then the single character.  The mapped values are the
+# canonical interned spellings shared by every emitted token.
+_PUNCT3 = {p: intern(p) for p in ("<<=", ">>=", "...")}
+_PUNCT2 = {p: intern(p) for p in (
     "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
     "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
-    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
-    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
-]
+)}
+_PUNCT1 = {p: intern(p) for p in "+-*/%=<>!&|^~(){}[];,.?:"}
+
+_DIGITS = frozenset("0123456789")
+_HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
+_IDENT_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CHARS = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_")
+_INT_SUFFIXES = frozenset("uUlL")
+_NUM_SUFFIXES = frozenset("uUlLfF")
 
 
 class LexerError(Exception):
@@ -53,21 +76,34 @@ class LexerError(Exception):
         self.column = column
 
 
-@dataclass(frozen=True)
 class Token:
-    """One lexical token."""
+    """One lexical token (slotted: tokens dominate cold-compile allocation)."""
 
-    kind: str
-    text: str
-    line: int
-    column: int
-    value: Optional[object] = None
+    __slots__ = ("kind", "text", "line", "column", "value")
+
+    def __init__(self, kind: str, text: str, line: int, column: int,
+                 value: Optional[object] = None):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+        self.value = value
 
     def is_punct(self, text: str) -> bool:
         return self.kind == TokenKind.PUNCT and self.text == text
 
     def is_keyword(self, text: str) -> bool:
         return self.kind == TokenKind.KEYWORD and self.text == text
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Token):
+            return NotImplemented
+        return (self.kind == other.kind and self.text == other.text
+                and self.line == other.line and self.column == other.column
+                and self.value == other.value)
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.text, self.line, self.column, self.value))
 
     def __repr__(self) -> str:
         return f"Token({self.kind}, {self.text!r})"
@@ -79,96 +115,145 @@ _ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", "'": "'", '"
 def tokenize(source: str) -> List[Token]:
     """Convert ``source`` into a token list terminated by an EOF token."""
     tokens: List[Token] = []
+    append = tokens.append
     position = 0
     line = 1
-    column = 1
+    line_start = 0
     length = len(source)
 
-    def advance(count: int) -> None:
-        nonlocal position, line, column
-        for _ in range(count):
-            if position < length and source[position] == "\n":
-                line += 1
-                column = 1
-            else:
-                column += 1
-            position += 1
+    KW = KEYWORDS
+    IDENT = TokenKind.IDENT
+    KEYWORD = TokenKind.KEYWORD
+    INT = TokenKind.INT
+    FLOAT = TokenKind.FLOAT
+    PUNCT = TokenKind.PUNCT
 
     while position < length:
         char = source[position]
         # Whitespace.
-        if char in " \t\r\n":
-            advance(1)
+        if char == " " or char == "\t" or char == "\r":
+            position += 1
             continue
-        # Comments and preprocessor lines (skipped: headers are implicit).
-        if source.startswith("//", position) or char == "#":
-            while position < length and source[position] != "\n":
-                advance(1)
+        if char == "\n":
+            position += 1
+            line += 1
+            line_start = position
             continue
-        if source.startswith("/*", position):
-            end = source.find("*/", position + 2)
-            if end < 0:
-                raise LexerError("unterminated block comment", line, column)
-            advance(end + 2 - position)
+        start_line = line
+        start_column = position - line_start + 1
+        # Identifiers / keywords (most common token class first).
+        if char in _IDENT_START:
+            end = position + 1
+            while end < length and source[end] in _IDENT_CHARS:
+                end += 1
+            text = intern(source[position:end])
+            append(Token(KEYWORD if text in KW else IDENT, text, start_line, start_column))
+            position = end
             continue
-        start_line, start_column = line, column
+        # Punctuators (second most common; 3/2/1-char table dispatch).
+        if char in _PUNCT1:
+            chunk = source[position:position + 3]
+            text = _PUNCT3.get(chunk)
+            if text is None:
+                text = _PUNCT2.get(chunk[:2])
+            if text is None:
+                # Comments win over "/" division.
+                if char == "/" and chunk[1:2] in ("/", "*"):
+                    if chunk[1] == "/":
+                        newline = source.find("\n", position + 2)
+                        position = length if newline < 0 else newline
+                        continue
+                    end = source.find("*/", position + 2)
+                    if end < 0:
+                        raise LexerError("unterminated block comment",
+                                         start_line, start_column)
+                    newlines = source.count("\n", position, end)
+                    if newlines:
+                        line += newlines
+                        line_start = source.rindex("\n", position, end) + 1
+                    position = end + 2
+                    continue
+                text = _PUNCT1[char]
+            append(Token(PUNCT, text, start_line, start_column))
+            position += len(text)
+            continue
         # Numbers.
-        if char.isdigit():
-            end = position
-            is_float = False
-            if source.startswith("0x", position) or source.startswith("0X", position):
-                end = position + 2
-                while end < length and source[end] in "0123456789abcdefABCDEF":
+        if char in _DIGITS:
+            end = position + 1
+            if char == "0" and end < length and (source[end] == "x" or source[end] == "X"):
+                end += 1
+                digits_start = end
+                while end < length and source[end] in _HEX_DIGITS:
                     end += 1
-                text = source[position:end]
-                tokens.append(Token(TokenKind.INT, text, start_line, start_column, int(text, 16)))
-                advance(end - position)
+                if end == digits_start:
+                    raise LexerError(
+                        f"malformed hex literal {source[position:end]!r}: "
+                        "expected at least one hex digit",
+                        start_line, start_column)
+                value = int(source[digits_start:end], 16)
+                # Suffixes (U, L) are accepted and ignored, on hex too.
+                while end < length and source[end] in _INT_SUFFIXES:
+                    end += 1
+                append(Token(INT, intern(source[position:end]),
+                             start_line, start_column, value))
+                position = end
                 continue
-            while end < length and (source[end].isdigit() or source[end] == "."):
-                if source[end] == ".":
-                    is_float = True
-                end += 1
+            dots = 0
+            while end < length:
+                nxt = source[end]
+                if nxt in _DIGITS:
+                    end += 1
+                elif nxt == ".":
+                    dots += 1
+                    end += 1
+                else:
+                    break
+            is_float = dots > 0
             # Suffixes (L, U, f) are accepted and ignored.
-            while end < length and source[end] in "uUlLfF":
-                if source[end] in "fF":
+            numeric_end = end
+            while end < length and source[end] in _NUM_SUFFIXES:
+                if source[end] == "f" or source[end] == "F":
                     is_float = True
                 end += 1
             text = source[position:end]
-            numeric = text.rstrip("uUlLfF")
-            if is_float:
-                tokens.append(
-                    Token(TokenKind.FLOAT, text, start_line, start_column, float(numeric)))
-            else:
-                tokens.append(
-                    Token(TokenKind.INT, text, start_line, start_column, int(numeric, 10)))
-            advance(end - position)
+            if dots > 1:
+                raise LexerError(f"malformed number literal {text!r}",
+                                 start_line, start_column)
+            numeric = source[position:numeric_end]
+            try:
+                value = float(numeric) if is_float else int(numeric, 10)
+            except ValueError:
+                raise LexerError(f"malformed number literal {text!r}",
+                                 start_line, start_column) from None
+            append(Token(FLOAT if is_float else INT, intern(text),
+                         start_line, start_column, value))
+            position = end
             continue
-        # Identifiers / keywords.
-        if char.isalpha() or char == "_":
-            end = position
-            while end < length and (source[end].isalnum() or source[end] == "_"):
-                end += 1
-            text = source[position:end]
-            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
-            tokens.append(Token(kind, text, start_line, start_column))
-            advance(end - position)
+        # Preprocessor lines (skipped: headers are implicit).
+        if char == "#":
+            newline = source.find("\n", position + 1)
+            position = length if newline < 0 else newline
             continue
         # Character literals.
         if char == "'":
             end = position + 1
             if end < length and source[end] == "\\":
                 escape = source[end + 1] if end + 1 < length else ""
-                value = ord(_ESCAPES.get(escape, escape or "?"))
+                if escape and escape not in _ESCAPES:
+                    raise LexerError(f"unknown escape sequence '\\{escape}'",
+                                     start_line, start_column)
+                value = ord(_ESCAPES[escape]) if escape else 0
                 end += 2
             else:
                 value = ord(source[end]) if end < length else 0
                 end += 1
             if end >= length or source[end] != "'":
-                raise LexerError("unterminated character literal", start_line, start_column)
+                raise LexerError("unterminated character literal",
+                                 start_line, start_column)
             end += 1
-            tokens.append(
-                Token(TokenKind.CHAR, source[position:end], start_line, start_column, value))
-            advance(end - position)
+            append(Token(TokenKind.CHAR, source[position:end],
+                         start_line, start_column, value))
+            position = end
             continue
         # String literals.
         if char == '"':
@@ -176,26 +261,29 @@ def tokenize(source: str) -> List[Token]:
             chars: List[str] = []
             while end < length and source[end] != '"':
                 if source[end] == "\\" and end + 1 < length:
-                    chars.append(_ESCAPES.get(source[end + 1], source[end + 1]))
+                    escape = source[end + 1]
+                    mapped = _ESCAPES.get(escape)
+                    if mapped is None:
+                        raise LexerError(f"unknown escape sequence '\\{escape}'",
+                                         start_line, start_column)
+                    chars.append(mapped)
                     end += 2
                 else:
                     chars.append(source[end])
                     end += 1
             if end >= length:
-                raise LexerError("unterminated string literal", start_line, start_column)
+                raise LexerError("unterminated string literal",
+                                 start_line, start_column)
             end += 1
-            tokens.append(Token(TokenKind.STRING, source[position:end], start_line, start_column,
-                                "".join(chars)))
-            advance(end - position)
+            newlines = source.count("\n", position, end)
+            if newlines:
+                line += newlines
+                line_start = source.rindex("\n", position, end) + 1
+            append(Token(TokenKind.STRING, source[position:end],
+                         start_line, start_column, "".join(chars)))
+            position = end
             continue
-        # Punctuators.
-        for punct in _PUNCTUATORS:
-            if source.startswith(punct, position):
-                tokens.append(Token(TokenKind.PUNCT, punct, start_line, start_column))
-                advance(len(punct))
-                break
-        else:
-            raise LexerError(f"unexpected character {char!r}", line, column)
+        raise LexerError(f"unexpected character {char!r}", start_line, start_column)
 
-    tokens.append(Token(TokenKind.EOF, "", line, column))
+    tokens.append(Token(TokenKind.EOF, "", line, length - line_start + 1))
     return tokens

@@ -84,6 +84,20 @@ def _is_float_type(type_: Type) -> bool:
     return isinstance(type_, FloatType)
 
 
+# Operator tables hoisted to module level: ``_lower_binary_parts`` runs once
+# per binary expression and used to rebuild these dict literals on each call.
+_CMP_PREDICATES = {"==": "eq", "!=": "ne", "<": "slt", "<=": "sle",
+                   ">": "sgt", ">=": "sge"}
+_INT_OPCODES = {
+    "+": "add", "-": "sub", "*": "mul", "/": "sdiv", "%": "srem",
+    "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "ashr",
+}
+_FLOAT_OPCODES = {
+    "+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv", "%": "srem",
+    "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "ashr",
+}
+
+
 class _FunctionLowerer:
     """Lowers one function body."""
 
@@ -120,14 +134,19 @@ class _FunctionLowerer:
         entry = self.function.append_block("entry")
         self.builder.position_at_end(entry)
         self._push_scope()
-        # Parameters become stack slots so they can be reassigned in the body.
-        for arg in self.function.args:
-            slot = self.builder.alloca(arg.type, name=f"{arg.name}.addr")
-            self.builder.store(arg, slot)
-            self._declare_local(arg.name, slot, arg.type)
-        assert self.decl.body is not None
-        self._lower_compound(self.decl.body)
-        self._pop_scope()
+        # The whole body is lowered inside one batch scope: instructions land
+        # in their block in one extend per block instead of one append each.
+        with self.builder.batched():
+            # Parameters become stack slots so they can be reassigned in the body.
+            for arg in self.function.args:
+                slot = self.builder.alloca(arg.type, name=f"{arg.name}.addr")
+                self.builder.store(arg, slot)
+                self._declare_local(arg.name, slot, arg.type)
+            assert self.decl.body is not None
+            self._lower_compound(self.decl.body)
+            self._pop_scope()
+        # Outside the batch scope: every block's instruction list is final,
+        # so the terminator scan below observes complete blocks.
         self._terminate_open_blocks()
 
     def _terminate_open_blocks(self) -> None:
@@ -148,42 +167,37 @@ class _FunctionLowerer:
 
     # -- statements --------------------------------------------------------------
     def _current_terminated(self) -> bool:
-        block = self.builder.block
-        return block is not None and block.terminator is not None
+        # Routed through the builder: inside a batch scope the terminator may
+        # still be pending rather than in the block's instruction list.
+        return self.builder.is_terminated()
 
     def _lower_statement(self, stmt: Stmt) -> None:
         if self._current_terminated():
             # Code after return/break/continue: park it in an unreachable block.
             dead = self.function.append_block("dead")
             self.builder.position_at_end(dead)
-        if isinstance(stmt, CompoundStmt):
-            self._lower_compound(stmt)
-        elif isinstance(stmt, DeclStmt):
-            self._lower_decl(stmt)
-        elif isinstance(stmt, ExprStmt):
-            self._lower_rvalue(stmt.expression)
-        elif isinstance(stmt, IfStmt):
-            self._lower_if(stmt)
-        elif isinstance(stmt, WhileStmt):
-            self._lower_while(stmt)
-        elif isinstance(stmt, DoWhileStmt):
-            self._lower_do_while(stmt)
-        elif isinstance(stmt, ForStmt):
-            self._lower_for(stmt)
-        elif isinstance(stmt, ReturnStmt):
-            self._lower_return(stmt)
-        elif isinstance(stmt, BreakStmt):
-            if not self.loop_stack:
-                raise LoweringError("break outside of a loop")
-            self.builder.branch(self.loop_stack[-1][1])
-        elif isinstance(stmt, ContinueStmt):
-            if not self.loop_stack:
-                raise LoweringError("continue outside of a loop")
-            self.builder.branch(self.loop_stack[-1][0])
-        elif isinstance(stmt, EmptyStmt):
-            pass
-        else:
+        # Dispatch on the exact node class (one dict lookup instead of an
+        # isinstance chain; AST nodes are never subclassed).
+        handler = _STMT_DISPATCH.get(stmt.__class__)
+        if handler is None:
             raise LoweringError(f"unsupported statement {type(stmt).__name__}")
+        handler(self, stmt)
+
+    def _lower_expr_stmt(self, stmt: ExprStmt) -> None:
+        self._lower_rvalue(stmt.expression)
+
+    def _lower_break(self, stmt: BreakStmt) -> None:
+        if not self.loop_stack:
+            raise LoweringError("break outside of a loop")
+        self.builder.branch(self.loop_stack[-1][1])
+
+    def _lower_continue(self, stmt: ContinueStmt) -> None:
+        if not self.loop_stack:
+            raise LoweringError("continue outside of a loop")
+        self.builder.branch(self.loop_stack[-1][0])
+
+    def _lower_empty(self, stmt: EmptyStmt) -> None:
+        pass
 
     def _lower_compound(self, stmt: CompoundStmt) -> None:
         self._push_scope()
@@ -399,44 +413,42 @@ class _FunctionLowerer:
 
     # -- rvalues ----------------------------------------------------------------------------
     def _lower_rvalue(self, expr: Expr) -> Tuple[Value, Type]:
-        if isinstance(expr, IntLiteral):
-            return ConstantInt(expr.value, INT32), INT32
-        if isinstance(expr, CharLiteral):
-            return ConstantInt(expr.value, INT32), INT32
-        if isinstance(expr, FloatLiteral):
-            return ConstantFloat(expr.value, DOUBLE), DOUBLE
-        if isinstance(expr, StringLiteral):
-            return self.parent.string_literal(expr.value)
-        if isinstance(expr, NullLiteral):
-            pointer_type = PointerType(INT8)
-            return NullPointer(pointer_type), pointer_type
-        if isinstance(expr, Identifier):
-            return self._load_from_lvalue(expr)
-        if isinstance(expr, (ArrayIndex, Member)):
-            return self._load_from_lvalue(expr)
-        if isinstance(expr, UnaryOp):
-            return self._lower_unary(expr)
-        if isinstance(expr, BinaryOp):
-            return self._lower_binary(expr)
-        if isinstance(expr, Assignment):
-            return self._lower_assignment(expr)
-        if isinstance(expr, Conditional):
-            return self._lower_conditional(expr)
-        if isinstance(expr, Call):
-            return self._lower_call(expr)
-        if isinstance(expr, Cast):
-            value, value_type = self._lower_rvalue(expr.operand)
-            target_type = self.info.resolve(expr.target_type)
-            return self._convert(value, value_type, target_type), target_type
-        if isinstance(expr, SizeOf):
-            if expr.target_type is not None:
-                size = self.info.resolve(expr.target_type).size_in_bytes()
-            else:
-                assert expr.operand is not None
-                _, operand_type = self._lower_rvalue(expr.operand)
-                size = operand_type.size_in_bytes()
-            return ConstantInt(size, INT32), INT32
-        raise LoweringError(f"unsupported expression {type(expr).__name__}")
+        # Dispatch on the exact node class; this runs once per expression
+        # node and replaced a fourteen-way isinstance chain.
+        handler = _RVALUE_DISPATCH.get(expr.__class__)
+        if handler is None:
+            raise LoweringError(f"unsupported expression {type(expr).__name__}")
+        return handler(self, expr)
+
+    def _lower_int_literal(self, expr: IntLiteral) -> Tuple[Value, Type]:
+        return ConstantInt(expr.value, INT32), INT32
+
+    def _lower_char_literal(self, expr: CharLiteral) -> Tuple[Value, Type]:
+        return ConstantInt(expr.value, INT32), INT32
+
+    def _lower_float_literal(self, expr: FloatLiteral) -> Tuple[Value, Type]:
+        return ConstantFloat(expr.value, DOUBLE), DOUBLE
+
+    def _lower_string_literal(self, expr: StringLiteral) -> Tuple[Value, Type]:
+        return self.parent.string_literal(expr.value)
+
+    def _lower_null_literal(self, expr: NullLiteral) -> Tuple[Value, Type]:
+        pointer_type = PointerType(INT8)
+        return NullPointer(pointer_type), pointer_type
+
+    def _lower_cast_expr(self, expr: Cast) -> Tuple[Value, Type]:
+        value, value_type = self._lower_rvalue(expr.operand)
+        target_type = self.info.resolve(expr.target_type)
+        return self._convert(value, value_type, target_type), target_type
+
+    def _lower_sizeof(self, expr: SizeOf) -> Tuple[Value, Type]:
+        if expr.target_type is not None:
+            size = self.info.resolve(expr.target_type).size_in_bytes()
+        else:
+            assert expr.operand is not None
+            _, operand_type = self._lower_rvalue(expr.operand)
+            size = operand_type.size_in_bytes()
+        return ConstantInt(size, INT32), INT32
 
     def _load_from_lvalue(self, expr: Expr) -> Tuple[Value, Type]:
         address, object_type = self._lower_lvalue(expr)
@@ -491,35 +503,44 @@ class _FunctionLowerer:
         return result, object_type
 
     def _lower_binary(self, expr: BinaryOp) -> Tuple[Value, Type]:
-        if expr.op == ",":
-            self._lower_rvalue(expr.lhs)
-            return self._lower_rvalue(expr.rhs)
-        if expr.op in ("&&", "||"):
-            lhs_value, lhs_type = self._lower_rvalue(expr.lhs)
-            rhs_value, rhs_type = self._lower_rvalue(expr.rhs)
+        return self._lower_binary_parts(expr.op, expr.lhs, expr.rhs)
+
+    def _lower_binary_parts(self, op: str, lhs: Expr, rhs: Expr) -> Tuple[Value, Type]:
+        """Lower ``lhs op rhs``.
+
+        Split out from :meth:`_lower_binary` so compound assignment can reuse
+        it directly instead of allocating a synthetic :class:`BinaryOp` node
+        per ``target op= value`` expression.
+        """
+        if op == ",":
+            self._lower_rvalue(lhs)
+            return self._lower_rvalue(rhs)
+        if op == "&&" or op == "||":
+            lhs_value, lhs_type = self._lower_rvalue(lhs)
+            rhs_value, rhs_type = self._lower_rvalue(rhs)
             lhs_bool = self._to_bool(lhs_value, lhs_type)
             rhs_bool = self._to_bool(rhs_value, rhs_type)
-            opcode = "and" if expr.op == "&&" else "or"
+            opcode = "and" if op == "&&" else "or"
             return self.builder.binary(opcode, lhs_bool, rhs_bool), BOOL
-        lhs_value, lhs_type = self._lower_rvalue(expr.lhs)
-        rhs_value, rhs_type = self._lower_rvalue(expr.rhs)
+        lhs_value, lhs_type = self._lower_rvalue(lhs)
+        rhs_value, rhs_type = self._lower_rvalue(rhs)
         # Pointer arithmetic.
-        if expr.op in ("+", "-") and lhs_type.is_pointer() and rhs_type.is_integer():
+        if (op == "+" or op == "-") and lhs_type.is_pointer() and rhs_type.is_integer():
             element_size = max(1, lhs_type.pointee.size_in_bytes())
-            scale = element_size if expr.op == "+" else -element_size
+            scale = element_size if op == "+" else -element_size
             if isinstance(rhs_value, ConstantInt):
                 address = self.builder.ptradd(lhs_value, offset=rhs_value.value * scale)
             else:
                 address = self.builder.ptradd(lhs_value, rhs_value, scale=scale)
             return address, lhs_type
-        if expr.op == "+" and rhs_type.is_pointer() and lhs_type.is_integer():
+        if op == "+" and rhs_type.is_pointer() and lhs_type.is_integer():
             element_size = max(1, rhs_type.pointee.size_in_bytes())
             if isinstance(lhs_value, ConstantInt):
                 address = self.builder.ptradd(rhs_value, offset=lhs_value.value * element_size)
             else:
                 address = self.builder.ptradd(rhs_value, lhs_value, scale=element_size)
             return address, rhs_type
-        if expr.op == "-" and lhs_type.is_pointer() and rhs_type.is_pointer():
+        if op == "-" and lhs_type.is_pointer() and rhs_type.is_pointer():
             element_size = max(1, lhs_type.pointee.size_in_bytes())
             lhs_int = self.builder.cast("ptrtoint", lhs_value, INT64)
             rhs_int = self.builder.cast("ptrtoint", rhs_value, INT64)
@@ -528,9 +549,8 @@ class _FunctionLowerer:
                 difference = self.builder.sdiv(difference, ConstantInt(element_size, INT64))
             return difference, INT64
         # Comparisons.
-        if expr.op in ("==", "!=", "<", "<=", ">", ">="):
-            predicate = {"==": "eq", "!=": "ne", "<": "slt", "<=": "sle",
-                         ">": "sgt", ">=": "sge"}[expr.op]
+        predicate = _CMP_PREDICATES.get(op)
+        if predicate is not None:
             rhs_value = self._convert(rhs_value, rhs_type, lhs_type)
             return self.builder.icmp(predicate, lhs_value, rhs_value), BOOL
         # Ordinary arithmetic: unify operand types (prefer float, then wider int).
@@ -539,26 +559,19 @@ class _FunctionLowerer:
             result_type = rhs_type
         lhs_value = self._convert(lhs_value, lhs_type, result_type)
         rhs_value = self._convert(rhs_value, rhs_type, result_type)
-        is_float = _is_float_type(result_type)
-        opcode_map = {
-            "+": "fadd" if is_float else "add",
-            "-": "fsub" if is_float else "sub",
-            "*": "fmul" if is_float else "mul",
-            "/": "fdiv" if is_float else "sdiv",
-            "%": "srem",
-            "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "ashr",
-        }
-        opcode = opcode_map.get(expr.op)
+        opcode_map = _FLOAT_OPCODES if _is_float_type(result_type) else _INT_OPCODES
+        opcode = opcode_map.get(op)
         if opcode is None:
-            raise LoweringError(f"unsupported binary operator {expr.op!r}")
+            raise LoweringError(f"unsupported binary operator {op!r}")
         return self.builder.binary(opcode, lhs_value, rhs_value), result_type
 
     def _lower_assignment(self, expr: Assignment) -> Tuple[Value, Type]:
         address, object_type = self._lower_lvalue(expr.target)
         if expr.op:
-            # Compound assignment: rebuild as target = target <op> value.
-            synthetic = BinaryOp(expr.op, expr.target, expr.value, line=expr.line)
-            value, value_type = self._lower_binary(synthetic)
+            # Compound assignment lowers as target = target <op> value (the
+            # target is deliberately evaluated twice, matching the previous
+            # synthetic-BinaryOp lowering instruction for instruction).
+            value, value_type = self._lower_binary_parts(expr.op, expr.target, expr.value)
         else:
             value, value_type = self._lower_rvalue(expr.value)
         stored_type = object_type
@@ -609,6 +622,42 @@ class _FunctionLowerer:
         return_type = signature.return_type if signature is not None else INT32
         call = self.builder.call(name, arg_values, return_type, name=f"{name}.ret")
         return call, return_type if return_type != VOID else INT32
+
+
+# Exact-class dispatch tables (built after the class body; AST nodes are
+# never subclassed, so ``expr.__class__`` lookups are equivalent to the
+# isinstance chains they replaced).
+_STMT_DISPATCH = {
+    CompoundStmt: _FunctionLowerer._lower_compound,
+    DeclStmt: _FunctionLowerer._lower_decl,
+    ExprStmt: _FunctionLowerer._lower_expr_stmt,
+    IfStmt: _FunctionLowerer._lower_if,
+    WhileStmt: _FunctionLowerer._lower_while,
+    DoWhileStmt: _FunctionLowerer._lower_do_while,
+    ForStmt: _FunctionLowerer._lower_for,
+    ReturnStmt: _FunctionLowerer._lower_return,
+    BreakStmt: _FunctionLowerer._lower_break,
+    ContinueStmt: _FunctionLowerer._lower_continue,
+    EmptyStmt: _FunctionLowerer._lower_empty,
+}
+
+_RVALUE_DISPATCH = {
+    IntLiteral: _FunctionLowerer._lower_int_literal,
+    CharLiteral: _FunctionLowerer._lower_char_literal,
+    FloatLiteral: _FunctionLowerer._lower_float_literal,
+    StringLiteral: _FunctionLowerer._lower_string_literal,
+    NullLiteral: _FunctionLowerer._lower_null_literal,
+    Identifier: _FunctionLowerer._load_from_lvalue,
+    ArrayIndex: _FunctionLowerer._load_from_lvalue,
+    Member: _FunctionLowerer._load_from_lvalue,
+    UnaryOp: _FunctionLowerer._lower_unary,
+    BinaryOp: _FunctionLowerer._lower_binary,
+    Assignment: _FunctionLowerer._lower_assignment,
+    Conditional: _FunctionLowerer._lower_conditional,
+    Call: _FunctionLowerer._lower_call,
+    Cast: _FunctionLowerer._lower_cast_expr,
+    SizeOf: _FunctionLowerer._lower_sizeof,
+}
 
 
 class _ModuleLowerer:

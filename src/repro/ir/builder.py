@@ -30,21 +30,56 @@ from .instructions import (
     StoreInst,
     UnreachableInst,
 )
-from .types import INT32, INT8, PointerType, Type, VOID
+from .types import INT32, INT8, PointerType, Type, VoidType
 from .values import ConstantInt, NullPointer, UndefValue, Value
 
 __all__ = ["IRBuilder"]
 
 
+class _BatchScope:
+    """Context manager returned by :meth:`IRBuilder.batched`."""
+
+    __slots__ = ("_builder",)
+
+    def __init__(self, builder: "IRBuilder"):
+        self._builder = builder
+
+    def __enter__(self) -> "IRBuilder":
+        self._builder._batching = True
+        return self._builder
+
+    def __exit__(self, *exc_info: object) -> None:
+        builder = self._builder
+        builder._flush()
+        builder._batching = False
+
+
 class IRBuilder:
-    """Builds instructions at an insertion point inside a function."""
+    """Builds instructions at an insertion point inside a function.
+
+    The builder has an optional *batched* mode (:meth:`batched`) used by the
+    frontend lowering: instead of appending to the insertion block one
+    ``BasicBlock.append`` call at a time, instructions accumulate in a
+    pending list and land in the block in one ``list.extend`` when the
+    insertion point moves (or the batch scope exits).  Inside a batch scope
+    use :meth:`is_terminated` rather than peeking at
+    ``builder.block.instructions`` — pending instructions are not yet
+    visible in the block (reading the :attr:`block` property flushes first,
+    so external callers always observe a consistent block).
+    """
+
+    __slots__ = ("_block", "_batching", "_pending")
 
     def __init__(self, block: Optional[BasicBlock] = None):
         self._block = block
+        self._batching = False
+        self._pending: list = []
 
     # -- positioning -----------------------------------------------------------
     @property
     def block(self) -> Optional[BasicBlock]:
+        if self._pending:
+            self._flush()
         return self._block
 
     @property
@@ -52,19 +87,52 @@ class IRBuilder:
         return self._block.parent if self._block is not None else None
 
     def position_at_end(self, block: BasicBlock) -> None:
+        if self._pending:
+            self._flush()
         self._block = block
 
+    # -- batching --------------------------------------------------------------
+    def batched(self) -> _BatchScope:
+        """Enter batched insertion: one ``extend`` per block, not one append
+        per instruction."""
+        return _BatchScope(self)
+
+    def _flush(self) -> None:
+        pending = self._pending
+        if pending:
+            self._block.instructions.extend(pending)
+            self._pending = []
+
+    def is_terminated(self) -> bool:
+        """True when the current block (including pending instructions) ends
+        in a terminator."""
+        if self._pending:
+            return self._pending[-1].is_terminator()
+        block = self._block
+        if block is None:
+            return False
+        instructions = block.instructions
+        return bool(instructions) and instructions[-1].is_terminator()
+
     def _insert(self, instruction: Instruction, name_prefix: str) -> Instruction:
-        if self._block is None:
+        block = self._block
+        if block is None:
             raise RuntimeError("IRBuilder has no insertion point")
-        if instruction.type != VOID:
+        if not isinstance(instruction.type, VoidType):
+            function = block.parent
             if instruction.name:
                 # Caller-provided names are made unique within the function so
                 # repeated lowering of the same source name cannot collide.
-                instruction.name = self._block.parent.uniquify_name(instruction.name)
+                instruction.name = function.uniquify_name(instruction.name)
             else:
-                instruction.name = self._block.parent.next_value_name(name_prefix)
-        self._block.append(instruction)
+                instruction.name = function.next_value_name(name_prefix)
+        if self._batching:
+            if instruction.parent is not None:
+                raise ValueError("instruction already belongs to a block")
+            instruction.parent = block
+            self._pending.append(instruction)
+        else:
+            block.append(instruction)
         return instruction
 
     # -- constants -----------------------------------------------------------------
@@ -136,6 +204,9 @@ class IRBuilder:
 
     # -- SSA constructs -----------------------------------------------------------------
     def phi(self, type_: Type, name: str = "") -> PhiInst:
+        if self._pending:
+            # φs insert at the block top: pending appends must land first.
+            self._flush()
         phi = PhiInst(type_, name or self._block.parent.next_value_name("phi"))
         self._block.insert_phi(phi)
         phi.parent = self._block  # insert_phi sets parent; keep explicit for clarity
@@ -144,6 +215,8 @@ class IRBuilder:
     def sigma(self, source: Value, *, lower: Optional[Value] = None,
               upper: Optional[Value] = None, lower_adjust: int = 0,
               upper_adjust: int = 0, name: str = "") -> SigmaInst:
+        if self._pending:
+            self._flush()
         sigma = SigmaInst(source, lower=lower, upper=upper, lower_adjust=lower_adjust,
                           upper_adjust=upper_adjust, origin_block=self._block,
                           name=name or self._block.parent.next_value_name("sig"))

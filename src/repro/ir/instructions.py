@@ -31,7 +31,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING, Union
 
 from .types import BOOL, INT32, PointerType, Type, VOID
-from .values import ConstantInt, Value
+from .values import ConstantInt, Use, Value
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .basicblock import BasicBlock
@@ -80,12 +80,17 @@ class Instruction(Value):
     __slots__ = ("opcode", "parent", "_operands")
 
     def __init__(self, opcode: str, type_: Type, operands: Sequence[Value] = (), name: str = ""):
-        super().__init__(type_, name)
+        # Inlined Value.__init__ plus direct use-list registration: this
+        # constructor runs once per IR instruction and is on the cold-compile
+        # hot path, so it avoids the append_operand/add_use call chain.
+        self.type = type_
+        self.name = name
+        self.uses: List[Use] = []
         self.opcode = opcode
         self.parent: Optional["BasicBlock"] = None
-        self._operands: List[Value] = []
-        for operand in operands:
-            self.append_operand(operand)
+        self._operands = ops = list(operands)
+        for index, operand in enumerate(ops):
+            operand.uses.append(Use(self, index))
 
     # -- operand management ---------------------------------------------------
     @property
