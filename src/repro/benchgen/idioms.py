@@ -264,6 +264,86 @@ void conditional_buffers_{index}(int n, int which) {{
 """
 
 
+def _bounded_walk(index: int, rng: random.Random) -> str:
+    step = 1 + rng.randrange(4)
+    return f"""
+int bounded_walk_{index}(int n) {{
+  int* data = (int*)malloc(n * 4);
+  int i;
+  int total = 0;
+  for (i = 0; i < n; i++) {{
+    data[i] = i * {step};
+  }}
+  for (i = 0; i < n; i++) {{
+    total += data[i];
+  }}
+  free(data);
+  return total;
+}}
+"""
+
+
+def _off_by_one_window(index: int, rng: random.Random) -> str:
+    delta = 1 + rng.randrange(5)
+    sentinel = rng.randrange(64)
+    return f"""
+int off_by_one_window_{index}(int n) {{
+  int* win = (int*)malloc(n * 4);
+  int i;
+  int acc = 0;
+  for (i = 0; i < n; i++) {{
+    win[i] = i;
+  }}
+  for (i = 0; i < n - 1; i++) {{
+    win[i] = win[i + 1] + {delta};
+  }}
+  win[n] = {sentinel};
+  for (i = 0; i < n; i++) {{
+    acc += win[i];
+  }}
+  free(win);
+  return acc;
+}}
+"""
+
+
+def _disjoint_tiles(index: int, rng: random.Random) -> str:
+    bias = rng.randrange(16)
+    return f"""
+void disjoint_tiles_{index}(int n) {{
+  int* src = (int*)malloc(n * 4);
+  int* dst = (int*)malloc(n * 4);
+  int i;
+  for (i = 0; i < n; i++) {{
+    src[i] = i;
+  }}
+  for (i = 0; i < n; i++) {{
+    dst[i] = src[i] + {bias};
+  }}
+  free(src);
+  free(dst);
+}}
+"""
+
+
+def _overlapping_shift(index: int, rng: random.Random) -> str:
+    fill = rng.randrange(8)
+    return f"""
+void overlapping_shift_{index}(int n) {{
+  int* a = (int*)malloc(n * 4 + 4);
+  int i;
+  for (i = 0; i < n; i++) {{
+    a[i] = i + {fill};
+  }}
+  a[n] = 0;
+  for (i = 0; i < n; i++) {{
+    a[i] = a[i + 1];
+  }}
+  free(a);
+}}
+"""
+
+
 def _array_of_structs(index: int, rng: random.Random) -> str:
     return f"""
 struct point_{index} {{ int x; int y; }};
@@ -305,6 +385,16 @@ IDIOMS: List[Idiom] = [
           lambda i: f"local_scratch_{i}(text, n);"),
     Idiom("conditional_buffers", ("basic",), _conditional_buffers,
           lambda i: f"conditional_buffers_{i}(n, argc);"),
+    # Client-analysis idioms (PR 9): shapes whose bounds/parallelizability
+    # verdicts the differential validator can confirm or refute at runtime.
+    Idiom("bounded_walk", ("rbaa", "scev"), _bounded_walk,
+          lambda i: f"bounded_walk_{i}(n);"),
+    Idiom("off_by_one_window", ("rbaa", "scev"), _off_by_one_window,
+          lambda i: f"off_by_one_window_{i}(n);"),
+    Idiom("disjoint_tiles", ("rbaa", "basic"), _disjoint_tiles,
+          lambda i: f"disjoint_tiles_{i}(n);"),
+    Idiom("overlapping_shift", ("scev",), _overlapping_shift,
+          lambda i: f"overlapping_shift_{i}(n);"),
 ]
 
 

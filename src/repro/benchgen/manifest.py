@@ -25,7 +25,9 @@ __all__ = ["GENERATOR_VERSION", "manifest_entry", "corpus_manifest", "suite_conf
            "digest_index"]
 
 #: Bump when idiom templates, selection, or seeding change generated shapes.
-GENERATOR_VERSION = 2
+#: v3: client-analysis idioms (bounded_walk, off_by_one_window,
+#: disjoint_tiles, overlapping_shift) joined the pool and the suite mixes.
+GENERATOR_VERSION = 3
 
 
 def manifest_entry(config: GeneratorConfig, suite: Optional[str] = None) -> Dict[str, object]:

@@ -26,15 +26,17 @@ __all__ = ["SuiteProgram", "SUITE_PROGRAMS", "suite_names", "select_programs",
 _MALLOCBENCH_MIX = {
     "allocator": 4.0, "double_buffer": 3.0, "serialize": 2.0, "linked_list": 2.0,
     "string_scan": 1.0, "table_lookup": 1.0, "conditional_buffers": 2.0,
+    "disjoint_tiles": 1.0, "off_by_one_window": 1.0,
 }
 _PROLANGS_MIX = {
     "struct_fields": 3.0, "string_scan": 3.0, "table_lookup": 2.0, "serialize": 2.0,
     "array_of_structs": 2.0, "strided": 1.0, "split_halves": 1.0, "matrix": 1.0,
-    "local_scratch": 2.0,
+    "local_scratch": 2.0, "bounded_walk": 1.0, "overlapping_shift": 1.0,
 }
 _PTRDIST_MIX = {
     "linked_list": 3.0, "array_of_structs": 3.0, "allocator": 2.0, "matrix": 2.0,
     "split_halves": 2.0, "struct_fields": 1.0, "strided": 1.0, "local_scratch": 1.0,
+    "bounded_walk": 1.0, "disjoint_tiles": 1.0,
 }
 
 

@@ -15,7 +15,8 @@ from __future__ import annotations
 from .manager import SCOPE_CALLGRAPH, SCOPE_FUNCTION, AnalysisKey
 
 __all__ = ["RANGES", "LOCATIONS", "CALLGRAPH", "GLOBAL_RANGES", "LOCAL_RANGES",
-           "ANDERSEN", "STEENSGAARD", "BASIC", "SCEV", "RBAA"]
+           "ANDERSEN", "STEENSGAARD", "BASIC", "SCEV", "RBAA",
+           "BOUNDS", "PARALLEL"]
 
 
 def _build_ranges(module, manager, options=None):
@@ -77,6 +78,16 @@ def _build_rbaa(module, manager, options=None):
     return RBAAAliasAnalysis(module, options, manager=manager)
 
 
+def _build_bounds(module, manager):
+    from ..clients.bounds import BoundsCheckAnalysis
+    return BoundsCheckAnalysis(module, manager=manager)
+
+
+def _build_parallel(module, manager):
+    from ..clients.parallelize import LoopParallelismAnalysis
+    return LoopParallelismAnalysis(module, manager=manager)
+
+
 #: The symbolic integer range bootstrap (Blume–Eigenmann style).  The
 #: analysis is function-local (interprocedural flows become kernel symbols),
 #: so a function edit re-runs only the edited function's nodes.
@@ -105,3 +116,8 @@ BASIC = AnalysisKey("basic", _build_basic, scope=SCOPE_FUNCTION)
 SCEV = AnalysisKey("scev", _build_scev, scope=SCOPE_FUNCTION)
 #: The paper's complete range-based alias analysis.
 RBAA = AnalysisKey("rbaa", _build_rbaa, scope=SCOPE_FUNCTION)
+#: Out-of-bounds client: per-access safe/maybe-oob/definitely-oob verdicts
+#: (per-function report cache, refreshed in place on edits).
+BOUNDS = AnalysisKey("check-bounds", _build_bounds, scope=SCOPE_FUNCTION)
+#: Loop-parallelization client: cross-iteration disjointness per natural loop.
+PARALLEL = AnalysisKey("parallel-loops", _build_parallel, scope=SCOPE_FUNCTION)

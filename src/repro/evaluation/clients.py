@@ -1,0 +1,355 @@
+"""Corpus-wide differential evaluation of the client analyses.
+
+For every corpus program this runner computes both client reports — the
+out-of-bounds verdict table (:mod:`repro.clients.bounds`) and the
+loop-parallelization table (:mod:`repro.clients.parallelize`) — executes
+the program under the concrete interpreter, and replays the observed
+accesses against the verdicts through :mod:`repro.clients.validate`:
+
+* an observed out-of-extent access at a load/store classified ``safe``
+  is a violation (and an in-extent access at ``definitely-oob``,
+  symmetrically);
+* an observed cross-iteration overlapping access pair (store involved)
+  inside a loop reported parallelizable is a violation.
+
+Every violation carries a replayable ``(program, seed, access)`` triple.
+The runner shards over worker processes exactly like the soundness
+oracle (workers regenerate their programs; IR never crosses process
+boundaries), and the emitted ``BENCH_clients.json`` is canonical JSON —
+byte-identical across ``--jobs`` counts and ``PYTHONHASHSEED`` values
+once the volatile wall-time fields are stripped.
+
+Command line::
+
+    python -m repro.evaluation.clients --quick --jobs 2 \
+        --out BENCH_clients.json --min-programs 50
+    python -m repro.evaluation.clients --compare A.json B.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..benchgen import (
+    GENERATOR_VERSION,
+    GeneratorConfig,
+    execution_inputs,
+    generate_module,
+    stable_seed,
+    suite_configs,
+)
+from ..clients.validate import ClientViolation, validate_bounds, validate_loops
+from ..engine import keys
+from ..engine.manager import AnalysisManager
+from ..interp import Interpreter, InterpreterLimits
+from .parallel import compare_bench_files, map_shards, merge_indexed, \
+    partition, resolve_jobs
+from .reporting import to_canonical_json
+
+__all__ = [
+    "ClientCheck",
+    "ClientsReport",
+    "CLIENT_MIX",
+    "clients_corpus",
+    "check_clients_program",
+    "run_clients",
+    "main",
+]
+
+#: Extra generated programs in the quick corpus (on top of the 22 suite
+#: programs): 22 + 34 = 56 ≥ the CI gate of 50.
+QUICK_EXTRA_PROGRAMS = 34
+
+#: The fuzz slice's idiom mix, weighted toward the shapes the clients
+#: classify non-trivially: provably-safe walks, off-by-one windows,
+#: disjoint and overlapping cross-iteration loops.
+CLIENT_MIX: Dict[str, float] = {
+    "bounded_walk": 3.0,
+    "off_by_one_window": 3.0,
+    "disjoint_tiles": 3.0,
+    "overlapping_shift": 3.0,
+    "strided": 1.0,
+    "matrix": 1.0,
+    "split_halves": 1.0,
+    "double_buffer": 1.0,
+    "allocator": 1.0,
+    "local_scratch": 1.0,
+}
+
+
+def clients_corpus(extra: int = QUICK_EXTRA_PROGRAMS,
+                   seed: int = 17) -> List[GeneratorConfig]:
+    """The runner's corpus: every suite program plus ``extra`` fuzz programs.
+
+    The fuzz slice draws from :data:`CLIENT_MIX` with sizes cycling 3..8
+    idiom instances, seeded via :func:`stable_seed` so the corpus is
+    identical in every process and under every ``PYTHONHASHSEED``.
+    """
+    configs = suite_configs()
+    for index in range(max(0, extra)):
+        name = f"client_{index:02d}"
+        configs.append(GeneratorConfig(
+            name=name,
+            instances=3 + (index % 6),
+            seed=stable_seed(f"clients:{seed}:{name}", 1_000_000),
+            mix=dict(CLIENT_MIX),
+        ))
+    return configs
+
+
+# -- result records -----------------------------------------------------------
+
+
+@dataclass
+class ClientCheck:
+    """Differential outcome for one corpus program (pure data, picklable)."""
+
+    program: str
+    seed: int
+    executed: bool = False
+    stop_reason: Optional[str] = None
+    steps: int = 0
+    #: The bounds report's verdict counts (safe / maybe_oob /
+    #: definitely_oob / accesses).
+    bounds_summary: Dict[str, int] = field(default_factory=dict)
+    bounds_events_checked: int = 0
+    oob_events_observed: int = 0
+    loops: int = 0
+    parallel_loops: int = 0
+    loop_frames_checked: int = 0
+    loop_frames_skipped: int = 0
+    violations: List[ClientViolation] = field(default_factory=list)
+    truncated: bool = False
+
+
+@dataclass
+class ClientsReport:
+    """Aggregated differential results over a corpus."""
+
+    checks: List[ClientCheck] = field(default_factory=list)
+
+    def programs_executed(self) -> int:
+        return sum(1 for check in self.checks if check.executed)
+
+    def violations(self) -> List[ClientViolation]:
+        return [violation for check in self.checks
+                for violation in check.violations]
+
+    def as_record(self, run_info: Optional[Dict[str, Any]] = None
+                  ) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "schema": 1,
+            "generator_version": GENERATOR_VERSION,
+            "programs": [asdict(check) for check in self.checks],
+            "totals": {
+                "programs": len(self.checks),
+                "programs_executed": self.programs_executed(),
+                "accesses_classified": sum(
+                    c.bounds_summary.get("accesses", 0) for c in self.checks),
+                "safe": sum(c.bounds_summary.get("safe", 0)
+                            for c in self.checks),
+                "maybe_oob": sum(c.bounds_summary.get("maybe_oob", 0)
+                                 for c in self.checks),
+                "definitely_oob": sum(c.bounds_summary.get("definitely_oob", 0)
+                                      for c in self.checks),
+                "bounds_events_checked": sum(c.bounds_events_checked
+                                             for c in self.checks),
+                "oob_events_observed": sum(c.oob_events_observed
+                                           for c in self.checks),
+                "loops": sum(c.loops for c in self.checks),
+                "parallel_loops": sum(c.parallel_loops for c in self.checks),
+                "loop_frames_checked": sum(c.loop_frames_checked
+                                           for c in self.checks),
+                "loop_frames_skipped": sum(c.loop_frames_skipped
+                                           for c in self.checks),
+                "violations": len(self.violations()),
+            },
+        }
+        if run_info is not None:
+            record["run"] = dict(run_info)
+        return record
+
+
+# -- per-program driver --------------------------------------------------------
+
+
+def check_clients_program(program, *, detector_factory=None,
+                          checker_factory=None,
+                          limits: Optional[InterpreterLimits] = None
+                          ) -> ClientCheck:
+    """Run the full differential check of both clients for one program.
+
+    ``detector_factory`` / ``checker_factory`` take ``(module, manager)``
+    and are injectable so the test-suite can feed deliberately broken
+    clients through the validator and assert they are caught.
+    """
+    config = program.config
+    module = program.module
+    check = ClientCheck(program=config.name, seed=config.seed)
+    inputs = execution_inputs(config)
+    replay = {
+        "program": config.name,
+        "seed": config.seed,
+        "instances": config.instances,
+        "rng_key": config.rng_key,
+        "mix": dict(sorted(config.mix.items())) if config.mix else None,
+        "argv": inputs.argv(),
+    }
+
+    manager = AnalysisManager(module)
+    detector = detector_factory(module, manager) if detector_factory \
+        else manager.get(keys.BOUNDS)
+    checker = checker_factory(module, manager) if checker_factory \
+        else manager.get(keys.PARALLEL)
+    bounds_report = detector.module_report()
+    loops_report = checker.module_report()
+    check.bounds_summary = dict(bounds_report["summary"])
+    check.loops = loops_report["summary"]["loops"]
+    check.parallel_loops = loops_report["summary"]["parallel"]
+
+    interpreter = Interpreter(module, limits=limits)
+    trace = interpreter.run_main(inputs.argv())
+    check.executed = trace.completed
+    check.stop_reason = trace.stop_reason
+    check.steps = trace.steps
+    check.truncated = any(frame.truncated for frame in trace.frames)
+    check.oob_events_observed = sum(
+        1 for event in trace.accesses if not event.in_extent)
+
+    events_checked, bounds_violations = validate_bounds(
+        config.name, trace, bounds_report, replay)
+    check.bounds_events_checked = events_checked
+    check.violations.extend(bounds_violations)
+
+    frames_checked, frames_skipped, loop_violations = validate_loops(
+        config.name, module, trace, loops_report, replay)
+    check.loop_frames_checked = frames_checked
+    check.loop_frames_skipped = frames_skipped
+    check.violations.extend(loop_violations)
+    return check
+
+
+# -- sharded corpus driver -----------------------------------------------------
+
+
+def _clients_shard_worker(
+        shard: Sequence[Tuple[int, GeneratorConfig, int]]
+) -> List[Tuple[int, ClientCheck]]:
+    """Check one shard of corpus programs (runs inside a worker process)."""
+    results: List[Tuple[int, ClientCheck]] = []
+    for corpus_index, config, max_steps in shard:
+        program = generate_module(config)
+        limits = InterpreterLimits(max_steps=max_steps)
+        results.append((corpus_index,
+                        check_clients_program(program, limits=limits)))
+    return results
+
+
+def run_clients(configs: Optional[Sequence[GeneratorConfig]] = None,
+                jobs: Optional[int] = None,
+                max_steps: int = InterpreterLimits.max_steps) -> ClientsReport:
+    """Run the differential check over a corpus, sharded like the oracle."""
+    configs = list(configs if configs is not None else clients_corpus())
+    jobs = resolve_jobs(jobs)
+    items = [(index, config, max_steps)
+             for index, config in enumerate(configs)]
+    shards = partition(items, jobs)
+    checks = merge_indexed(map_shards(_clients_shard_worker, shards, jobs))
+    return ClientsReport(checks=checks)
+
+
+# -- command line --------------------------------------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.evaluation.clients",
+        description="Differential evaluation of the bounds and "
+                    "loop-parallelization clients versus concrete executions.")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: $REPRO_EVAL_JOBS or 1)")
+    parser.add_argument("--quick", action="store_true",
+                        help=f"CI smoke corpus: 22 suite programs + "
+                             f"{QUICK_EXTRA_PROGRAMS} fuzz programs")
+    parser.add_argument("--extra", type=int, default=None,
+                        help="number of generated fuzz programs beyond the suite")
+    parser.add_argument("--seed", type=int, default=17,
+                        help="base seed of the fuzz slice of the corpus")
+    parser.add_argument("--max-steps", type=int,
+                        default=InterpreterLimits.max_steps,
+                        help="interpreter step budget per program")
+    parser.add_argument("--min-programs", type=int, default=0,
+                        help="fail unless at least this many programs executed")
+    parser.add_argument("--check", action="store_true",
+                        help="gate mode: additionally require every corpus "
+                             "program to have executed to completion")
+    parser.add_argument("--compare", nargs=2, metavar=("A", "B"), default=None,
+                        help="compare two bench records (volatile fields "
+                             "stripped) instead of running")
+    parser.add_argument("--out", default="BENCH_clients.json",
+                        help="report output path")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.compare is not None:
+        diffs = compare_bench_files(args.compare[0], args.compare[1])
+        for diff in diffs:
+            print(diff)
+        print(f"{len(diffs)} difference(s)")
+        return 1 if diffs else 0
+
+    extra = args.extra
+    if extra is None:
+        extra = QUICK_EXTRA_PROGRAMS if args.quick \
+            else 3 * QUICK_EXTRA_PROGRAMS
+    configs = clients_corpus(extra=extra, seed=args.seed)
+    jobs = resolve_jobs(args.jobs)
+
+    started = time.perf_counter()
+    report = run_clients(configs, jobs=jobs, max_steps=args.max_steps)
+    elapsed = time.perf_counter() - started
+
+    record = report.as_record(run_info={
+        "jobs": jobs,
+        "quick": bool(args.quick),
+        "python": sys.version.split()[0],
+        "total_wall_seconds": elapsed,
+    })
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(to_canonical_json(record))
+
+    executed = report.programs_executed()
+    violations = report.violations()
+    totals = record["totals"]
+    print(f"wrote {args.out}: {executed}/{len(report.checks)} programs "
+          f"executed, {totals['accesses_classified']} accesses classified "
+          f"({totals['safe']} safe / {totals['maybe_oob']} maybe / "
+          f"{totals['definitely_oob']} definite), "
+          f"{totals['parallel_loops']}/{totals['loops']} loops parallel, "
+          f"{totals['bounds_events_checked']} events and "
+          f"{totals['loop_frames_checked']} loop frames checked, "
+          f"{len(violations)} violation(s) ({elapsed:.2f}s wall, jobs={jobs})")
+    for violation in violations[:20]:
+        print(f"  [{violation.kind}] {violation.program}/{violation.function} "
+              f"{violation.query} — {violation.detail}")
+    if violations:
+        return 1
+    if executed < args.min_programs:
+        print(f"only {executed} programs executed "
+              f"(< --min-programs {args.min_programs})")
+        return 2
+    if args.check and executed < len(report.checks):
+        print(f"--check: {len(report.checks) - executed} corpus program(s) "
+              f"did not execute to completion")
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

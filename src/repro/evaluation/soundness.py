@@ -217,13 +217,16 @@ class _SymbolTable:
 
     def __init__(self, bindings: Dict[str, Value], trace: ExecutionTrace):
         self.bindings = bindings
-        values = set(bindings.values())
-        observed: Dict[Value, set] = {value: set() for value in values}
+        observed: Dict[Value, set] = {value: set()
+                                      for value in bindings.values()}
         for frame in trace.frames:
-            for value in values & frame.events.keys():
-                observed[value].update(
-                    concrete for concrete in frame.observed(value)
-                    if isinstance(concrete, int))
+            # frame.events is insertion-ordered; iterating it (rather than
+            # a set intersection) keeps the sweep hash-order independent.
+            for value in frame.events:
+                if value in observed:
+                    observed[value].update(
+                        concrete for concrete in frame.observed(value)
+                        if isinstance(concrete, int))
         self._global_values: Dict[str, List[int]] = {
             name: sorted(observed[value]) for name, value in bindings.items()}
 

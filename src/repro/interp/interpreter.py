@@ -59,7 +59,13 @@ from ..ir.values import (
 )
 from .externals import ProgramExit, call_external
 from .memory import Heap, MemoryError_, Pointer, coerce_int
-from .trace import AccessEvent, ExecutionTrace, FrameTrace
+from .trace import (
+    AccessEvent,
+    ExecutionTrace,
+    FrameTrace,
+    access_width,
+    memory_access_table,
+)
 
 __all__ = ["InterpreterLimits", "InterpreterError", "StepBudgetExceeded", "Interpreter"]
 
@@ -118,6 +124,8 @@ class Interpreter:
         self.unknown_external_calls = 0
         self._globals: Dict[GlobalVariable, Pointer] = {}
         self._frame_count = 0
+        #: function -> {load/store instruction -> stable access index}.
+        self._access_indices: Dict[Function, Dict[Instruction, int]] = {}
         for variable in module.globals:
             size = variable.value_type.size_in_bytes()
             self._globals[variable] = self.heap.allocate(size, "global", variable.name)
@@ -191,6 +199,7 @@ class Interpreter:
         block = frame.function.entry_block
         predecessor: Optional[BasicBlock] = None
         while True:
+            frame.trace.record_block(self.steps, block.label())
             self._enter_block(frame, block, predecessor)
             for inst in block.instructions:
                 if isinstance(inst, PhiInst):
@@ -403,13 +412,31 @@ class Interpreter:
             return concrete
         return self.heap.pointer_for_address(self._int(concrete))
 
+    def _access_index(self, frame: _Frame, inst: Instruction) -> int:
+        table = self._access_indices.get(frame.function)
+        if table is None:
+            table = {access: index for index, access
+                     in enumerate(memory_access_table(frame.function))}
+            self._access_indices[frame.function] = table
+        return table.get(inst, -1)
+
+    def _record_memory_access(self, frame: _Frame, inst: Instruction,
+                              pointer: Pointer, width: int,
+                              opcode: str) -> None:
+        in_extent = 0 <= pointer.offset and \
+            pointer.offset + width <= pointer.obj.size
+        self.trace.record_access(AccessEvent(
+            step=self.steps, function=frame.function.name, opcode=opcode,
+            object_uid=pointer.obj.uid, object_label=pointer.obj.label,
+            offset=pointer.offset, width=width,
+            frame_id=frame.trace.frame_id,
+            access_index=self._access_index(frame, inst),
+            in_extent=in_extent))
+
     def _load(self, frame: _Frame, inst: LoadInst) -> object:
         pointer = self._pointer_operand(frame, inst.pointer)
-        width = max(1, inst.type.size_in_bytes())
-        self.trace.record_access(AccessEvent(
-            step=self.steps, function=frame.function.name, opcode="load",
-            object_uid=pointer.obj.uid, object_label=pointer.obj.label,
-            offset=pointer.offset, width=width))
+        width = access_width(inst)
+        self._record_memory_access(frame, inst, pointer, width, "load")
         cell = self.heap.load(pointer)
         if cell is None:
             return self._zero_of(inst)
@@ -424,11 +451,8 @@ class Interpreter:
     def _store(self, frame: _Frame, inst: StoreInst) -> None:
         pointer = self._pointer_operand(frame, inst.pointer)
         value = self._value(frame, inst.value)
-        width = max(1, inst.value.type.size_in_bytes())
-        self.trace.record_access(AccessEvent(
-            step=self.steps, function=frame.function.name, opcode="store",
-            object_uid=pointer.obj.uid, object_label=pointer.obj.label,
-            offset=pointer.offset, width=width))
+        width = access_width(inst)
+        self._record_memory_access(frame, inst, pointer, width, "store")
         self.heap.store(pointer, value, width)
 
     # -- calls ------------------------------------------------------------------

@@ -24,20 +24,59 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..ir.function import Function
+from ..ir.instructions import Instruction, LoadInst, StoreInst
 from ..ir.values import Value
 
-__all__ = ["AccessEvent", "FrameTrace", "ExecutionTrace", "windows_overlap"]
+__all__ = [
+    "AccessEvent",
+    "FrameTrace",
+    "ExecutionTrace",
+    "windows_overlap",
+    "memory_access_table",
+    "access_width",
+]
 
 #: Safety valve: events recorded per SSA value per frame before truncation.
 MAX_EVENTS_PER_VALUE = 4096
+
+#: Safety valve: block-entry events recorded per frame before truncation.
+MAX_BLOCK_EVENTS = 1 << 16
 
 #: Sentinel end step for a window still open when the trace stopped.
 OPEN_END = 1 << 62
 
 
+def memory_access_table(function: Function) -> List[Instruction]:
+    """The function's loads and stores in block/instruction order.
+
+    The list index is the access's stable *access index* — the contract
+    shared between the interpreter (which stamps it on every
+    :class:`AccessEvent`) and the static bounds/parallelization clients
+    (which report verdicts per access index).  Both sides must enumerate
+    identically, so they both call this.
+    """
+    return [inst for inst in function.instructions()
+            if isinstance(inst, (LoadInst, StoreInst))]
+
+
+def access_width(inst: Instruction) -> int:
+    """Byte width of a load/store, matching the interpreter's semantics."""
+    if isinstance(inst, StoreInst):
+        return max(1, inst.value.type.size_in_bytes())
+    return max(1, inst.type.size_in_bytes())
+
+
 @dataclass(frozen=True)
 class AccessEvent:
-    """One executed load or store."""
+    """One executed load or store, with its bounds observation.
+
+    ``in_extent`` is the ground truth the out-of-bounds validator replays:
+    whether the accessed byte range ``[offset, offset + width)`` fell
+    inside the object's nominal extent.  The interpreter executes
+    in-guard-gap accesses either way (provenance pointers make overlap
+    questions exact regardless), but it no longer tolerates them
+    *silently* — every access carries the flag.
+    """
 
     step: int
     function: str
@@ -46,6 +85,12 @@ class AccessEvent:
     object_label: str
     offset: int
     width: int
+    #: Index of the frame (in ``ExecutionTrace.frames``) that executed this.
+    frame_id: int = -1
+    #: Stable index of the load/store in :func:`memory_access_table`.
+    access_index: int = -1
+    #: ``[offset, offset + width)`` within the object's nominal size.
+    in_extent: bool = True
 
 
 @dataclass
@@ -61,6 +106,11 @@ class FrameTrace:
     #: SSA value -> [(assignment step, concrete value)] in step order.
     events: Dict[Value, List[Tuple[int, object]]] = field(default_factory=dict)
     truncated: bool = False
+    #: ``(step, block label)`` per basic-block entry, in execution order.
+    #: This is the frame's control path — the loop validator segments it
+    #: into loop executions and iterations.
+    block_events: List[Tuple[int, str]] = field(default_factory=list)
+    block_events_truncated: bool = False
 
     def record(self, value: Value, step: int, concrete: object) -> None:
         events = self.events.setdefault(value, [])
@@ -68,6 +118,12 @@ class FrameTrace:
             self.truncated = True
             return
         events.append((step, concrete))
+
+    def record_block(self, step: int, label: str) -> None:
+        if len(self.block_events) >= MAX_BLOCK_EVENTS:
+            self.block_events_truncated = True
+            return
+        self.block_events.append((step, label))
 
     def observed(self, value: Value) -> List[object]:
         """All concrete values ``value`` held during this invocation."""

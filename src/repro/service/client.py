@@ -32,7 +32,9 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from .protocol import (
     DEFAULT_SIZE,
+    CheckBoundsResponse,
     LoadResponse,
+    ParallelLoopsResponse,
     QueryFunctionResponse,
     QueryManyResponse,
     QueryResponse,
@@ -130,6 +132,22 @@ class ServiceClient:
             fields["max_pairs"] = max_pairs
         return QueryFunctionResponse.from_envelope(
             self.call(make_request("query_function", **fields)))
+
+    def check_bounds(self, module: str,
+                     function: Optional[str] = None) -> CheckBoundsResponse:
+        fields: Dict[str, Any] = {"module": module}
+        if function is not None:
+            fields["function"] = function
+        return CheckBoundsResponse.from_envelope(
+            self.call(make_request("check_bounds", **fields)))
+
+    def parallel_loops(self, module: str,
+                       function: Optional[str] = None) -> ParallelLoopsResponse:
+        fields: Dict[str, Any] = {"module": module}
+        if function is not None:
+            fields["function"] = function
+        return ParallelLoopsResponse.from_envelope(
+            self.call(make_request("parallel_loops", **fields)))
 
     def values(self, module: str, function: str) -> ValuesResponse:
         return ValuesResponse.from_envelope(self.call(

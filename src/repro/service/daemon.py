@@ -17,6 +17,10 @@ Operations (``"op"``; request types live in ``protocol.REQUESTS``):
 ``query``          ``{module, analysis, function, a, b[, size_a, size_b]}``
 ``query_many``     ``{module, analysis, function, pairs: [[a, b], …]}``
 ``query_function`` ``{module, analysis[, function, max_pairs]}``
+``check_bounds``   ``{module[, function]}`` — per-access out-of-bounds
+                   verdicts (``safe`` / ``maybe-oob`` / ``definitely-oob``)
+``parallel_loops`` ``{module[, function]}`` — per-loop parallelizability
+                   with the first blocking reason
 ``values``         ``{module, function}`` — queryable SSA value names
 ``range``          ``{module, function, value}``
 ``stats``          ``{module}`` — solver steps, cache + Figure-14 counters

@@ -85,6 +85,8 @@ __all__ = [
     "QueryFunctionResponse",
     "ValuesResponse",
     "RangeResponse",
+    "CheckBoundsResponse",
+    "ParallelLoopsResponse",
 ]
 
 #: The protocol version every transport speaks.  Bump on wire-incompatible
@@ -510,6 +512,54 @@ class RangeRequest(Request):
 
 @_register
 @dataclass(kw_only=True)
+class CheckBoundsRequest(Request):
+    op: ClassVar[str] = "check_bounds"
+    route: ClassVar[str] = "module"
+
+    module: str
+    function: Optional[str] = None
+
+    @classmethod
+    def _parse(cls, payload):
+        return {"module": _string(payload, "module"),
+                "function": _optional_string(payload, "function")}
+
+    def _encode(self):
+        encoded = {"module": self.module}
+        if self.function is not None:
+            encoded["function"] = self.function
+        return encoded
+
+    def apply(self, session):
+        return session.check_bounds(self.module, self.function)
+
+
+@_register
+@dataclass(kw_only=True)
+class ParallelLoopsRequest(Request):
+    op: ClassVar[str] = "parallel_loops"
+    route: ClassVar[str] = "module"
+
+    module: str
+    function: Optional[str] = None
+
+    @classmethod
+    def _parse(cls, payload):
+        return {"module": _string(payload, "module"),
+                "function": _optional_string(payload, "function")}
+
+    def _encode(self):
+        encoded = {"module": self.module}
+        if self.function is not None:
+            encoded["function"] = self.function
+        return encoded
+
+    def apply(self, session):
+        return session.parallel_loops(self.module, self.function)
+
+
+@_register
+@dataclass(kw_only=True)
 class StatsRequest(Request):
     op: ClassVar[str] = "stats"
     route: ClassVar[str] = "module"
@@ -737,3 +787,19 @@ class RangeResponse(_Response):
     function: str
     value: str
     range: str
+
+
+@dataclass(frozen=True)
+class CheckBoundsResponse(_Response):
+    module: str
+    function: Optional[str]
+    functions: List[Dict[str, Any]]
+    summary: Dict[str, int]
+
+
+@dataclass(frozen=True)
+class ParallelLoopsResponse(_Response):
+    module: str
+    function: Optional[str]
+    functions: List[Dict[str, Any]]
+    summary: Dict[str, int]

@@ -527,6 +527,43 @@ class AnalysisSession:
         return {"module": module, "analysis": analysis,
                 "function": function, **core}
 
+    def check_bounds(self, module: str,
+                     function: Optional[str] = None) -> Dict[str, Any]:
+        """The out-of-bounds client's verdict report (whole module or one
+        function): per-access ``safe`` / ``maybe-oob`` / ``definitely-oob``
+        classifications, addressed in the result store like every other
+        deterministic response (key: ``check_bounds`` + function part)."""
+        resident = self._resident(module)
+
+        def compute() -> Dict[str, Any]:
+            self._materialize(resident)
+            if function is not None:
+                resident.function(function)
+            detector = resident.manager.get(keys.BOUNDS)
+            return detector.module_report(function)
+
+        core = self._stored(resident, "check_bounds", [function],
+                            compute, dict)
+        return {"module": module, "function": function, **core}
+
+    def parallel_loops(self, module: str,
+                       function: Optional[str] = None) -> Dict[str, Any]:
+        """The loop-parallelization client's report (whole module or one
+        function): per-loop parallelizability with the first blocking
+        reason (store key: ``parallel_loops`` + function part)."""
+        resident = self._resident(module)
+
+        def compute() -> Dict[str, Any]:
+            self._materialize(resident)
+            if function is not None:
+                resident.function(function)
+            checker = resident.manager.get(keys.PARALLEL)
+            return checker.module_report(function)
+
+        core = self._stored(resident, "parallel_loops", [function],
+                            compute, dict)
+        return {"module": module, "function": function, **core}
+
     def values(self, module: str, function: str) -> Dict[str, Any]:
         """The queryable SSA values of one function (name discovery).
 

@@ -63,6 +63,8 @@ class TestGoldenSchemas:
         "query_function": {"module": "m", "analysis": "rbaa",
                            "function": "main", "max_pairs": 10},
         "values": {"module": "m", "function": "main"},
+        "check_bounds": {"module": "m", "function": "main"},
+        "parallel_loops": {"module": "m", "function": "main"},
         "range": {"module": "m", "function": "main", "value": "n"},
         "stats": {"module": "m"},
         "modules": {},
@@ -90,7 +92,8 @@ class TestGoldenSchemas:
     def test_routing_module_matches_the_sharding_contract(self):
         routed = {"load": "m", "load_program": "allroots", "edit": "m",
                   "query": "m", "query_many": "m", "query_function": "m",
-                  "values": "m", "range": "m", "stats": "m", "unload": "m"}
+                  "values": "m", "check_bounds": "m", "parallel_loops": "m",
+                  "range": "m", "stats": "m", "unload": "m"}
         for op, fields in self.GOLDEN.items():
             request = parse_request({"op": op, "v": PROTOCOL_VERSION,
                                      **fields})
