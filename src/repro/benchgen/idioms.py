@@ -344,6 +344,39 @@ void overlapping_shift_{index}(int n) {{
 """
 
 
+def _mixed_width_stride(index: int, rng: random.Random) -> str:
+    """Lockstep strides of *different* access widths over one buffer.
+
+    An ``int`` store and a ``char`` store advance by the same byte stride.
+    Every instance carries both classes: a first loop whose byte store is
+    provably disjoint from every iteration's 4-byte store
+    (``4 <= off < stride``) and a second whose byte store lands inside the
+    *next* iteration's 4-byte store (``off > stride``: a real
+    cross-iteration dependence) — exactly the pair a width-swapped
+    lockstep rule misjudges, which is what the differential validator
+    replays.
+    """
+    stride = 8 + 4 * rng.randrange(2)
+    near_off = 4 + rng.randrange(stride - 4)
+    far_off = stride + 1 + rng.randrange(3)
+    fill = rng.randrange(100)
+    return f"""
+void mixed_width_stride_{index}(int n) {{
+  char* buf = (char*)malloc(n * 8 + {stride + 8});
+  int i;
+  for (i = 0; i < n * 8; i = i + {stride}) {{
+    *(int*)(buf + i) = {fill};
+    buf[i + {near_off}] = 1;
+  }}
+  for (i = 0; i < n * 8; i = i + {stride}) {{
+    *(int*)(buf + i) = {fill + 1};
+    buf[i + {far_off}] = 1;
+  }}
+  free(buf);
+}}
+"""
+
+
 def _array_of_structs(index: int, rng: random.Random) -> str:
     return f"""
 struct point_{index} {{ int x; int y; }};
@@ -395,6 +428,8 @@ IDIOMS: List[Idiom] = [
           lambda i: f"disjoint_tiles_{i}(n);"),
     Idiom("overlapping_shift", ("scev",), _overlapping_shift,
           lambda i: f"overlapping_shift_{i}(n);"),
+    Idiom("mixed_width_stride", ("scev",), _mixed_width_stride,
+          lambda i: f"mixed_width_stride_{i}(n);"),
 ]
 
 

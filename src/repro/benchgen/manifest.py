@@ -27,7 +27,9 @@ __all__ = ["GENERATOR_VERSION", "manifest_entry", "corpus_manifest", "suite_conf
 #: Bump when idiom templates, selection, or seeding change generated shapes.
 #: v3: client-analysis idioms (bounded_walk, off_by_one_window,
 #: disjoint_tiles, overlapping_shift) joined the pool and the suite mixes.
-GENERATOR_VERSION = 3
+#: v4: mixed_width_stride joined the pool and the client fuzz mix (the
+#: lockstep-stride width-swap regression class).
+GENERATOR_VERSION = 4
 
 
 def manifest_entry(config: GeneratorConfig, suite: Optional[str] = None) -> Dict[str, object]:

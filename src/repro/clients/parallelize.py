@@ -18,8 +18,10 @@ iterations by the first rule that applies:
    and they share no allocation site;
 3. **lockstep-strides** — both pointers are affine recurrences of this
    loop advancing in lock-step (SCEV-AA's model); with step ``s`` and
-   same-iteration distance ``d``, no iteration pair can overlap when
-   ``wa <= d mod |s| <= |s| - wb``;
+   same-iteration distance ``d = a - b``, a pair of iterations overlaps
+   exactly when some lattice element ``d + s*k`` lands in the open
+   interval ``(-wa, wb)``, so no iteration pair can overlap when
+   ``wb <= d mod |s| <= |s| - wa``;
 4. **footprint-disjoint** — RBAA (or basicaa) proves the *whole value
    sets* of the two pointers reference disjoint regions.  The no-alias
    claim is only accepted when every anchor value it is relative to is
@@ -155,10 +157,10 @@ class LoopParallelismAnalysis:
         if distance is None or rec_a.step == 0:
             return False
         # Addresses a_i - b_j = distance + step*(i-j): some iteration pair
-        # overlaps iff an element of that lattice lands in (-wb, wa).
+        # overlaps iff an element of that lattice lands in (-wa, wb).
         modulus = abs(rec_a.step)
         residue = distance % modulus
-        return a.width <= residue <= modulus - b.width
+        return b.width <= residue <= modulus - a.width
 
     def _self_independent(self, access: LoopAccess, loop: Loop) -> bool:
         """One store against its own other-iteration executions."""
@@ -182,8 +184,11 @@ class LoopParallelismAnalysis:
             shared = view_a.objects & view_b.objects
             if not shared:
                 return True
-            if all(self._allocated_inside(site, loop) for site in shared):
-                return True
+            # A shared allocation site being in-loop is NOT enough: a
+            # loop-carried pointer (p = phi [g, entry], [node, latch]) can
+            # reference the *previous* iteration's malloc'd object, so
+            # freshness is only sound when BOTH full object sets are
+            # iteration-fresh — which rule 1 above already covers.
         if self._lockstep_independent(a, b, loop):
             return True
         access_a = MemoryAccess(a.pointer, a.width)

@@ -105,17 +105,20 @@ def validate_bounds(program_name: str, trace: ExecutionTrace, report: Dict,
 
 def validate_loops(program_name: str, module: Module, trace: ExecutionTrace,
                    report: Dict, replay: Dict[str, Any]
-                   ) -> Tuple[int, int, List[ClientViolation]]:
+                   ) -> Tuple[int, int, int, List[ClientViolation]]:
     """Replay iteration-segmented accesses against ``parallel`` verdicts.
 
-    Returns ``(loop_frames_checked, loop_frames_skipped, violations)``.
+    Returns ``(loop_frames_checked, loop_frames_skipped, stale_claims,
+    violations)``.  ``stale_claims`` counts claimed loop headers missing
+    from the recomputed ``LoopInfo`` — a report/module mismatch detected
+    once per claim, independent of how many frames the function ran.
     """
     events_by_frame: Dict[int, List] = {}
     for event in trace.accesses:
         if event.access_index >= 0:
             events_by_frame.setdefault(event.frame_id, []).append(event)
 
-    checked = skipped = 0
+    checked = skipped = stale_claims = 0
     violations: List[ClientViolation] = []
     for function_report in report["functions"]:
         claimed = [loop for loop in function_report["loops"]
@@ -127,6 +130,12 @@ def validate_loops(program_name: str, module: Module, trace: ExecutionTrace,
             continue
         info = LoopInfo.compute(function)
         loops_by_header = {loop.header.label(): loop for loop in info.loops}
+        stale_claims += sum(1 for claim in claimed
+                            if claim["header"] not in loops_by_header)
+        claimed = [claim for claim in claimed
+                   if claim["header"] in loops_by_header]
+        if not claimed:
+            continue
         table = memory_access_table(function)
         for frame in trace.frames_of(function):
             if frame.block_events_truncated:
@@ -134,10 +143,7 @@ def validate_loops(program_name: str, module: Module, trace: ExecutionTrace,
                 continue
             events = events_by_frame.get(frame.frame_id, [])
             for claim in claimed:
-                loop = loops_by_header.get(claim["header"])
-                if loop is None:  # report and module disagree: stale input
-                    skipped += 1
-                    continue
+                loop = loops_by_header[claim["header"]]
                 members = {block.label() for block in loop.blocks}
                 loop_indices = {
                     index for index, inst in enumerate(table)
@@ -164,7 +170,7 @@ def validate_loops(program_name: str, module: Module, trace: ExecutionTrace,
                                 f"overlap: {overlap_detail}"),
                         replay={**replay, "access": access_detail},
                     ))
-    return checked, skipped, violations
+    return checked, skipped, stale_claims, violations
 
 
 def _sweep_loop_frame(header: str, members: set, frame, loop_events

@@ -72,6 +72,7 @@ CLIENT_MIX: Dict[str, float] = {
     "off_by_one_window": 3.0,
     "disjoint_tiles": 3.0,
     "overlapping_shift": 3.0,
+    "mixed_width_stride": 3.0,
     "strided": 1.0,
     "matrix": 1.0,
     "split_halves": 1.0,
@@ -122,6 +123,9 @@ class ClientCheck:
     parallel_loops: int = 0
     loop_frames_checked: int = 0
     loop_frames_skipped: int = 0
+    #: Claimed loop headers absent from the recomputed LoopInfo (stale
+    #: report vs. module) — counted per claim, not per frame.
+    loop_claims_stale: int = 0
     violations: List[ClientViolation] = field(default_factory=list)
     truncated: bool = False
 
@@ -166,6 +170,8 @@ class ClientsReport:
                                            for c in self.checks),
                 "loop_frames_skipped": sum(c.loop_frames_skipped
                                            for c in self.checks),
+                "loop_claims_stale": sum(c.loop_claims_stale
+                                         for c in self.checks),
                 "violations": len(self.violations()),
             },
         }
@@ -225,10 +231,11 @@ def check_clients_program(program, *, detector_factory=None,
     check.bounds_events_checked = events_checked
     check.violations.extend(bounds_violations)
 
-    frames_checked, frames_skipped, loop_violations = validate_loops(
-        config.name, module, trace, loops_report, replay)
+    frames_checked, frames_skipped, claims_stale, loop_violations = \
+        validate_loops(config.name, module, trace, loops_report, replay)
     check.loop_frames_checked = frames_checked
     check.loop_frames_skipped = frames_skipped
+    check.loop_claims_stale = claims_stale
     check.violations.extend(loop_violations)
     return check
 

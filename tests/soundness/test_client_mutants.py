@@ -8,6 +8,8 @@ parallelizable — and the validator must flag both, on crafted programs
 and on the quick corpus's client-heavy fuzz slice.
 """
 
+from dataclasses import replace
+
 from repro.benchgen import GeneratedProgram, GeneratorConfig, generate_module
 from repro.clients.bounds import BoundsCheckAnalysis, SAFE
 from repro.clients.parallelize import LoopParallelismAnalysis
@@ -33,6 +35,17 @@ class AlwaysParallelChecker(LoopParallelismAnalysis):
 
     def loop_verdict(self, function, loop, accesses):
         return True, "mutant"
+
+
+class WidthSwappedLockstepChecker(LoopParallelismAnalysis):
+    """Reintroduces the reviewed lockstep bug: the residue condition tested
+    the access widths in the wrong positions (``wa <= r <= s - wb`` instead
+    of ``wb <= r <= s - wa``), wrongly proving mixed-width strided pairs
+    independent."""
+
+    def _lockstep_independent(self, a, b, loop):
+        return super()._lockstep_independent(
+            replace(a, width=b.width), replace(b, width=a.width), loop)
 
 
 OFF_BY_ONE = """
@@ -67,12 +80,31 @@ int main(int argc, char** argv) {
 """
 
 
+MIXED_WIDTH = """
+int main(int argc, char** argv) {
+  int n = atoi(argv[1]);
+  char* buf = (char*)malloc(n * 8 + 16);
+  int i;
+  for (i = 0; i < n * 8; i = i + 8) {
+    *(int*)(buf + i) = 7;
+    buf[i + 10] = 1;
+  }
+  free(buf);
+  return 0;
+}
+"""
+
+
 def safe_detector(module, manager):
     return AlwaysSafeDetector(module, manager=manager)
 
 
 def parallel_checker(module, manager):
     return AlwaysParallelChecker(module, manager=manager)
+
+
+def width_swapped_checker(module, manager):
+    return WidthSwappedLockstepChecker(module, manager=manager)
 
 
 class TestCraftedPrograms:
@@ -98,8 +130,17 @@ class TestCraftedPrograms:
         assert violation.replay["program"] == "shift"
         assert "iterations" in violation.replay["access"]
 
+    def test_width_swapped_lockstep_caught_on_mixed_width(self):
+        check = check_clients_program(crafted("mixedwidth", MIXED_WIDTH),
+                                      checker_factory=width_swapped_checker)
+        assert check.executed
+        kinds = {violation.kind for violation in check.violations}
+        assert "parallel" in kinds
+
     def test_true_clients_are_clean_on_crafted_programs(self):
-        for name, source in [("offbyone", OFF_BY_ONE), ("shift", SHIFT)]:
+        sources = [("offbyone", OFF_BY_ONE), ("shift", SHIFT),
+                   ("mixedwidth", MIXED_WIDTH)]
+        for name, source in sources:
             check = check_clients_program(crafted(name, source))
             assert check.executed
             assert check.violations == []
@@ -132,6 +173,18 @@ class TestQuickCorpus:
             program = generate_module(config)
             check = check_clients_program(program,
                                           checker_factory=parallel_checker)
+            caught += sum(1 for v in check.violations if v.kind == "parallel")
+        assert caught >= 1
+
+    def test_width_swapped_lockstep_caught_on_corpus(self):
+        # The mixed_width_stride idiom guarantees corpus programs carrying
+        # it contain a loop whose byte store overlaps the next iteration's
+        # int store — exactly what the width-swapped rule misproves.
+        caught = 0
+        for config in self.corpus_prefix():
+            program = generate_module(config)
+            check = check_clients_program(
+                program, checker_factory=width_swapped_checker)
             caught += sum(1 for v in check.violations if v.kind == "parallel")
         assert caught >= 1
 

@@ -86,6 +86,38 @@ int main(int argc, char** argv) {
 }
 """
 
+MIXED_WIDTH_OVERLAP = """
+int main(int argc, char** argv) {
+  int n = atoi(argv[1]);
+  char* buf = (char*)malloc(n * 8 + 16);
+  int i;
+  for (i = 0; i < n * 8; i = i + 8) {
+    *(int*)(buf + i) = 7;
+    buf[i + 10] = 1;
+  }
+  free(buf);
+  return 0;
+}
+"""
+
+MIXED_WIDTH_DISJOINT = MIXED_WIDTH_OVERLAP.replace(
+    "buf[i + 10] = 1;", "buf[i + 4] = 1;")
+
+LOOP_CARRIED_MALLOC = """
+int main(int argc, char** argv) {
+  int n = atoi(argv[1]);
+  int* prev = (int*)malloc(4);
+  int i;
+  prev[0] = 7;
+  for (i = 0; i < n; i++) {
+    int* fresh = (int*)malloc(4);
+    fresh[0] = i + prev[0];
+    prev = fresh;
+  }
+  return 0;
+}
+"""
+
 SRC_TWO_FUNCTIONS = """
 void fill(char* buf, int n) {
   int i;
@@ -166,6 +198,35 @@ class TestLoopVerdicts:
         reasons = {loop["reason"] for loop in report["loops"]
                    if not loop["parallel"]}
         assert any(reason.startswith("dependent") for reason in reasons)
+
+    def test_mixed_width_lockstep_overlap_is_dependent(self):
+        # Regression: the lockstep-stride rule once swapped the access
+        # widths (testing wa <= d mod s <= s - wb instead of
+        # wb <= d mod s <= s - wa), declaring a 1-byte store at
+        # base+10+8i independent of a 4-byte store at base+8j although
+        # adjacent iterations overlap on byte 8j+2.
+        report = main_report(checker_for(MIXED_WIDTH_OVERLAP))
+        (loop,) = report["loops"]
+        assert loop["parallel"] is False
+        assert loop["reason"].startswith("dependent")
+
+    def test_mixed_width_lockstep_disjoint_is_parallel(self):
+        # The residue 4 with widths (4, 1) and stride 8 is genuinely
+        # unreachable by any iteration pair: precision must survive the
+        # soundness fix.
+        report = main_report(checker_for(MIXED_WIDTH_DISJOINT))
+        (loop,) = report["loops"]
+        assert loop["parallel"] is True
+
+    def test_loop_carried_malloc_pointer_is_dependent(self):
+        # Regression: a shared in-loop allocation site is not enough for
+        # independence — the loop-carried phi reaches the *previous*
+        # iteration's malloc'd object, so iteration i's store and
+        # iteration i+1's load touch the same concrete object.
+        report = main_report(checker_for(LOOP_CARRIED_MALLOC))
+        (loop,) = report["loops"]
+        assert loop["parallel"] is False
+        assert loop["reason"].startswith("dependent")
 
     def test_freeing_loop_is_never_parallel(self):
         report = main_report(checker_for(FREEING_LOOP))
