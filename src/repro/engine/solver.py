@@ -29,12 +29,50 @@ from __future__ import annotations
 
 import time
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Set
+from typing import Any, Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set
 
-__all__ = ["SolverStatistics", "SparseProblem", "SparseSolver", "condense_sccs"]
+__all__ = ["SolverInterrupted", "SolverStatistics", "SparseProblem",
+           "SparseSolver", "condense_sccs", "solver_budget"]
 
 Node = Hashable
+
+
+class SolverInterrupted(RuntimeError):
+    """An installed budget hook asked the solver to abandon its fixed point.
+
+    Raised *between* transfer applications, so the problem's abstract state
+    is internally consistent but not a fixed point — callers must discard
+    the partially solved analysis (the :class:`~repro.engine.manager
+    .AnalysisManager` never caches a build whose factory raised).
+    """
+
+
+#: Process-wide cooperative budget: when set, the solver calls it before
+#: every transfer application and raises :class:`SolverInterrupted` the
+#: moment it returns ``False``.  Installed via :func:`solver_budget` by the
+#: serving layer to honour per-request ``timeout_ms`` deadlines; ``None``
+#: (the default) costs one attribute read per step.
+_BUDGET_HOOK: Optional[Callable[[], bool]] = None
+
+
+@contextmanager
+def solver_budget(hook: Callable[[], bool]) -> Iterator[None]:
+    """Install a cooperative step budget for every solve on this thread.
+
+    ``hook`` is consulted before each transfer application; returning
+    ``False`` aborts the solve with :class:`SolverInterrupted`.  The
+    previous hook (usually ``None``) is restored on exit, so nested budgets
+    compose: the innermost (tightest) deadline wins while it is active.
+    """
+    global _BUDGET_HOOK
+    previous = _BUDGET_HOOK
+    _BUDGET_HOOK = hook
+    try:
+        yield
+    finally:
+        _BUDGET_HOOK = previous
 
 
 @dataclass
@@ -261,6 +299,11 @@ class SparseSolver:
 
     # -- evaluation -----------------------------------------------------------
     def _evaluate(self, node: Node, *, phase: str) -> bool:
+        budget = _BUDGET_HOOK
+        if budget is not None and not budget():
+            raise SolverInterrupted(
+                f"{self.problem.name}: budget exhausted after "
+                f"{self.statistics.steps} steps")
         problem = self.problem
         stats = self.statistics
         old = problem.read(node)

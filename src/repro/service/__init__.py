@@ -19,18 +19,32 @@
 * :mod:`repro.service.pool` / :mod:`repro.service.server` — the concurrent
   serving layer: an asyncio TCP front end batching and multiplexing onto a
   shared-nothing pool of worker processes sharded by module.
+* :mod:`repro.service.supervisor` — :class:`WorkerSupervisor`, the fault
+  tolerance core: watches worker sentinels, fails in-flight jobs of a dead
+  worker structurally (``worker_unavailable``), respawns the shard and
+  replays its journal of acknowledged mutating requests.
+* :mod:`repro.service.chaos` — the deterministic fault injector behind
+  ``loadtest --chaos``: seeded kill/latency/corruption/truncation plans.
 * :mod:`repro.service.bench` — the cold-build vs warm-incremental
   benchmark driven by seeded benchgen edit scenarios.
 * :mod:`repro.service.loadtest` — the closed-loop multi-client loadtest
   (``BENCH_service.json``) gated on answer identity vs a serial session.
 """
 
-from .client import DaemonClient, InProcessClient, ServiceClient, SocketClient
+from .chaos import ChaosController, FaultPlan, generate_plan
+from .client import (
+    DaemonClient,
+    InProcessClient,
+    RetryPolicy,
+    ServiceClient,
+    SocketClient,
+)
 from .daemon import handle_request, serve
 from .pool import WorkerPool
 from .protocol import (
     ERROR_CODES,
     PROTOCOL_VERSION,
+    RETRYABLE_ERROR_CODES,
     ServiceError,
     check_response,
     handle_payload,
@@ -48,23 +62,33 @@ def __getattr__(name: str):
         from .server import ServiceServer
 
         return ServiceServer
+    if name == "WorkerSupervisor":
+        from .supervisor import WorkerSupervisor
+
+        return WorkerSupervisor
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "ANALYSIS_KEYS",
     "ERROR_CODES",
     "PROTOCOL_VERSION",
+    "RETRYABLE_ERROR_CODES",
     "AnalysisSession",
+    "ChaosController",
     "DaemonClient",
+    "FaultPlan",
     "InProcessClient",
     "ResidentModule",
     "ResultStore",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
     "SocketClient",
     "ServiceServer",
     "WorkerPool",
+    "WorkerSupervisor",
     "check_response",
+    "generate_plan",
     "handle_payload",
     "handle_request",
     "make_request",

@@ -1,0 +1,178 @@
+"""Deterministic fault injection for the serving layer.
+
+A :class:`FaultPlan` is a pure function of a seed (via
+:func:`repro.benchgen.stable_seed`) and the run's shape (module→shard
+placement, client count), so two invocations of ``loadtest --chaos`` with
+the same seed schedule byte-identical faults:
+
+* **kill** — SIGKILL one worker process after its K-th response (counted
+  on the supervisor's response hook, so the trigger point is a protocol
+  event, not a wall-clock race);
+* **latency** — make a worker sleep before handling one scripted request
+  id (how the harness wedges a shard to force the front end's wall-clock
+  deadline backstop and to pile up admissions against ``max_inflight``);
+* **corrupt** — overwrite persistent-store entries of modules on
+  *non-killed* shards with garbage (the store must count, discard and
+  recompute; keeping corruption off the killed shard keeps the
+  respawn-warm zero-bootstrap gate meaningful);
+* **truncate** — a client writes half a JSON request, drops the
+  connection, reconnects and resends (the server must neither crash nor
+  disturb other connections).
+
+The :class:`ChaosController` executes only the kill part at runtime — it
+counts worker responses per shard and pulls the trigger at the planned
+threshold; latency is executed *inside* the worker loop
+(:func:`repro.service.pool._worker_main` reads the plan's per-shard spec),
+corruption is applied to the store directory between runs, and truncation
+is acted out by the loadtest's chaos clients.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..benchgen import stable_seed
+from .pool import WorkerPool
+from .store import ResultStore
+
+__all__ = ["FaultPlan", "ChaosController", "corrupt_store_entries",
+           "generate_plan"]
+
+#: Seconds a latency-injected ("wedged") worker sleeps on its victim
+#: request — longer than any sane ``timeout_ms`` + backstop grace, so the
+#: front-end backstop provably fires first.
+VICTIM_DELAY_SECONDS = 2.5
+
+#: The scripted request id the latency fault keys on.
+VICTIM_REQUEST_ID = "chaos.victim"
+
+
+@dataclass
+class FaultPlan:
+    """One seeded, fully-determined fault schedule for a chaos run."""
+
+    seed: int
+    #: shard → kill after this many worker responses from that shard.
+    kills: Dict[int, int] = field(default_factory=dict)
+    #: Modules resident on shards scheduled to be killed (the respawn-warm
+    #: gate checks exactly these finish unmaterialised, zero solver steps).
+    killed_modules: List[str] = field(default_factory=list)
+    #: Modules on shards that are never killed.
+    safe_modules: List[str] = field(default_factory=list)
+    #: Safe-shard modules whose persistent "load" entry gets corrupted.
+    corrupt_modules: List[str] = field(default_factory=list)
+    #: shard → worker latency spec, the shape ``pool._worker_main`` reads.
+    latency: Dict[int, Dict[str, Dict[str, float]]] = \
+        field(default_factory=dict)
+    #: The module the latency victim request targets.
+    victim_module: Optional[str] = None
+    #: client index → script ordinal at which that client truncates a
+    #: request mid-line, drops the connection, reconnects and resends.
+    truncate_clients: Dict[int, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "kills": {str(shard): after
+                      for shard, after in sorted(self.kills.items())},
+            "killed_modules": list(self.killed_modules),
+            "safe_modules": list(self.safe_modules),
+            "corrupt_modules": list(self.corrupt_modules),
+            "latency": {str(shard): spec
+                        for shard, spec in sorted(self.latency.items())},
+            "victim_module": self.victim_module,
+            "victim_request_id": VICTIM_REQUEST_ID,
+            "truncate_clients": {str(index): ordinal for index, ordinal
+                                 in sorted(self.truncate_clients.items())},
+        }
+
+
+def generate_plan(seed: int, placement: Dict[str, int],
+                  clients: int) -> FaultPlan:
+    """Derive the deterministic fault schedule for one chaos run.
+
+    ``placement`` is the pool's module→shard map (every listed module is
+    loaded once before client traffic starts).  The kill threshold is set
+    past the shard's load responses so the crash always lands mid-query
+    traffic — loads are journaled by then, which is what makes the replay
+    interesting.
+    """
+    rng = random.Random(stable_seed(f"service/chaos/{seed}"))
+    plan = FaultPlan(seed=seed)
+    by_shard: Dict[int, List[str]] = {}
+    for module, shard in sorted(placement.items()):
+        by_shard.setdefault(shard, []).append(module)
+    populated = sorted(shard for shard, names in by_shard.items() if names)
+    if not populated:
+        return plan
+    killed_shard = populated[rng.randrange(len(populated))]
+    loads_on_shard = len(by_shard[killed_shard])
+    plan.kills[killed_shard] = loads_on_shard + rng.randint(2, 5)
+    plan.killed_modules = list(by_shard[killed_shard])
+    plan.safe_modules = sorted(
+        module for module, shard in placement.items()
+        if shard != killed_shard)
+    if plan.safe_modules:
+        plan.corrupt_modules = sorted(rng.sample(
+            plan.safe_modules, min(2, len(plan.safe_modules))))
+        plan.victim_module = plan.safe_modules[
+            rng.randrange(len(plan.safe_modules))]
+    else:  # single populated shard: the victim rides the respawned worker
+        plan.victim_module = plan.killed_modules[0]
+    victim_shard = placement[plan.victim_module]
+    plan.latency[victim_shard] = {
+        "latency_by_id": {VICTIM_REQUEST_ID: VICTIM_DELAY_SECONDS}}
+    for index in sorted(rng.sample(range(clients), min(2, clients))):
+        plan.truncate_clients[index] = rng.randint(1, 4)
+    return plan
+
+
+class ChaosController:
+    """Executes a plan's kill schedule off the supervisor's response hook."""
+
+    def __init__(self, pool: WorkerPool, plan: FaultPlan):
+        self.pool = pool
+        self.plan = plan
+        self.responses: Dict[int, int] = {}
+        #: shard → response count at which the trigger was pulled.
+        self.kills_fired: Dict[int, int] = {}
+
+    def on_response(self, shard: int, envelope: Dict[str, Any]) -> None:
+        count = self.responses.get(shard, 0) + 1
+        self.responses[shard] = count
+        threshold = self.plan.kills.get(shard)
+        if threshold is None or shard in self.kills_fired:
+            return
+        if count >= threshold:
+            self.kills_fired[shard] = count
+            self.pool.worker(shard).process.kill()
+
+
+def corrupt_store_entries(store_root: str,
+                          digests: Dict[str, str],
+                          modules: List[str]) -> List[str]:
+    """Overwrite the persistent ``load`` entry of each module with garbage.
+
+    Keys are recomputed exactly as the sessions compute them (source
+    digest + kind under the versioned namespace), so the corruption lands
+    on entries a warm run *will* read — forcing the discard-and-recompute
+    path, which the chaos gates then observe via ``corrupt_entries``.
+    Returns the corrupted paths (missing entries are skipped, not created:
+    corrupting nothing is a plan error the caller should surface).
+    """
+    store = ResultStore(store_root)
+    corrupted: List[str] = []
+    for module in modules:
+        digest = digests.get(module)
+        if digest is None:
+            continue
+        path = store._path(store.key(digest, "load"))
+        if not os.path.exists(path):
+            continue
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{torn mid-write: this is not json")
+        corrupted.append(path)
+    return corrupted

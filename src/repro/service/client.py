@@ -18,20 +18,34 @@ and validates the envelope with
 raw request dicts; the query-shaped ops return the protocol's typed response
 dataclasses.  Transports only implement :meth:`ServiceClient.call` — send
 one payload, return one decoded envelope.
+
+Typed calls route through :meth:`ServiceClient.send`, which retries
+*transient* fault envelopes — exactly the codes in
+:data:`repro.service.protocol.RETRYABLE_ERROR_CODES`
+(``worker_unavailable``, ``overloaded``) — with seeded-jittered exponential
+backoff (:class:`RetryPolicy`).  ``deadline_exceeded`` is deliberately not
+retried here: for a mutating request the effect may have applied, so the
+caller owns that decision.  Retry counters surface via
+:meth:`ServiceClient.retry_stats`.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import random
 import re
 import socket
 import subprocess
 import sys
+import time
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..benchgen import stable_seed
 from .protocol import (
     DEFAULT_SIZE,
+    RETRYABLE_ERROR_CODES,
     CheckBoundsResponse,
     LoadResponse,
     ParallelLoopsResponse,
@@ -47,8 +61,47 @@ from .protocol import (
     make_request,
 )
 
-__all__ = ["ServiceClient", "InProcessClient", "DaemonClient", "SocketClient",
-           "subprocess_env"]
+__all__ = ["RetryPolicy", "ServiceClient", "InProcessClient", "DaemonClient",
+           "SocketClient", "subprocess_env"]
+
+
+@dataclass
+class RetryPolicy:
+    """Seeded-jittered exponential backoff for *transient* fault envelopes.
+
+    The jitter stream comes from :func:`repro.benchgen.stable_seed`, so a
+    given ``seed`` string always produces the same backoff schedule — the
+    chaos harness depends on that for reproducible fault runs.  Delays are
+    ``min(cap, base · factor^attempt)`` scaled into ``[0.5, 1.0)`` of
+    themselves (decorrelated enough to avoid thundering herds, bounded
+    enough to stay deterministic in wall-time tests).
+    """
+
+    attempts: int = 5
+    base_ms: float = 25.0
+    factor: float = 2.0
+    cap_ms: float = 1000.0
+    seed: str = "service/retry/default"
+    #: Per-``error_code`` counts of retried responses.
+    retries_by_code: Dict[str, int] = field(default_factory=dict)
+    #: Requests whose final answer was still a retryable error.
+    exhausted: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(stable_seed(self.seed))
+
+    def delay_seconds(self, attempt: int) -> float:
+        nominal = min(self.cap_ms, self.base_ms * (self.factor ** attempt))
+        return (nominal * (0.5 + 0.5 * self._rng.random())) / 1000.0
+
+    def note(self, code: str) -> None:
+        self.retries_by_code[code] = self.retries_by_code.get(code, 0) + 1
+
+    def stats(self) -> Dict[str, Any]:
+        return {"attempts": self.attempts,
+                "retries_by_code": dict(sorted(self.retries_by_code.items())),
+                "retries": sum(self.retries_by_code.values()),
+                "exhausted": self.exhausted}
 
 
 def subprocess_env() -> Dict[str, str]:
@@ -66,10 +119,50 @@ def subprocess_env() -> Dict[str, str]:
 class ServiceClient:
     """Transport-agnostic typed facade over the versioned wire protocol."""
 
+    #: Backoff policy for transient faults; created lazily on first use.
+    #: Assign a configured :class:`RetryPolicy` (or ``None`` before any
+    #: typed call ever runs, then a default appears) to tune or seed it.
+    retry_policy: Optional[RetryPolicy] = None
+
     # -- transport hook ---------------------------------------------------------
     def call(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Send one request payload, return the decoded response envelope."""
         raise NotImplementedError
+
+    # -- retrying send ----------------------------------------------------------
+    def send(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """:meth:`call` plus transient-fault retries.
+
+        Only the codes in ``RETRYABLE_ERROR_CODES`` are retried: a worker
+        that died (``worker_unavailable``) has provably *not* applied a
+        mutating request (the journal admits acknowledged mutations only),
+        and a shed request (``overloaded``) was never admitted at all — so
+        resending either is safe.  Anything else, including
+        ``deadline_exceeded``, returns to the caller untouched.
+        """
+        if self.retry_policy is None:
+            self.retry_policy = RetryPolicy()
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            envelope = self.call(payload)
+            code = envelope.get("error_code") \
+                if isinstance(envelope, dict) else None
+            if code not in RETRYABLE_ERROR_CODES:
+                return envelope
+            if attempt >= policy.attempts:
+                policy.exhausted += 1
+                return envelope
+            policy.note(code)
+            time.sleep(policy.delay_seconds(attempt))
+            attempt += 1
+
+    def retry_stats(self) -> Dict[str, Any]:
+        """Counters of the transient-fault retries this client performed."""
+        if self.retry_policy is None:
+            return {"attempts": 0, "retries_by_code": {}, "retries": 0,
+                    "exhausted": 0}
+        return self.retry_policy.stats()
 
     def close(self) -> None:
         """Release the transport (terminate subprocesses, close sockets)."""
@@ -85,7 +178,7 @@ class ServiceClient:
                 **fields: Any) -> Dict[str, Any]:
         """One checked request; returns the successful envelope or raises
         :class:`~repro.service.protocol.ServiceError` with its stable code."""
-        return check_response(self.call(make_request(op, id=id, **fields)))
+        return check_response(self.send(make_request(op, id=id, **fields)))
 
     # -- typed operations --------------------------------------------------------
     def ping(self) -> bool:
@@ -93,11 +186,11 @@ class ServiceClient:
 
     def load(self, name: str, source: str) -> LoadResponse:
         return LoadResponse.from_envelope(
-            self.call(make_request("load", name=name, source=source)))
+            self.send(make_request("load", name=name, source=source)))
 
     def load_program(self, name: str) -> LoadResponse:
         return LoadResponse.from_envelope(
-            self.call(make_request("load_program", name=name)))
+            self.send(make_request("load_program", name=name)))
 
     def edit(self, name: str, source: str) -> Dict[str, Any]:
         """Apply an edited source; the envelope carries ``changed`` /
@@ -114,11 +207,11 @@ class ServiceClient:
         if size_b is not DEFAULT_SIZE:
             fields["size_b"] = encode_size(size_b)
         return QueryResponse.from_envelope(
-            self.call(make_request("query", **fields)))
+            self.send(make_request("query", **fields)))
 
     def query_many(self, module: str, analysis: str, function: str,
                    pairs: Sequence[Sequence[Any]]) -> QueryManyResponse:
-        return QueryManyResponse.from_envelope(self.call(make_request(
+        return QueryManyResponse.from_envelope(self.send(make_request(
             "query_many", module=module, analysis=analysis, function=function,
             pairs=[list(pair) for pair in pairs])))
 
@@ -131,7 +224,7 @@ class ServiceClient:
         if max_pairs is not None:
             fields["max_pairs"] = max_pairs
         return QueryFunctionResponse.from_envelope(
-            self.call(make_request("query_function", **fields)))
+            self.send(make_request("query_function", **fields)))
 
     def check_bounds(self, module: str,
                      function: Optional[str] = None) -> CheckBoundsResponse:
@@ -139,7 +232,7 @@ class ServiceClient:
         if function is not None:
             fields["function"] = function
         return CheckBoundsResponse.from_envelope(
-            self.call(make_request("check_bounds", **fields)))
+            self.send(make_request("check_bounds", **fields)))
 
     def parallel_loops(self, module: str,
                        function: Optional[str] = None) -> ParallelLoopsResponse:
@@ -147,14 +240,14 @@ class ServiceClient:
         if function is not None:
             fields["function"] = function
         return ParallelLoopsResponse.from_envelope(
-            self.call(make_request("parallel_loops", **fields)))
+            self.send(make_request("parallel_loops", **fields)))
 
     def values(self, module: str, function: str) -> ValuesResponse:
-        return ValuesResponse.from_envelope(self.call(
+        return ValuesResponse.from_envelope(self.send(
             make_request("values", module=module, function=function)))
 
     def range_of(self, module: str, function: str, value: str) -> RangeResponse:
-        return RangeResponse.from_envelope(self.call(make_request(
+        return RangeResponse.from_envelope(self.send(make_request(
             "range", module=module, function=function, value=value)))
 
     def stats(self, module: str) -> Dict[str, Any]:

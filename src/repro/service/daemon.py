@@ -38,7 +38,45 @@ response).  Failures are structured::
      "message": "..."}
 
 where ``error_code`` is one of ``protocol.ERROR_CODES`` (the deprecated
-pre-v1 free-form ``"error"`` string has completed its removal cycle).
+pre-v1 free-form ``"error"`` string has completed its removal cycle):
+
+======================  =====================================================
+``protocol_mismatch``   ``"v"`` missing or unsupported — fix, don't retry
+``bad_request``         malformed payload (missing/ill-typed field, bad size
+                        word, bad ``timeout_ms``) — fix, don't retry
+``unknown_op``          ``op`` not in the table above — fix, don't retry
+``unknown_module``      module not resident — load it, don't retry
+``unknown_function``    no such function in the module
+``unknown_value``       no such SSA value name in the function
+``unknown_analysis``    analysis key not registered
+``edit_rejected``       edited source failed the frontend; resident module
+                        untouched
+``internal_error``      unexpected exception (a bug); payload echoed in
+                        ``message``
+``worker_unavailable``  pool front end only: the owning worker died with
+                        this request in flight.  **Retryable.**  Read-only
+                        requests are already retried transparently by the
+                        supervisor; a mutating request (``load`` / ``edit``
+                        / ``unload``) is *never* half-applied — an
+                        unacknowledged mutation is excluded from the replay
+                        journal, so resending applies it exactly once.
+``deadline_exceeded``   the request's ``timeout_ms`` budget expired — either
+                        the worker abandoned the solve cooperatively or the
+                        front end's wall-clock backstop fired.  **Not
+                        retryable blindly**: a backstopped mutating request
+                        may still have applied.
+``overloaded``          pool front end only: the shard is at its in-flight
+                        bound and shed the request unstarted.  **Retryable**
+                        after backoff.
+======================  =====================================================
+
+The retry contract is machine-readable: ``protocol.RETRYABLE_ERROR_CODES``
+(= ``{worker_unavailable, overloaded}``) is exactly the set a client may
+resend without idempotency reasoning; ``ServiceClient.send`` does so with
+seeded-jitter exponential backoff (``repro.service.client.RetryPolicy``).
+Requests may carry an additive ``timeout_ms`` field (non-negative integer;
+``0`` expires immediately); it bounds only non-mutating evaluation —
+mutating requests ignore the budget rather than risk a torn edit.
 
 Sizes (``size_a``/``size_b`` and 4-element ``query_many`` pairs): omit or
 ``"default"`` for the pointee-size default; ``null`` or ``"unknown"`` for

@@ -49,12 +49,14 @@ transports call: parse, dispatch, envelope — it never raises.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, fields as dataclass_fields
 from typing import Any, ClassVar, Dict, List, Optional, Tuple, Type
 
 __all__ = [
     "PROTOCOL_VERSION",
     "ERROR_CODES",
+    "RETRYABLE_ERROR_CODES",
     "PROTOCOL_MISMATCH",
     "BAD_REQUEST",
     "UNKNOWN_OP",
@@ -64,6 +66,9 @@ __all__ = [
     "UNKNOWN_ANALYSIS",
     "EDIT_REJECTED",
     "INTERNAL_ERROR",
+    "WORKER_UNAVAILABLE",
+    "DEADLINE_EXCEEDED",
+    "OVERLOADED",
     "ServiceError",
     "DEFAULT_SIZE",
     "UNKNOWN_SIZE",
@@ -105,6 +110,21 @@ UNKNOWN_VALUE = "unknown_value"
 UNKNOWN_ANALYSIS = "unknown_analysis"
 EDIT_REJECTED = "edit_rejected"
 INTERNAL_ERROR = "internal_error"
+#: The addressed worker process died before answering (PR 10).  The
+#: supervisor respawns the shard and replays its journal, so the request
+#: is *safely retryable*: reads are side-effect free and the journal only
+#: records mutations the dead worker acknowledged — an unacknowledged
+#: load/edit was never applied to the state a respawn rebuilds.
+WORKER_UNAVAILABLE = "worker_unavailable"
+#: The request's ``timeout_ms`` budget expired (PR 10): either the worker
+#: abandoned its fixed point cooperatively (solver budget hook) or the
+#: front end's wall-clock backstop fired while the worker was wedged.  Not
+#: blindly retryable — for a mutating op the effect may still apply.
+DEADLINE_EXCEEDED = "deadline_exceeded"
+#: The addressed shard is at its in-flight bound and shed the request
+#: instead of queueing it (PR 10).  Nothing was executed; safely retryable
+#: with backoff for every op.
+OVERLOADED = "overloaded"
 
 #: The closed set of error codes clients may match on.  Codes are part of
 #: the protocol contract: adding one is fine, renaming or removing one is a
@@ -119,7 +139,19 @@ ERROR_CODES = frozenset({
     UNKNOWN_ANALYSIS,
     EDIT_REJECTED,
     INTERNAL_ERROR,
+    WORKER_UNAVAILABLE,
+    DEADLINE_EXCEEDED,
+    OVERLOADED,
 })
+
+#: Codes a client may retry *blindly* (same payload, any op): the request
+#: provably did not execute (``overloaded`` sheds before dispatch) or did
+#: not commit (``worker_unavailable`` — the per-shard journal records a
+#: mutation only once its worker acknowledged it, so a failed-over request
+#: left no trace in the state the respawned worker rebuilds).
+#: ``deadline_exceeded`` is deliberately absent: a backstopped mutating op
+#: may still have applied inside the wedged worker.
+RETRYABLE_ERROR_CODES = frozenset({WORKER_UNAVAILABLE, OVERLOADED})
 
 
 class ServiceError(ValueError):
@@ -233,6 +265,17 @@ def _register(cls: Type["Request"]) -> Type["Request"]:
     return cls
 
 
+def _parse_timeout_ms(payload: Dict[str, Any]) -> Optional[int]:
+    value = payload.get("timeout_ms")
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        raise ServiceError(
+            f"field 'timeout_ms' must be a non-negative integer or null, "
+            f"got {value!r}")
+    return value
+
+
 @dataclass(kw_only=True)
 class Request:
     """Base of every typed request; ``id`` echoes back on the response."""
@@ -241,8 +284,18 @@ class Request:
     #: Name of the field that addresses a resident module (``None`` for
     #: module-less ops) — the socket front end shards on it.
     route: ClassVar[Optional[str]] = None
+    #: Whether the op changes session state.  Mutating requests are
+    #: journaled by the supervisor (for crash replay) and are *not* retried
+    #: transparently on worker death — the client gets ``worker_unavailable``
+    #: and may safely retry, because an unacknowledged mutation was never
+    #: journaled.  They also skip the cooperative solver budget: aborting an
+    #: in-place incremental refresh would corrupt retained fixed points.
+    mutating: ClassVar[bool] = False
 
     id: Any = None
+    #: Additive deadline (milliseconds).  ``None`` means no deadline — the
+    #: pre-PR-10 wire shape is untouched, so no protocol version bump.
+    timeout_ms: Optional[int] = None
 
     def routing_module(self) -> Optional[str]:
         """The module this request targets (sharding key), if any."""
@@ -250,7 +303,9 @@ class Request:
 
     @classmethod
     def from_payload(cls, payload: Dict[str, Any]) -> "Request":
-        return cls(id=payload.get("id"), **cls._parse(payload))
+        return cls(id=payload.get("id"),
+                   timeout_ms=_parse_timeout_ms(payload),
+                   **cls._parse(payload))
 
     @classmethod
     def _parse(cls, payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -262,6 +317,8 @@ class Request:
         payload.update(self._encode())
         if self.id is not None:
             payload["id"] = self.id
+        if self.timeout_ms is not None:
+            payload["timeout_ms"] = self.timeout_ms
         return payload
 
     def _encode(self) -> Dict[str, Any]:
@@ -285,6 +342,7 @@ class PingRequest(Request):
 class LoadRequest(Request):
     op: ClassVar[str] = "load"
     route: ClassVar[str] = "name"
+    mutating: ClassVar[bool] = True
 
     name: str
     source: str
@@ -306,6 +364,7 @@ class LoadRequest(Request):
 class LoadProgramRequest(Request):
     op: ClassVar[str] = "load_program"
     route: ClassVar[str] = "name"
+    mutating: ClassVar[bool] = True
 
     name: str
 
@@ -325,6 +384,7 @@ class LoadProgramRequest(Request):
 class EditRequest(Request):
     op: ClassVar[str] = "edit"
     route: ClassVar[str] = "name"
+    mutating: ClassVar[bool] = True
 
     name: str
     source: str
@@ -591,6 +651,7 @@ class ModulesRequest(Request):
 class UnloadRequest(Request):
     op: ClassVar[str] = "unload"
     route: ClassVar[str] = "name"
+    mutating: ClassVar[bool] = True
 
     name: str
 
@@ -674,6 +735,36 @@ def error_envelope(code: str, message: str,
     return envelope
 
 
+def _apply_with_deadline(request: Request, session: Any) -> Dict[str, Any]:
+    """Dispatch one request, honouring its ``timeout_ms`` cooperatively.
+
+    Read-only requests run under a solver budget: every fixpoint the engine
+    runs on their behalf checks the wall-clock deadline before each
+    transfer application and abandons the solve the moment it expires (the
+    partially built analysis is discarded, never cached — a later request
+    rebuilds it cleanly).  Mutating requests deliberately ignore the budget:
+    aborting an in-place incremental refresh mid-flight would corrupt the
+    retained fixed points, so their only guard is the front end's
+    wall-clock backstop.
+    """
+    if request.timeout_ms is None or request.mutating:
+        return success_envelope(request.id, request.apply(session))
+    from ..engine.solver import SolverInterrupted, solver_budget
+
+    deadline = time.monotonic() + request.timeout_ms / 1000.0
+    if time.monotonic() >= deadline:  # timeout_ms == 0: already expired
+        raise ServiceError(
+            f"deadline of {request.timeout_ms} ms expired before evaluation",
+            DEADLINE_EXCEEDED)
+    try:
+        with solver_budget(lambda: time.monotonic() < deadline):
+            return success_envelope(request.id, request.apply(session))
+    except SolverInterrupted as interrupted:
+        raise ServiceError(
+            f"deadline of {request.timeout_ms} ms exceeded: {interrupted}",
+            DEADLINE_EXCEEDED) from interrupted
+
+
 def handle_payload(session: Any, payload: Any) -> Dict[str, Any]:
     """Parse, dispatch and envelope one request.  Never raises.
 
@@ -684,7 +775,7 @@ def handle_payload(session: Any, payload: Any) -> Dict[str, Any]:
     request_id = request_id_of(payload)
     try:
         request = parse_request(payload)
-        return success_envelope(request.id, request.apply(session))
+        return _apply_with_deadline(request, session)
     except ServiceError as error:
         return error_envelope(error.code, str(error), request_id)
     except (KeyError, TypeError, ValueError) as error:

@@ -10,6 +10,24 @@ and answered out of that worker's resident session.  Responses are
 correlated by the protocol's request ``id``, so any one connection may
 pipeline freely.
 
+Worker plumbing lives in :class:`~repro.service.supervisor.WorkerSupervisor`
+(PR 10): it pumps response queues back onto the event loop, watches every
+worker's process sentinel, and on a crash fails or transparently retries
+the dead shard's in-flight jobs, respawns it, and replays its journal —
+so no request ever hangs on a dead worker.
+
+Fault envelopes the front end itself can produce:
+
+* ``overloaded`` — admission control: at most ``max_inflight`` requests
+  may be outstanding per shard; beyond that the request is shed
+  immediately instead of queueing without bound (clients retry with
+  backoff — see :class:`~repro.service.client.RetryPolicy`).
+* ``deadline_exceeded`` — a request carrying ``timeout_ms`` is backstopped
+  with a wall-clock timer here (``timeout_ms`` plus a grace for queueing
+  and IPC), so even a *wedged* worker cannot stall the client past its
+  deadline; cooperative worker-side deadlines are the common case
+  (``protocol._apply_with_deadline``), the backstop is the guarantee.
+
 Batching: each shard has a dispatcher coroutine that drains its queue in
 rounds and *coalesces* the round's single ``query`` requests that target
 the same ``(module, analysis, function)`` into one ``query_many`` job —
@@ -19,17 +37,15 @@ what gives concurrent clients a window to pile up coalescable queries.
 Batched answers are split back into per-request envelopes (id echoed), and
 because the persistent result store keys alias answers *per pair*, the
 coalescing a particular traffic interleaving happens to produce never
-changes what a warm store can answer later.
-
-Responses from workers arrive on plain ``multiprocessing`` queues, drained
-by one pump thread per shard that trampolines each envelope back onto the
-event loop via ``call_soon_threadsafe``.
+changes what a warm store can answer later.  Requests carrying
+``timeout_ms`` are never coalesced — their deadline is their own.
 
 The front end answers ``ping`` itself, fans ``modules`` out to every shard
-and merges the listings, and treats ``shutdown`` as an orderly stop of the
-whole server.  Everything else — including every error a *valid* request
-produces — comes verbatim from a worker's ``handle_payload``, so socket
-answers are bit-identical to the in-process session's.
+and merges the listings, and treats ``shutdown`` (or SIGTERM) as an
+orderly stop of the whole server.  Everything else — including every error
+a *valid* request produces — comes verbatim from a worker's
+``handle_payload``, so socket answers are bit-identical to the in-process
+session's.
 
 Usage::
 
@@ -40,14 +56,15 @@ from __future__ import annotations
 
 import argparse
 import asyncio
-import itertools
 import json
-import threading
-from typing import Any, Dict, List, Optional, Tuple
+import signal
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .pool import WorkerPool
 from .protocol import (
     BAD_REQUEST,
+    DEADLINE_EXCEEDED,
+    OVERLOADED,
     ModulesRequest,
     PingRequest,
     QueryManyRequest,
@@ -60,55 +77,72 @@ from .protocol import (
     request_id_of,
     success_envelope,
 )
+from .supervisor import WorkerSupervisor
 
 __all__ = ["ServiceServer", "main"]
 
+#: Wall-clock slack added to ``timeout_ms`` before the front end backstops
+#: a request: covers queueing, IPC and the worker's own grace to answer
+#: ``deadline_exceeded`` cooperatively (the common, well-behaved case).
+DEFAULT_DEADLINE_GRACE = 0.25
+
 
 class ServiceServer:
-    """The asyncio TCP front end over one :class:`WorkerPool`."""
+    """The asyncio TCP front end over one supervised :class:`WorkerPool`."""
 
     def __init__(self, pool: WorkerPool, host: str = "127.0.0.1",
-                 port: int = 0):
+                 port: int = 0, max_inflight: Optional[int] = None,
+                 deadline_grace: float = DEFAULT_DEADLINE_GRACE,
+                 on_response: Optional[Callable[[int, Dict[str, Any]], None]]
+                 = None):
         self.pool = pool
         self.host = host
         self.port: Optional[int] = None
         self._requested_port = port
+        #: Per-shard admission bound (``None`` = unbounded, the pre-PR-10
+        #: behaviour); beyond it requests are shed with ``overloaded``.
+        self.max_inflight = max_inflight
+        self.deadline_grace = deadline_grace
+        self.supervisor = WorkerSupervisor(pool, on_response=on_response)
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._queues: List[asyncio.Queue] = []
         self._dispatchers: List[asyncio.Task] = []
-        self._pumps: List[threading.Thread] = []
-        self._jobs: Dict[int, asyncio.Future] = {}
-        self._job_ids = itertools.count(1)
+        self._inflight: List[int] = []
         self._shutdown = asyncio.Event()
         self._stopped = False
         #: Telemetry: coalesced query rounds (observable from the loadtest).
         self.batches = 0
         self.batched_queries = 0
+        #: Fault telemetry: requests shed with ``overloaded`` and deadlines
+        #: enforced by the front-end backstop (vs cooperatively by workers).
+        self.shed = 0
+        self.backstops = 0
 
     # -- lifecycle -------------------------------------------------------------
     async def start(self) -> None:
         self._loop = asyncio.get_running_loop()
-        self.pool.start()
+        await self.supervisor.start()
         for shard in range(self.pool.workers):
             self._queues.append(asyncio.Queue())
+            self._inflight.append(0)
             self._dispatchers.append(
                 asyncio.create_task(self._dispatch(shard)))
-            pump = threading.Thread(target=self._pump, args=(shard,),
-                                    name=f"repro-service-pump-{shard}",
-                                    daemon=True)
-            pump.start()
-            self._pumps.append(pump)
         self._server = await asyncio.start_server(
             self._serve_client, self.host, self._requested_port)
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def wait_shutdown(self) -> None:
-        """Block until a client sends ``shutdown`` (or :meth:`stop` runs)."""
+        """Block until ``shutdown`` arrives, SIGTERM fires, or :meth:`stop`."""
         await self._shutdown.wait()
 
+    def request_shutdown(self) -> None:
+        """Signal-safe orderly-shutdown trigger (SIGTERM/SIGINT handler)."""
+        self._shutdown.set()
+
     async def stop(self) -> None:
-        """Orderly stop: close the listener, drain workers, join pumps."""
+        """Orderly stop: close the listener, then let the supervisor drain
+        workers, join pumps, and settle any still-in-flight job."""
         if self._stopped:
             return
         self._stopped = True
@@ -117,40 +151,15 @@ class ServiceServer:
             await self._server.wait_closed()
         for task in self._dispatchers:
             task.cancel()
-        self.pool.close()  # workers answer the sentinel; pumps exit on it
-        for pump in self._pumps:
-            pump.join(timeout=30.0)
-        for future in self._jobs.values():  # pragma: no cover - stop race
-            if not future.done():
-                future.set_exception(ConnectionError("server stopped"))
-        self._jobs.clear()
+        await self.supervisor.stop()
         self._shutdown.set()
 
-    # -- worker plumbing -------------------------------------------------------
-    def _pump(self, shard: int) -> None:
-        """Blocking drain of one worker's response queue → event loop."""
-        responses = self.pool.worker(shard).responses
-        while True:
-            item = responses.get()
-            if item is None:
-                return
-            job_id, envelope = item
-            try:
-                self._loop.call_soon_threadsafe(self._resolve, job_id, envelope)
-            except RuntimeError:  # pragma: no cover - loop already closed
-                return
-
-    def _resolve(self, job_id: int, envelope: Dict[str, Any]) -> None:
-        future = self._jobs.pop(job_id, None)
-        if future is not None and not future.done():
-            future.set_result(envelope)
-
-    def _submit(self, shard: int, payload: Dict[str, Any]) -> asyncio.Future:
-        job_id = next(self._job_ids)
-        future = self._loop.create_future()
-        self._jobs[job_id] = future
-        self.pool.submit(shard, job_id, payload)
-        return future
+    def fault_stats(self) -> Dict[str, Any]:
+        """Supervision/backpressure counters (chaos harness + loadtest)."""
+        stats = self.supervisor.stats.as_dict()
+        stats["shed"] = self.shed
+        stats["backstops"] = self.backstops
+        return stats
 
     # -- dispatch + batching ---------------------------------------------------
     async def _dispatch(self, shard: int) -> None:
@@ -161,6 +170,7 @@ class ServiceServer:
         into the next coalescable batch.
         """
         queue = self._queues[shard]
+        supervisor = self.supervisor
         while True:
             batch: List[Tuple[Request, Dict[str, Any], asyncio.Future]] = \
                 [await queue.get()]
@@ -170,17 +180,21 @@ class ServiceServer:
             groups: Dict[Tuple[str, str, str],
                          List[Tuple[QueryRequest, asyncio.Future]]] = {}
             for request, payload, reply in batch:
-                if isinstance(request, QueryRequest):
+                if isinstance(request, QueryRequest) \
+                        and request.timeout_ms is None:
                     key = (request.module, request.analysis, request.function)
                     groups.setdefault(key, []).append((request, reply))
                 else:
-                    round_jobs.append(
-                        self._deliver(self._submit(shard, payload), reply))
+                    job = await supervisor.submit(
+                        shard, payload, mutating=request.mutating,
+                        request_id=request.id)
+                    round_jobs.append(self._deliver(job, reply))
             for key, members in groups.items():
                 if len(members) == 1:
                     request, reply = members[0]
-                    round_jobs.append(self._deliver(
-                        self._submit(shard, request.to_payload()), reply))
+                    job = await supervisor.submit(
+                        shard, request.to_payload(), request_id=request.id)
+                    round_jobs.append(self._deliver(job, reply))
                     continue
                 module, analysis, function = key
                 combined = QueryManyRequest(
@@ -189,12 +203,18 @@ class ServiceServer:
                            for r, _ in members])
                 self.batches += 1
                 self.batched_queries += len(members)
-                round_jobs.append(self._deliver_split(
-                    self._submit(shard, combined.to_payload()), members))
+                job = await supervisor.submit(shard, combined.to_payload())
+                round_jobs.append(self._deliver_split(job, members))
             await asyncio.gather(*round_jobs)
 
     @staticmethod
     async def _deliver(job: asyncio.Future, reply: asyncio.Future) -> None:
+        """Forward one job envelope to its reply, unless the reply already
+        terminated (deadline backstop) — then the round moves on and the
+        worker's late answer is consumed silently by the supervisor."""
+        await asyncio.wait({job, reply}, return_when=asyncio.FIRST_COMPLETED)
+        if reply.done():
+            return
         envelope = await job
         if not reply.done():
             reply.set_result(envelope)
@@ -277,13 +297,43 @@ class ServiceServer:
         if isinstance(request, ModulesRequest):
             return await self._merged_modules(request)
         shard = self.pool.shard_of(request.routing_module())
+        if self.max_inflight is not None \
+                and self._inflight[shard] >= self.max_inflight:
+            self.shed += 1
+            return error_envelope(
+                OVERLOADED,
+                f"shard {shard} at max in-flight ({self.max_inflight}); "
+                f"retry with backoff", request.id)
         reply = self._loop.create_future()
+        self._inflight[shard] += 1
+        reply.add_done_callback(
+            lambda _, s=shard: self._admit_release(s))
+        if request.timeout_ms is not None:
+            self._arm_backstop(request, reply)
         await self._queues[shard].put((request, payload, reply))
         return await reply
 
+    def _admit_release(self, shard: int) -> None:
+        self._inflight[shard] -= 1
+
+    def _arm_backstop(self, request: Request, reply: asyncio.Future) -> None:
+        """The front end's wall-clock deadline: fires even if the worker is
+        wedged (the cooperative worker-side deadline is the common case)."""
+        def backstop() -> None:
+            if not reply.done():
+                self.backstops += 1
+                reply.set_result(error_envelope(
+                    DEADLINE_EXCEEDED,
+                    f"deadline of {request.timeout_ms} ms exceeded "
+                    f"(front-end wall-clock backstop)", request.id))
+
+        handle = self._loop.call_later(
+            request.timeout_ms / 1000.0 + self.deadline_grace, backstop)
+        reply.add_done_callback(lambda _: handle.cancel())
+
     async def _merged_modules(self, request: ModulesRequest) -> Dict[str, Any]:
         """Fan ``modules`` out to every shard; merge listings in name order."""
-        jobs = [self._submit(shard, {"op": "modules", "v": 1})
+        jobs = [await self.supervisor.submit(shard, {"op": "modules", "v": 1})
                 for shard in range(len(self._queues))]
         envelopes = await asyncio.gather(*jobs)
         merged: List[Dict[str, Any]] = []
@@ -295,8 +345,15 @@ class ServiceServer:
 
 async def _serve(options: argparse.Namespace) -> int:
     pool = WorkerPool(workers=options.workers, store_root=options.store)
-    server = ServiceServer(pool, host=options.host, port=options.port)
+    server = ServiceServer(pool, host=options.host, port=options.port,
+                           max_inflight=options.max_inflight)
     await server.start()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, server.request_shutdown)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # platforms without loop signal handlers
     print(f"repro analysis service on {server.host}:{server.port} "
           f"({options.workers} workers)", flush=True)
     try:
@@ -318,6 +375,9 @@ def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - CLI
                         help="shared-nothing worker processes")
     parser.add_argument("--store", metavar="DIR", default=None,
                         help="persistent content-addressed result store")
+    parser.add_argument("--max-inflight", type=int, default=None,
+                        help="per-shard admission bound; beyond it requests "
+                             "are shed with error_code 'overloaded'")
     options = parser.parse_args(argv)
     return asyncio.run(_serve(options))
 

@@ -1,0 +1,298 @@
+"""Worker supervision: crash detection, failover, and state replay.
+
+The front end (:mod:`repro.service.server`) used to talk to the pool
+directly, which meant a worker that died outside ``handle_payload`` (OOM
+kill, stray signal, interpreter bug) left its pump thread blocked on
+``responses.get()`` forever and every in-flight future unresolved.  The
+:class:`WorkerSupervisor` owns all of that plumbing now and makes worker
+death a *handled* event:
+
+* **Detection** — one watcher thread per worker process blocks on
+  ``process.join()`` (the process sentinel) and trampolines a death event
+  onto the event loop; a generation counter on each worker filters stale
+  notifications once a shard has been replaced.
+* **Failover** — on death the supervisor unwedges and joins the dead
+  shard's pump, settles any responses that did arrive, then triages the
+  shard's in-flight jobs: *mutating* requests fail fast with a structured
+  ``worker_unavailable`` envelope (their effect is unknown — the client
+  owns the retry decision), *read-only* requests are deterministic and are
+  resubmitted transparently (bounded retries), and replay jobs are simply
+  dropped (the journal still holds them).  The shard is then respawned and
+  its journal replayed before any retry or new traffic reaches it.
+* **Replay** — sessions are pure functions of their acknowledged request
+  stream, so the supervisor journals every *successful* mutating payload
+  (``load``/``load_program``/``edit``/``unload``) per shard, exactly once:
+  a payload is appended only when its success envelope arrives, and replay
+  submissions are never re-journaled.  An edit the dead worker never
+  acknowledged is therefore absent from both the journal and the replayed
+  state — which is exactly what ``worker_unavailable`` tells the client.
+  With a warm content-addressed store the replay is near-free: loads stay
+  lazy and the respawned shard keeps answering with zero solver steps.
+
+Admission is gated per shard on an :class:`asyncio.Event` that failover
+clears, so nothing new is enqueued onto a dead worker's (abandoned)
+queues; journal replays and transparent retries use a private side door.
+
+The chaos harness (:mod:`repro.service.chaos`) observes the supervisor
+through the ``on_response`` hook — every worker envelope passes through it
+— which is how a fault plan's "kill worker N after K responses" trigger
+counts deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .pool import WorkerPool
+from .protocol import WORKER_UNAVAILABLE, error_envelope
+
+__all__ = ["WorkerSupervisor"]
+
+
+@dataclass
+class _Job:
+    """One in-flight worker request and everything failover needs to triage
+    it: the verbatim payload (for journal/replay), whether it mutates
+    session state, and how often it has already been transparently
+    resubmitted."""
+
+    shard: int
+    payload: Dict[str, Any]
+    future: asyncio.Future
+    mutating: bool = False
+    request_id: Any = None
+    replay: bool = False
+    retries: int = 0
+
+
+@dataclass
+class SupervisorStats:
+    """Counters the loadtest and the chaos harness read back."""
+
+    worker_deaths: int = 0
+    respawns: int = 0
+    failed_jobs: int = 0
+    retried_jobs: int = 0
+    replayed_payloads: int = 0
+    replay_errors: int = 0
+    journal_entries: Dict[int, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "worker_deaths": self.worker_deaths,
+            "respawns": self.respawns,
+            "failed_jobs": self.failed_jobs,
+            "retried_jobs": self.retried_jobs,
+            "replayed_payloads": self.replayed_payloads,
+            "replay_errors": self.replay_errors,
+            "journal_entries": {str(shard): count for shard, count
+                                in sorted(self.journal_entries.items())},
+        }
+
+
+class WorkerSupervisor:
+    """Owns worker plumbing: pumps, watchers, in-flight jobs, failover."""
+
+    #: Transparent resubmissions of one deterministic read-only job before
+    #: the supervisor gives up and surfaces ``worker_unavailable`` (a shard
+    #: crashing three times on the same query is not a transient fault).
+    MAX_READ_RETRIES = 3
+
+    def __init__(self, pool: WorkerPool,
+                 on_response: Optional[Callable[[int, Dict[str, Any]], None]]
+                 = None):
+        self.pool = pool
+        self.on_response = on_response
+        self.stats = SupervisorStats()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._jobs: Dict[int, _Job] = {}
+        self._job_ids = itertools.count(1)
+        self._journal: Dict[int, List[Dict[str, Any]]] = {}
+        self._pumps: Dict[int, threading.Thread] = {}
+        self._available: Dict[int, asyncio.Event] = {}
+        self._failovers: set = set()
+        self._closing = False
+
+    # -- lifecycle -------------------------------------------------------------
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.pool.start()
+        for shard in range(self.pool.workers):
+            self._journal[shard] = []
+            self._available[shard] = asyncio.Event()
+            self._available[shard].set()
+            self._attach(shard)
+
+    def _attach(self, shard: int) -> None:
+        """Start the pump and watcher threads for a shard's *current*
+        process generation (called at start and after every respawn)."""
+        worker = self.pool.worker(shard)
+        pump = threading.Thread(
+            target=self._pump, args=(worker,),
+            name=f"repro-service-pump-{shard}.g{worker.generation}",
+            daemon=True)
+        pump.start()
+        self._pumps[shard] = pump
+        watcher = threading.Thread(
+            target=self._watch, args=(worker,),
+            name=f"repro-service-watch-{shard}.g{worker.generation}",
+            daemon=True)
+        watcher.start()
+
+    async def stop(self, timeout: float = 30.0) -> None:
+        """Orderly close: drain workers, join pumps, settle leftovers.
+
+        In-flight jobs are failed with envelopes — never exceptions — so a
+        late ``await`` on one of them still sees a structured answer.  The
+        jobs map is *snapshotted* first: pump callbacks scheduled before
+        the pumps exited may still ``pop`` entries concurrently.
+        """
+        if self._closing:
+            return
+        self._closing = True
+        for task in list(self._failovers):
+            task.cancel()
+        self.pool.close(timeout)  # posts pump sentinels, even for crashers
+        for pump in self._pumps.values():
+            if pump.is_alive():
+                await asyncio.to_thread(pump.join, timeout)
+        for job in list(self._jobs.values()):
+            if not job.future.done():
+                job.future.set_result(error_envelope(
+                    WORKER_UNAVAILABLE, "server stopped", job.request_id))
+        self._jobs.clear()
+        for event in self._available.values():
+            event.set()  # unblock submitters so they observe the failures
+
+    # -- submission ------------------------------------------------------------
+    def ready(self, shard: int) -> "asyncio.Event":
+        """The admission gate failover clears while a shard is down."""
+        return self._available[shard]
+
+    async def submit(self, shard: int, payload: Dict[str, Any], *,
+                     mutating: bool = False,
+                     request_id: Any = None) -> asyncio.Future:
+        """Enqueue one payload; returns the future its envelope resolves.
+
+        Waits out any in-progress failover first so the job lands on the
+        live replacement process, never on an abandoned queue.
+        """
+        await self._available[shard].wait()
+        job = _Job(shard=shard, payload=payload, mutating=mutating,
+                   request_id=request_id, future=self._loop.create_future())
+        self._post(job)
+        return job.future
+
+    def _post(self, job: _Job) -> None:
+        job_id = next(self._job_ids)
+        self._jobs[job_id] = job
+        self.pool.submit(job.shard, job_id, job.payload)
+
+    # -- response path ---------------------------------------------------------
+    def _pump(self, worker: Any) -> None:
+        """Blocking drain of one worker generation's response queue."""
+        while True:
+            try:
+                item = worker.responses.get()
+            except (EOFError, OSError):  # pragma: no cover - torn queue
+                return
+            if item is None:
+                return
+            job_id, envelope = item
+            try:
+                self._loop.call_soon_threadsafe(self._resolve, job_id,
+                                                envelope, worker.index)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                return
+
+    def _resolve(self, job_id: int, envelope: Dict[str, Any],
+                 shard: int) -> None:
+        job = self._jobs.pop(job_id, None)
+        if self.on_response is not None:
+            self.on_response(shard, envelope)
+        if job is None:  # failover already settled it; late answer discarded
+            return
+        if job.mutating and envelope.get("ok") and not job.replay:
+            # Exactly-once journaling: only *acknowledged* mutations enter
+            # the journal, and a replayed payload never re-enters it.
+            self._journal[job.shard].append(job.payload)
+            self.stats.journal_entries[job.shard] = \
+                len(self._journal[job.shard])
+        if job.replay:
+            if not envelope.get("ok"):  # pragma: no cover - divergence guard
+                self.stats.replay_errors += 1
+            return
+        if not job.future.done():
+            job.future.set_result(envelope)
+
+    # -- death handling --------------------------------------------------------
+    def _watch(self, worker: Any) -> None:
+        """Block on one process generation's sentinel; report its death."""
+        worker.process.join()
+        if self._closing:
+            return
+        try:
+            self._loop.call_soon_threadsafe(self._death_event, worker)
+        except RuntimeError:  # pragma: no cover - loop already closed
+            return
+
+    def _death_event(self, worker: Any) -> None:
+        if self._closing:
+            return
+        if self.pool.worker(worker.index) is not worker:
+            return  # stale notification: the shard was already replaced
+        if worker.process.exitcode == 0:
+            return  # clean exit (orderly close races the watcher)
+        task = self._loop.create_task(self._failover(worker))
+        self._failovers.add(task)
+        task.add_done_callback(self._failovers.discard)
+
+    async def _failover(self, worker: Any) -> None:
+        """Replace a dead shard process; no in-flight job is left hanging."""
+        shard = worker.index
+        self._available[shard].clear()
+        self.stats.worker_deaths += 1
+        # Unwedge the pump (a dead worker never posts its sentinel) and let
+        # every response that *did* arrive settle before triage.  The join
+        # is bounded: a SIGKILL mid-write can tear the queue's byte stream,
+        # in which case the pump is abandoned (its late resolutions hit
+        # job ids that no longer exist — harmless no-ops).
+        worker.responses.put(None)
+        await asyncio.to_thread(self._pumps[shard].join, 5.0)
+        await asyncio.sleep(0)
+        retryable: List[_Job] = []
+        for job_id in [jid for jid, job in self._jobs.items()
+                       if job.shard == shard]:
+            job = self._jobs.pop(job_id)
+            if job.replay:
+                continue  # journal still holds it; replay restarts below
+            if not job.mutating and job.retries < self.MAX_READ_RETRIES:
+                retryable.append(job)
+                continue
+            self.stats.failed_jobs += 1
+            if not job.future.done():
+                job.future.set_result(error_envelope(
+                    WORKER_UNAVAILABLE,
+                    f"worker for shard {shard} died "
+                    f"(exitcode {worker.process.exitcode}) with this "
+                    f"request in flight", job.request_id))
+        replacement = await asyncio.to_thread(self.pool.respawn, shard)
+        self.stats.respawns += 1
+        self._attach(shard)
+        # FIFO replay ahead of everything else: the worker queue preserves
+        # order, so journal state is rebuilt before any retry executes.
+        for payload in list(self._journal[shard]):
+            self.stats.replayed_payloads += 1
+            self._post(_Job(shard=shard, payload=payload, mutating=True,
+                            request_id=payload.get("id"), replay=True,
+                            future=self._loop.create_future()))
+        for job in retryable:
+            job.retries += 1
+            self.stats.retried_jobs += 1
+            self._post(job)
+        assert self.pool.worker(shard) is replacement
+        self._available[shard].set()

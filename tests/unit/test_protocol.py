@@ -11,6 +11,7 @@ from repro.service.protocol import (
     ERROR_CODES,
     PROTOCOL_VERSION,
     REQUESTS,
+    RETRYABLE_ERROR_CODES,
     QueryResponse,
     ServiceError,
     check_response,
@@ -113,7 +114,16 @@ class TestErrorCodes:
         assert ERROR_CODES == {
             "protocol_mismatch", "bad_request", "unknown_op",
             "unknown_module", "unknown_function", "unknown_value",
-            "unknown_analysis", "edit_rejected", "internal_error"}
+            "unknown_analysis", "edit_rejected", "internal_error",
+            "worker_unavailable", "deadline_exceeded", "overloaded"}
+
+    def test_retryable_subset_is_stable(self):
+        # The retry contract is wire-visible behaviour: clients blindly
+        # resend exactly these.  deadline_exceeded is deliberately absent
+        # (a backstopped mutating request may still have applied).
+        assert RETRYABLE_ERROR_CODES == {"worker_unavailable", "overloaded"}
+        assert RETRYABLE_ERROR_CODES < ERROR_CODES
+        assert "deadline_exceeded" not in RETRYABLE_ERROR_CODES
 
     def test_session_errors_carry_stable_codes(self):
         session = AnalysisSession()
@@ -238,6 +248,65 @@ class TestSizeSchema:
             pairs=[[base, offset], [base, offset, "default", "default"],
                    [base, offset, "unknown", None]]))
         assert batch["results"] == ["no-alias", "no-alias", "may-alias"]
+
+
+class TestDeadlines:
+    """The additive ``timeout_ms`` field and its cooperative enforcement."""
+
+    def test_timeout_ms_round_trips_additively(self):
+        # Additive: present when set, absent when not — no version bump.
+        plain = parse_request(make_request("query", module="m",
+                                           analysis="rbaa", function="main",
+                                           a="p", b="q"))
+        assert plain.timeout_ms is None
+        assert "timeout_ms" not in plain.to_payload()
+        bounded = parse_request(make_request(
+            "query", module="m", analysis="rbaa", function="main",
+            a="p", b="q", timeout_ms=250))
+        assert bounded.timeout_ms == 250
+        encoded = bounded.to_payload()
+        assert encoded["timeout_ms"] == 250
+        assert parse_request(encoded) == bounded
+
+    def test_timeout_ms_validation(self):
+        for bad in (-1, True, 1.5, "250", [250]):
+            with pytest.raises(ServiceError) as caught:
+                parse_request(make_request("ping", timeout_ms=bad))
+            assert caught.value.code == "bad_request"
+        assert parse_request(make_request("ping", timeout_ms=0)).timeout_ms == 0
+
+    def test_mutating_classification(self):
+        # The supervisor's journal/retry split rides on this flag: exactly
+        # the state-changing ops are mutating (never transparently retried,
+        # journaled for crash replay when acknowledged).
+        mutating = {op for op, cls in REQUESTS.items() if cls.mutating}
+        assert mutating == {"load", "load_program", "edit", "unload"}
+
+    def test_expired_deadline_short_circuits_deterministically(self):
+        session = AnalysisSession()
+        session.load_source("m", SRC)
+        base, offset = _pointers(session)
+        envelope = handle_payload(session, make_request(
+            "query", id="dl", module="m", analysis="rbaa", function="main",
+            a=base, b=offset, timeout_ms=0))
+        assert envelope["ok"] is False
+        assert envelope["error_code"] == "deadline_exceeded"
+        assert envelope["id"] == "dl"
+        # The same request without the deadline still answers — an
+        # abandoned evaluation must not poison session state.
+        again = handle_payload(session, make_request(
+            "query", id="dl2", module="m", analysis="rbaa", function="main",
+            a=base, b=offset))
+        assert again["ok"] is True and again["result"] == "no-alias"
+
+    def test_mutating_requests_ignore_the_cooperative_budget(self):
+        # A deadline must never abandon a half-applied edit: mutating ops
+        # run to completion; only the front-end backstop can answer early.
+        session = AnalysisSession()
+        envelope = handle_payload(session, make_request(
+            "load", id="ld", name="m", source=SRC, timeout_ms=0))
+        assert envelope["ok"] is True
+        assert "main" in envelope["functions"]
 
 
 class TestPipelinedIdEcho:
